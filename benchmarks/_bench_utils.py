@@ -1,0 +1,22 @@
+"""Shared helper for benchmark modules: artifact emission."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.harness import results_dir
+
+
+def emit(name: str, text: str) -> None:
+    """Write a rendered artifact to results/<name>.txt (and echo it).
+
+    ``results/*.txt`` is the durable location; the echo goes through the
+    current (possibly captured) stdout, so it surfaces with ``pytest -s``
+    or ``-rP``.  Pytest's default fd-level capture swallows even
+    ``sys.__stdout__`` writes, which is why the file is authoritative.
+    """
+    path = Path(results_dir()) / f"{name}.txt"
+    path.write_text(text + "\n")
+    sys.stdout.write(f"\n===== {name} =====\n{text}\n")
+    sys.stdout.flush()

@@ -1,0 +1,7 @@
+"""Benchmark configuration.
+
+Benches default to the full 39-dataset archive; set ``REPRO_DATASETS`` or
+``REPRO_MAX_DATASETS`` to restrict.  Sweep results are cached as JSON in
+``REPRO_RESULTS_DIR`` (default ``./results``) and reused on subsequent
+invocations, so only the first run pays the full sweep cost.
+"""

@@ -1,0 +1,15 @@
+"""Regenerates the Figure 10 case study (FordA feature importances)."""
+
+from _bench_utils import emit
+
+from repro.experiments.case_study import render_case_study, run_case_study
+
+
+def test_figure10_case_study(benchmark):
+    result = benchmark.pedantic(
+        run_case_study, kwargs={"dataset": "FordA", "top_n": 10}, rounds=1, iterations=1
+    )
+    assert len(result["top_features"]) == 10
+    text = render_case_study(result)
+    emit("fig10", text)
+    benchmark.extra_info["test_error"] = round(result["error"], 3)

@@ -1,0 +1,82 @@
+"""Micro-benchmarks backing the complexity claims of Sections 2.1 / 4.5:
+
+* VG divide-and-conquer vs the naive O(n^2) sweep;
+* HVG O(n) construction;
+* motif counting (the PGD replacement);
+* full per-series MVG feature extraction;
+* DTW with and without a Sakoe-Chiba band, and LB_Keogh.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeatureConfig
+from repro.core.features import extract_feature_vector
+from repro.distance.dtw import dtw_distance, lb_keogh
+from repro.graph.motifs import count_motifs
+from repro.graph.visibility import (
+    horizontal_visibility_graph,
+    visibility_graph_dc,
+    visibility_graph_naive,
+)
+
+
+@pytest.fixture(scope="module")
+def series_512():
+    return np.random.default_rng(0).normal(size=512)
+
+
+@pytest.fixture(scope="module")
+def series_4096():
+    return np.random.default_rng(1).normal(size=4096)
+
+
+def test_vg_naive_512(benchmark, series_512):
+    graph = benchmark(visibility_graph_naive, series_512)
+    assert graph.is_connected()
+
+
+def test_vg_divide_conquer_512(benchmark, series_512):
+    graph = benchmark(visibility_graph_dc, series_512)
+    assert graph == visibility_graph_naive(series_512)
+
+
+def test_vg_divide_conquer_4096(benchmark, series_4096):
+    graph = benchmark(visibility_graph_dc, series_4096)
+    assert graph.is_connected()
+
+
+def test_hvg_4096(benchmark, series_4096):
+    graph = benchmark(horizontal_visibility_graph, series_4096)
+    assert graph.is_connected()
+
+
+def test_motif_counting_vg_256(benchmark):
+    graph = visibility_graph_dc(np.random.default_rng(2).normal(size=256))
+    counts = benchmark(count_motifs, graph)
+    assert counts.m21 == graph.n_edges
+
+
+def test_feature_extraction_mvg_256(benchmark):
+    series = np.random.default_rng(3).normal(size=256)
+    vector, names = benchmark(extract_feature_vector, series, FeatureConfig())
+    assert vector.size == len(names)
+
+
+def test_dtw_full_256(benchmark):
+    rng = np.random.default_rng(4)
+    a, b = rng.normal(size=256), rng.normal(size=256)
+    assert benchmark(dtw_distance, a, b) > 0
+
+
+def test_dtw_banded_256(benchmark):
+    rng = np.random.default_rng(5)
+    a, b = rng.normal(size=256), rng.normal(size=256)
+    assert benchmark(dtw_distance, a, b, 0.1) > 0
+
+
+def test_lb_keogh_256(benchmark):
+    rng = np.random.default_rng(6)
+    a, b = rng.normal(size=256), rng.normal(size=256)
+    bound = benchmark(lb_keogh, a, b, 0.1)
+    assert bound <= dtw_distance(a, b, 0.1) + 1e-9

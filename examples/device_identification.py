@@ -1,0 +1,56 @@
+"""Household appliance identification from electricity load profiles —
+the industrial-monitoring scenario behind the paper's *Devices datasets
+(and its Paul Wurth collaboration).
+
+Trains MVG on three appliance datasets and contrasts accuracy and
+runtime against SAX-VSM and Fast Shapelets.  Device profiles are step
+functions with on/off events at arbitrary times, the regime where
+alignment-sensitive methods struggle but structural graph features do
+not.
+
+Run:  python examples/device_identification.py
+"""
+
+import time
+
+from repro import MVGClassifier, load_archive_dataset
+from repro.baselines import FastShapeletsClassifier, SAXVSMClassifier
+from repro.ml.metrics import error_rate
+
+DATASETS = ("Computers", "SmallKitchenAppliances", "RefrigerationDevices")
+
+
+def run(name, factory, split):
+    start = time.perf_counter()
+    model = factory()
+    model.fit(split.train.X, split.train.y)
+    error = error_rate(split.test.y, model.predict(split.test.X))
+    return error, time.perf_counter() - start
+
+
+def main() -> None:
+    methods = {
+        "MVG": lambda: MVGClassifier(random_state=0),
+        "SAX-VSM": SAXVSMClassifier,
+        "FastShapelets": lambda: FastShapeletsClassifier(random_state=0),
+    }
+    header = f"{'dataset':<26s}" + "".join(f"{m:>22s}" for m in methods)
+    print(header)
+    print("-" * len(header))
+    for dataset in DATASETS:
+        split = load_archive_dataset(dataset)
+        cells = []
+        for factory in methods.values():
+            error, seconds = run(dataset, factory, split)
+            cells.append(f"{error:.3f} ({seconds:5.1f}s)")
+        print(f"{dataset:<26s}" + "".join(f"{c:>22s}" for c in cells))
+
+    print(
+        "\nMVG handles the randomly-shifted on/off events through"
+        " shift-insensitive visibility statistics; note the runtime gap"
+        " to Fast Shapelets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Directed visibility graphs and time irreversibility.
+
+Beyond the undirected statistics the paper's pipeline uses, Section 2.1
+notes that directed VGs exist ("limiting the direction of viewpoints")
+and cites weighted VGs.  This example exercises both extensions:
+
+* the Kullback-Leibler divergence between the in- and out-degree
+  distributions of the time-directed VG estimates *time
+  irreversibility* — near zero for reversible processes (i.i.d. noise,
+  linear Gaussian), positive for irreversible dynamics (chaotic maps,
+  relaxation/sawtooth signals);
+* view-angle-weighted VGs give strength statistics that separate
+  smooth from spiky series even when their unweighted graphs look alike.
+
+Run:  python examples/irreversibility_analysis.py
+"""
+
+import numpy as np
+
+from repro.data.generators import ClassSpec
+from repro.graph import (
+    irreversibility_kld,
+    weighted_strength_statistics,
+    weighted_visibility_graph,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    length = 400
+
+    processes = {
+        "white noise (reversible)": rng.normal(size=length),
+        "AR(1) phi=0.8 (linear, ~reversible)": ClassSpec(
+            family="ar", params={"phi": [0.8]}, noise=0.0
+        ).generate(length, rng),
+        "logistic map r=4 (chaotic, irreversible)": ClassSpec(
+            family="logistic_map", params={"r": 4.0}, noise=0.0
+        ).generate(length, rng),
+        "sawtooth (strongly irreversible)": np.tile(
+            np.concatenate([np.linspace(0, 1, 19), [0.1]]), length // 20
+        )
+        + rng.normal(0, 0.01, length),
+    }
+
+    print("time irreversibility via directed VG degree divergence")
+    print("-" * 58)
+    for name, series in processes.items():
+        kld = irreversibility_kld(series)
+        print(f"  {name:<40s} KLD = {kld:.4f}")
+
+    print("\nweighted (view-angle) VG strength statistics")
+    print("-" * 58)
+    smooth = np.sin(np.linspace(0, 12 * np.pi, length))
+    spiky = smooth.copy()
+    spiky[rng.choice(length, size=12, replace=False)] += 4.0
+    for name, series in (("smooth sinusoid", smooth), ("with spikes", spiky)):
+        stats = weighted_strength_statistics(weighted_visibility_graph(series))
+        rendered = ", ".join(f"{k}={v:.2f}" for k, v in stats.items())
+        print(f"  {name:<18s} {rendered}")
+
+
+if __name__ == "__main__":
+    main()

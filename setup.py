@@ -1,0 +1,5 @@
+"""Setup shim: keeps `pip install -e .` working on environments without
+the `wheel` package (legacy develop install)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Multiscale Visibility Graph time series classification.
+
+A full reproduction of Li et al., *Extracting Statistical Graph Features
+for Accurate and Efficient Time Series Classification* (EDBT 2018):
+the MVG representation and feature extraction, every substrate it relies
+on (visibility graphs, graphlet counting, generic classifiers, DTW), the
+five comparison baselines, and harnesses regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import MVGClassifier, load_archive_dataset
+
+    split = load_archive_dataset("BeetleFly")
+    clf = MVGClassifier(random_state=0)
+    clf.fit(split.train.X, split.train.y)
+    print((clf.predict(split.test.X) != split.test.y).mean())
+"""
+
+from repro.core import (
+    FeatureConfig,
+    FeatureExtractor,
+    HEURISTIC_COLUMNS,
+    MVGClassifier,
+    MVGStackingClassifier,
+    heuristic_config,
+    multiscale_representation,
+    paa,
+)
+from repro.data import (
+    Dataset,
+    TrainTestSplit,
+    archive_dataset_names,
+    load_archive_dataset,
+    load_ucr_dataset,
+)
+from repro.graph import (
+    Graph,
+    count_motifs,
+    horizontal_visibility_graph,
+    visibility_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MVGClassifier",
+    "MVGStackingClassifier",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "HEURISTIC_COLUMNS",
+    "heuristic_config",
+    "paa",
+    "multiscale_representation",
+    "Graph",
+    "visibility_graph",
+    "horizontal_visibility_graph",
+    "count_motifs",
+    "Dataset",
+    "TrainTestSplit",
+    "archive_dataset_names",
+    "load_archive_dataset",
+    "load_ucr_dataset",
+]

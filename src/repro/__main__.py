@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands map 1:1 onto the paper's artifacts:
+
+=============  ==================================================
+table2         heuristic validation (Table 2 + Wilcoxon footer)
+table3         benchmark vs the five baselines (Table 3)
+fig2..fig5     motif boxplots / heuristic scatter panels
+fig6 fig7      critical-difference diagrams
+fig8 fig9      MVG-vs-baseline scatter / runtime comparison
+fig10          FordA feature-importance case study
+datasets       list the surrogate archive with metadata
+all            run every artifact in order
+=============  ==================================================
+
+Global flags: ``--force`` ignores JSON caches; restrict datasets with
+the ``REPRO_DATASETS`` / ``REPRO_MAX_DATASETS`` environment variables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.archive import ARCHIVE_METADATA
+
+
+def _print_datasets() -> None:
+    from repro.experiments.reporting import format_table
+
+    rows = [
+        [
+            spec.name,
+            spec.n_classes,
+            f"{spec.paper_train}->{spec.train_size}",
+            f"{spec.paper_test}->{spec.test_size}",
+            f"{spec.paper_length}->{spec.length}",
+            spec.archetype,
+            "yes" if spec.swapped_in_table3 else "",
+        ]
+        for spec in ARCHIVE_METADATA.values()
+    ]
+    print(
+        format_table(
+            ["Dataset", "k", "train", "test", "length", "archetype", "swapped(T3)"],
+            rows,
+            title="Surrogate archive (paper size -> scaled size)",
+        )
+    )
+
+
+def _dispatch(command: str, force: bool) -> None:
+    if command == "datasets":
+        _print_datasets()
+        return
+    if command == "table2":
+        from repro.experiments.table2 import render_table2, run_table2
+
+        print(render_table2(run_table2(force=force)))
+        return
+    if command == "table3":
+        from repro.experiments.table3 import render_table3, run_table3
+
+        print(render_table3(run_table3(force=force)))
+        return
+    if command in ("fig2", "fig3", "fig4", "fig5", "fig8", "fig9"):
+        from repro.experiments.figures import render
+
+        print(render(command, force=force))
+        return
+    if command in ("fig6", "fig7"):
+        from repro.experiments.cd_diagrams import (
+            FIG6_METHODS,
+            FIG7_METHODS,
+            render_cd,
+            run_fig6,
+            run_fig7,
+        )
+
+        if command == "fig6":
+            print(render_cd(run_fig6(force=force), FIG6_METHODS, "Figure 6"))
+        else:
+            print(render_cd(run_fig7(force=force), FIG7_METHODS, "Figure 7"))
+        return
+    if command == "fig10":
+        from repro.experiments.case_study import render_case_study, run_case_study
+
+        print(render_case_study(run_case_study()))
+        return
+    raise ValueError(f"unknown command {command!r}")
+
+
+ALL_COMMANDS = (
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=ALL_COMMANDS + ("datasets", "all"),
+        help="artifact to regenerate",
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="ignore cached sweep results"
+    )
+    args = parser.parse_args(argv)
+    commands = ALL_COMMANDS if args.command == "all" else (args.command,)
+    for command in commands:
+        _dispatch(command, args.force)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Comparator TSC algorithms: the five baselines of Table 3 plus
+Bag-of-Patterns.
+
+Every baseline is implemented from its original paper:
+
+* 1NN-ED / 1NN-DTW — nearest neighbour with Euclidean / DTW distance;
+* SAX-VSM (Senin & Malinchik, ICDM 2013);
+* Fast Shapelets (Rakthanmanon & Keogh, SDM 2013);
+* Learning Shapelets (Grabocka et al., KDD 2014);
+* Bag-of-Patterns (Lin et al., 2012) as an additional reference.
+"""
+
+from repro.baselines.bop import BagOfPatternsClassifier
+from repro.baselines.boss import BOSSEnsembleClassifier
+from repro.baselines.fast_shapelets import FastShapeletsClassifier
+from repro.baselines.learning_shapelets import LearningShapeletsClassifier
+from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
+from repro.baselines.sax import paa_transform, sax_breakpoints, sax_words, sax_transform
+from repro.baselines.saxvsm import SAXVSMClassifier
+
+__all__ = [
+    "NearestNeighborEuclidean",
+    "NearestNeighborDTW",
+    "SAXVSMClassifier",
+    "FastShapeletsClassifier",
+    "LearningShapeletsClassifier",
+    "BagOfPatternsClassifier",
+    "BOSSEnsembleClassifier",
+    "paa_transform",
+    "sax_breakpoints",
+    "sax_transform",
+    "sax_words",
+]

@@ -1,0 +1,79 @@
+"""Bag-of-Patterns — Lin, Khade & Li, 2012.
+
+Each series becomes a histogram of its sliding-window SAX words;
+classification is nearest neighbour between histograms (Euclidean on the
+count vectors, as in the original rotation-invariant formulation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.baselines.sax import sax_words
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+class BagOfPatternsClassifier(BaseEstimator):
+    """1NN over per-series SAX word histograms."""
+
+    def __init__(
+        self,
+        window: int | float = 0.3,
+        word_length: int = 8,
+        alphabet_size: int = 4,
+    ):
+        self.window = window
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+
+    def _resolve_window(self, length: int) -> int:
+        window = self.window
+        if isinstance(window, float):
+            window = int(round(window * length))
+        return min(max(window, self.word_length), length)
+
+    def _bag(self, series: np.ndarray) -> Counter:
+        return Counter(
+            sax_words(series, self._window, self.word_length, self.alphabet_size)
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BagOfPatternsClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self._window = self._resolve_window(X.shape[1])
+        bags = [self._bag(series) for series in X]
+        vocabulary = sorted(set().union(*bags)) if bags else []
+        self._vocab_index = {word: i for i, word in enumerate(vocabulary)}
+        self._train_vectors = np.zeros((X.shape[0], len(vocabulary)))
+        for row, bag in enumerate(bags):
+            for word, count in bag.items():
+                self._train_vectors[row, self._vocab_index[word]] = count
+        self._y = y
+        return self
+
+    def _vectorize(self, X: np.ndarray) -> np.ndarray:
+        out = np.zeros((X.shape[0], len(self._vocab_index)))
+        for row, series in enumerate(X):
+            for word, count in self._bag(series).items():
+                idx = self._vocab_index.get(word)
+                if idx is not None:
+                    out[row, idx] = count
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        vectors = self._vectorize(np.asarray(X, dtype=np.float64))
+        sq = (
+            np.sum(vectors**2, axis=1)[:, None]
+            + np.sum(self._train_vectors**2, axis=1)[None, :]
+            - 2.0 * vectors @ self._train_vectors.T
+        )
+        return self._y[np.argmin(sq, axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        predictions = self.predict(X)
+        out = np.zeros((len(predictions), self.classes_.size))
+        out[np.arange(len(predictions)), np.searchsorted(self.classes_, predictions)] = 1.0
+        return out

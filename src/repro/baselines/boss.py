@@ -1,0 +1,200 @@
+"""BOSS — Bag-of-SFA-Symbols (Schäfer, DMKD 2015).
+
+Cited by the paper's related-work section as the Fourier-based
+bag-of-patterns competitor.  The pipeline:
+
+1. **SFA symbolisation**: every sliding window is transformed with the
+   DFT; the first ``word_length`` low-frequency coefficients (optionally
+   dropping the DC term for offset invariance) are quantised per
+   coefficient with Multiple Coefficient Binning (MCB) — quantile
+   breakpoints learned from the training windows.
+2. Each series becomes a histogram of its SFA words (with numerosity
+   reduction).
+3. Classification is 1NN under the *BOSS distance*: a squared histogram
+   difference summed only over words present in the query.
+4. The full classifier is a small ensemble over window sizes, keeping
+   every size whose leave-one-out training accuracy is within ``factor``
+   of the best and majority-voting their predictions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+def _sliding_windows(X: np.ndarray, window: int) -> np.ndarray:
+    return np.lib.stride_tricks.sliding_window_view(X, window, axis=1)
+
+
+class _SFA:
+    """Symbolic Fourier Approximation with MCB binning."""
+
+    def __init__(self, word_length: int, alphabet_size: int, mean_norm: bool):
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+        self.mean_norm = mean_norm
+
+    def _coefficients(self, windows: np.ndarray) -> np.ndarray:
+        """Real-imag interleaved low-frequency DFT coefficients."""
+        # Normalise each window to unit variance (amplitude invariance).
+        std = windows.std(axis=-1, keepdims=True)
+        normalized = windows / np.where(std < 1e-12, 1.0, std)
+        transformed = np.fft.rfft(normalized, axis=-1)
+        start = 1 if self.mean_norm else 0  # drop DC for offset invariance
+        needed = (self.word_length + 1) // 2 + start
+        coeffs = transformed[..., start:needed]
+        interleaved = np.empty(coeffs.shape[:-1] + (2 * coeffs.shape[-1],))
+        interleaved[..., 0::2] = coeffs.real
+        interleaved[..., 1::2] = coeffs.imag
+        return interleaved[..., : self.word_length]
+
+    def fit(self, windows: np.ndarray) -> "_SFA":
+        """Learn MCB quantile breakpoints from training windows."""
+        coeffs = self._coefficients(windows).reshape(-1, self.word_length)
+        quantiles = np.linspace(0, 100, self.alphabet_size + 1)[1:-1]
+        self.breakpoints_ = np.percentile(coeffs, quantiles, axis=0)  # (a-1, l)
+        return self
+
+    def transform_words(self, windows: np.ndarray) -> np.ndarray:
+        """Integer-encoded SFA words, shape = windows.shape[:-1]."""
+        coeffs = self._coefficients(windows)
+        symbols = np.zeros(coeffs.shape, dtype=np.int64)
+        for position in range(self.word_length):
+            symbols[..., position] = np.searchsorted(
+                np.sort(self.breakpoints_[:, position]), coeffs[..., position]
+            )
+        # Pack the symbol sequence into a single integer word.
+        base = self.alphabet_size
+        words = np.zeros(symbols.shape[:-1], dtype=np.int64)
+        for position in range(self.word_length):
+            words = words * base + symbols[..., position]
+        return words
+
+
+def _histograms(words: np.ndarray) -> list[Counter]:
+    """Per-series word histograms with numerosity reduction."""
+    out = []
+    for row in words:
+        bag: Counter = Counter()
+        previous = None
+        for word in row:
+            if word != previous:
+                bag[int(word)] += 1
+                previous = word
+        out.append(bag)
+    return out
+
+
+def boss_distance(query: Counter, reference: Counter) -> float:
+    """Asymmetric BOSS distance: squared differences over the query's words."""
+    return float(
+        sum((count - reference.get(word, 0)) ** 2 for word, count in query.items())
+    )
+
+
+class _SingleBOSS:
+    """One window-size BOSS model: SFA + histograms + 1NN."""
+
+    def __init__(self, window: int, word_length: int, alphabet_size: int, mean_norm: bool):
+        self.window = window
+        self.sfa = _SFA(word_length, alphabet_size, mean_norm)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_SingleBOSS":
+        windows = _sliding_windows(X, self.window)
+        self.sfa.fit(windows.reshape(-1, self.window))
+        self.histograms_ = _histograms(self.sfa.transform_words(windows))
+        self.y_ = y
+        return self
+
+    def _predict_bags(self, bags: list[Counter], loo: bool = False) -> np.ndarray:
+        """1NN under the BOSS distance; ``loo`` skips the same-index
+        reference (leave-one-out on the training bags)."""
+        out = np.empty(len(bags), dtype=self.y_.dtype)
+        for i, bag in enumerate(bags):
+            best = np.inf
+            best_label = self.y_[0]
+            for j, reference in enumerate(self.histograms_):
+                if loo and j == i:
+                    continue
+                distance = boss_distance(bag, reference)
+                if distance < best:
+                    best = distance
+                    best_label = self.y_[j]
+            out[i] = best_label
+        return out
+
+    def loo_accuracy(self) -> float:
+        """Leave-one-out accuracy on the training set (ensemble scoring)."""
+        predictions = self._predict_bags(self.histograms_, loo=True)
+        return float(np.mean(predictions == self.y_))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        windows = _sliding_windows(X, self.window)
+        bags = _histograms(self.sfa.transform_words(windows))
+        return self._predict_bags(bags)
+
+
+class BOSSEnsembleClassifier(BaseEstimator):
+    """BOSS ensemble over window sizes with majority voting.
+
+    Parameters follow Schäfer's defaults scaled to short series:
+    ``word_length`` 8, ``alphabet_size`` 4, windows spanning 15-60% of
+    the series, retention ``factor`` 0.92.
+    """
+
+    def __init__(
+        self,
+        word_length: int = 8,
+        alphabet_size: int = 4,
+        window_fractions: tuple[float, ...] = (0.15, 0.25, 0.4, 0.6),
+        factor: float = 0.92,
+        mean_norm: bool = True,
+    ):
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+        self.window_fractions = window_fractions
+        self.factor = factor
+        self.mean_norm = mean_norm
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BOSSEnsembleClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        length = X.shape[1]
+        windows = sorted(
+            {
+                min(max(int(round(f * length)), self.word_length + 2), length)
+                for f in self.window_fractions
+            }
+        )
+        scored: list[tuple[float, _SingleBOSS]] = []
+        for window in windows:
+            model = _SingleBOSS(
+                window, self.word_length, self.alphabet_size, self.mean_norm
+            ).fit(X, y)
+            scored.append((model.loo_accuracy(), model))
+        best = max(score for score, _ in scored)
+        self.members_ = [m for score, m in scored if score >= self.factor * best]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.stack([member.predict(X) for member in self.members_])
+        out = np.empty(X.shape[0], dtype=votes.dtype)
+        for i in range(X.shape[0]):
+            values, counts = np.unique(votes[:, i], return_counts=True)
+            out[i] = values[np.argmax(counts)]
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        votes = np.stack([member.predict(X) for member in self.members_])
+        out = np.zeros((votes.shape[1], self.classes_.size))
+        for i in range(votes.shape[1]):
+            for vote in votes[:, i]:
+                out[i, int(np.searchsorted(self.classes_, vote))] += 1
+        return out / len(self.members_)

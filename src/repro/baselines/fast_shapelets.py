@@ -1,0 +1,289 @@
+"""Fast Shapelets — Rakthanmanon & Keogh, SDM 2013.
+
+The algorithm accelerates shapelet discovery by working in SAX space:
+
+1. every subsequence of each candidate length is symbolised with SAX;
+2. random masking (random projection) is applied ``n_projections``
+   times; series sharing a masked word collide, and per-class collision
+   counts give each word a *distinguishing power* score;
+3. the top-scoring words are mapped back to raw subsequences and only
+   those few candidates are evaluated exactly (information gain over the
+   distance order-line);
+4. the best shapelet/threshold splits the data and the procedure
+   recurses, yielding a shapelet decision tree.
+
+Per-length SAX vocabularies and z-normalised window tensors are
+precomputed once at ``fit`` time and shared across tree nodes, so the
+recursion only re-scores projections and evaluates a handful of
+candidates exactly.  FS is also the paper's runtime yard-stick (Table 3
+/ Figure 9): it is *expected* to remain slower than MVG.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.sax import sax_transform_batch
+from repro.data.dataset import z_normalize
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+def subsequence_distance(series: np.ndarray, shapelet: np.ndarray) -> float:
+    """Minimum z-normalised Euclidean distance between ``shapelet`` and any
+    window of ``series`` (length-normalised)."""
+    length = shapelet.size
+    windows = z_normalize(np.lib.stride_tricks.sliding_window_view(series, length))
+    diff = windows - shapelet[None, :]
+    return float(np.sqrt(np.min(np.sum(diff**2, axis=1)) / length))
+
+
+def _batch_subsequence_distances(
+    windows: np.ndarray, shapelet: np.ndarray
+) -> np.ndarray:
+    """Distances of one shapelet to many series at once.
+
+    ``windows`` is the pre-normalised ``(n_series, n_positions, length)``
+    tensor; returns ``(n_series,)`` minimum distances.
+    """
+    diff = windows - shapelet[None, None, :]
+    return np.sqrt(np.min(np.sum(diff**2, axis=2), axis=1) / shapelet.size)
+
+
+def _information_gain(labels_left: np.ndarray, labels_right: np.ndarray) -> float:
+    def entropy(labels: np.ndarray) -> float:
+        if labels.size == 0:
+            return 0.0
+        _, counts = np.unique(labels, return_counts=True)
+        p = counts / labels.size
+        return float(-(p * np.log2(p)).sum())
+
+    total = labels_left.size + labels_right.size
+    parent = entropy(np.concatenate([labels_left, labels_right]))
+    child = (
+        labels_left.size * entropy(labels_left)
+        + labels_right.size * entropy(labels_right)
+    ) / total
+    return parent - child
+
+
+@dataclass
+class _LengthIndex:
+    """Precomputed per-length structures shared by all tree nodes."""
+
+    length: int
+    word_length: int
+    windows: np.ndarray  # (n, n_positions, length), z-normalised
+    words_per_series: list[set[str]]
+    occurrences: dict[str, tuple[int, int]]  # word -> (series, start)
+
+
+class _ShapeletNode:
+    """Internal tree node: shapelet + distance threshold, or a leaf label."""
+
+    __slots__ = ("shapelet", "threshold", "left", "right", "label")
+
+    def __init__(self) -> None:
+        self.shapelet: np.ndarray | None = None
+        self.threshold = 0.0
+        self.left: "_ShapeletNode | None" = None
+        self.right: "_ShapeletNode | None" = None
+        self.label: int | None = None
+
+
+class FastShapeletsClassifier(BaseEstimator):
+    """Shapelet decision tree discovered through SAX random projection.
+
+    Parameters
+    ----------
+    lengths:
+        Candidate shapelet lengths as fractions of the series length.
+    n_projections:
+        Random masking rounds per length.
+    top_k:
+        SAX words promoted to exact evaluation per length.
+    sax_length / alphabet_size:
+        SAX word parameters (the original uses 16 symbols, cardinality 4).
+    """
+
+    def __init__(
+        self,
+        lengths: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4),
+        n_projections: int = 10,
+        top_k: int = 10,
+        sax_length: int = 16,
+        alphabet_size: int = 4,
+        max_depth: int = 6,
+        random_state: int | None = None,
+    ):
+        self.lengths = lengths
+        self.n_projections = n_projections
+        self.top_k = top_k
+        self.sax_length = sax_length
+        self.alphabet_size = alphabet_size
+        self.max_depth = max_depth
+        self.random_state = random_state
+
+    # -- precomputation -------------------------------------------------------
+    def _build_index(self, X: np.ndarray, length: int) -> _LengthIndex:
+        word_length = min(self.sax_length, length)
+        n, series_length = X.shape
+        n_positions = series_length - length + 1
+        raw_windows = np.lib.stride_tricks.sliding_window_view(X, length, axis=1)
+        windows = z_normalize(raw_windows)
+        words_per_series: list[set[str]] = []
+        occurrences: dict[str, tuple[int, int]] = {}
+        for idx in range(n):
+            words = sax_transform_batch(
+                windows[idx], word_length, self.alphabet_size, normalize=False
+            )
+            unique = set()
+            for start in range(n_positions):
+                word = words[start]
+                unique.add(word)
+                occurrences.setdefault(word, (idx, start))
+            words_per_series.append(unique)
+        return _LengthIndex(
+            length=length,
+            word_length=word_length,
+            windows=windows,
+            words_per_series=words_per_series,
+            occurrences=occurrences,
+        )
+
+    # -- candidate discovery ----------------------------------------------------
+    def _sax_candidates(
+        self,
+        index: _LengthIndex,
+        node_rows: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[tuple[int, int]]:
+        """Top SAX words by distinguishing power within one tree node."""
+        labels = y[node_rows]
+        classes = np.unique(labels)
+        class_sizes = {int(cls): int(np.sum(labels == cls)) for cls in classes}
+        scores: dict[str, float] = defaultdict(float)
+        mask_size = max(1, index.word_length // 2)
+        for _ in range(self.n_projections):
+            mask = set(
+                rng.choice(index.word_length, size=mask_size, replace=False).tolist()
+            )
+            collision: dict[str, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+            projected_of: dict[str, set[str]] = defaultdict(set)
+            for row in node_rows:
+                label = int(y[row])
+                seen = set()
+                # Sorted iteration keeps the classifier deterministic
+                # across processes (set order depends on PYTHONHASHSEED).
+                for word in sorted(index.words_per_series[row]):
+                    projected = "".join(
+                        "*" if pos in mask else ch for pos, ch in enumerate(word)
+                    )
+                    projected_of[projected].add(word)
+                    if projected not in seen:
+                        collision[projected][label] += 1
+                        seen.add(projected)
+            for projected, class_hits in collision.items():
+                # Distinguishing power: distance of the per-class collision
+                # profile from uniform membership.
+                power = sum(
+                    abs(class_hits.get(int(cls), 0) - class_sizes[int(cls)] / 2)
+                    for cls in classes
+                )
+                for word in projected_of[projected]:
+                    scores[word] += power
+
+        # Tie-break on the word itself so rankings are hash-seed independent.
+        ranked = sorted(scores, key=lambda w: (-scores[w], w))
+        return [index.occurrences[word] for word in ranked[: self.top_k]]
+
+    def _best_shapelet(
+        self, node_rows: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float, np.ndarray] | None:
+        """Best (shapelet, threshold, node distances) over all lengths."""
+        labels = y[node_rows]
+        best = None
+        best_gain = 0.0
+        for index in self._indexes:
+            node_windows = index.windows[node_rows]
+            for series_idx, start in self._sax_candidates(index, node_rows, y, rng):
+                shapelet = index.windows[series_idx, start]
+                distances = _batch_subsequence_distances(node_windows, shapelet)
+                order = np.argsort(distances)
+                sorted_d = distances[order]
+                sorted_y = labels[order]
+                for cut in range(1, node_rows.size):
+                    if sorted_d[cut - 1] == sorted_d[cut]:
+                        continue
+                    gain = _information_gain(sorted_y[:cut], sorted_y[cut:])
+                    if gain > best_gain:
+                        best_gain = gain
+                        threshold = 0.5 * (sorted_d[cut - 1] + sorted_d[cut])
+                        best = (shapelet.copy(), float(threshold), distances)
+        return best
+
+    # -- tree construction --------------------------------------------------------
+    def _build(
+        self, node_rows: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _ShapeletNode:
+        node = _ShapeletNode()
+        labels = y[node_rows]
+        values, counts = np.unique(labels, return_counts=True)
+        if values.size == 1 or depth >= self.max_depth or node_rows.size < 4:
+            node.label = int(values[np.argmax(counts)])
+            return node
+        found = self._best_shapelet(node_rows, y, rng)
+        if found is None:
+            node.label = int(values[np.argmax(counts)])
+            return node
+        shapelet, threshold, distances = found
+        mask = distances <= threshold
+        if not np.any(mask) or np.all(mask):
+            node.label = int(values[np.argmax(counts)])
+            return node
+        node.shapelet = shapelet
+        node.threshold = threshold
+        node.left = self._build(node_rows[mask], y, depth + 1, rng)
+        node.right = self._build(node_rows[~mask], y, depth + 1, rng)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "FastShapeletsClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.random_state)
+        series_length = X.shape[1]
+        candidate_lengths = sorted(
+            {
+                max(4, int(round(fraction * series_length)))
+                for fraction in self.lengths
+            }
+        )
+        self._indexes = [
+            self._build_index(X, length)
+            for length in candidate_lengths
+            if length <= series_length
+        ]
+        self._root = self._build(np.arange(X.shape[0]), y.astype(np.int64), 0, rng)
+        self._indexes = []  # release the window tensors
+        return self
+
+    def _classify(self, series: np.ndarray) -> int:
+        node = self._root
+        while node.label is None:
+            distance = subsequence_distance(series, node.shapelet)
+            node = node.left if distance <= node.threshold else node.right
+        return node.label
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([self._classify(series) for series in X])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        predictions = self.predict(X)
+        out = np.zeros((X.shape[0], self.classes_.size))
+        out[np.arange(X.shape[0]), np.searchsorted(self.classes_, predictions)] = 1.0
+        return out

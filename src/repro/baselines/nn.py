@@ -1,0 +1,71 @@
+"""Distance-based nearest-neighbour baselines (1NN-ED, 1NN-DTW)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.dtw import nearest_neighbor_dtw
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+class NearestNeighborEuclidean(BaseEstimator):
+    """1NN with Euclidean distance, fully vectorised."""
+
+    def __init__(self) -> None:
+        pass
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NearestNeighborEuclidean":
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        sq = (
+            np.sum(X**2, axis=1)[:, None]
+            + np.sum(self._X**2, axis=1)[None, :]
+            - 2.0 * (X @ self._X.T)
+        )
+        return self._y[np.argmin(sq, axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        predictions = self.predict(X)
+        out = np.zeros((X.shape[0], self.classes_.size))
+        out[np.arange(X.shape[0]), np.searchsorted(self.classes_, predictions)] = 1.0
+        return out
+
+
+class NearestNeighborDTW(BaseEstimator):
+    """1NN with (optionally banded) DTW distance and lower-bound pruning.
+
+    ``window`` follows :func:`repro.distance.dtw.dtw_distance`; the
+    common UCR practice of a 10% warping band is the default.
+    """
+
+    def __init__(self, window: int | float | None = 0.1):
+        self.window = window
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NearestNeighborDTW":
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=self._y.dtype)
+        for i, query in enumerate(X):
+            idx, _ = nearest_neighbor_dtw(query, self._X, window=self.window)
+            out[i] = self._y[idx]
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        predictions = self.predict(X)
+        out = np.zeros((X.shape[0], self.classes_.size))
+        out[np.arange(X.shape[0]), np.searchsorted(self.classes_, predictions)] = 1.0
+        return out

@@ -1,0 +1,38 @@
+"""The paper's contribution: multiscale visibility graphs and the MVG
+feature-extraction / classification pipeline."""
+
+from repro.core.config import (
+    FeatureConfig,
+    HEURISTIC_COLUMNS,
+    heuristic_config,
+)
+from repro.core.graph_kernel import WLVisibilityKernelClassifier
+from repro.core.features import (
+    FeatureExtractor,
+    extract_feature_vector,
+    graph_feature_dict,
+)
+from repro.core.multiscale import (
+    multiscale_approximations,
+    multiscale_representation,
+    paa,
+)
+from repro.core.pipeline import MVGClassifier, default_param_grid
+from repro.core.stacking_pipeline import MVGStackingClassifier, default_families
+
+__all__ = [
+    "paa",
+    "multiscale_approximations",
+    "multiscale_representation",
+    "FeatureConfig",
+    "heuristic_config",
+    "HEURISTIC_COLUMNS",
+    "FeatureExtractor",
+    "graph_feature_dict",
+    "extract_feature_vector",
+    "MVGClassifier",
+    "default_param_grid",
+    "MVGStackingClassifier",
+    "default_families",
+    "WLVisibilityKernelClassifier",
+]

@@ -1,0 +1,104 @@
+"""Feature-extraction configurations, including the paper's heuristic grid.
+
+Table 2 evaluates seven feature-set combinations, labelled A-G:
+
+====  ======  ==========  ========
+col   scales  graphs      features
+====  ======  ==========  ========
+A     UVG     HVG         MPDs
+B     UVG     HVG         All
+C     UVG     VG          MPDs
+D     UVG     VG          All
+E     UVG     VG + HVG    All
+F     AMVG    VG + HVG    All
+G     MVG     VG + HVG    All
+====  ======  ==========  ========
+
+``scales``: UVG uses only the original series; AMVG only the downscaled
+approximations; MVG the union of both (Definitions 3.1-3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multiscale import DEFAULT_TAU
+
+_VALID_SCALES = ("uvg", "amvg", "mvg")
+_VALID_GRAPHS = ("hvg", "vg", "both")
+_VALID_FEATURES = ("mpds", "all", "extended")
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """What to build and what to extract.
+
+    Attributes
+    ----------
+    scales:
+        ``"uvg"`` (original series only), ``"amvg"`` (approximations
+        only) or ``"mvg"`` (both).
+    graphs:
+        ``"hvg"``, ``"vg"`` or ``"both"``.
+    features:
+        ``"mpds"`` (motif probability distributions only), ``"all"``
+        (MPDs + density, k-core, assortativity, degree statistics), or
+        ``"extended"`` (``"all"`` plus the future-work features of
+        Section 6: degree entropy, bipartivity, centrality, clustering).
+    tau:
+        Minimum scale size (Section 3).
+    """
+
+    scales: str = "mvg"
+    graphs: str = "both"
+    features: str = "all"
+    tau: int = DEFAULT_TAU
+
+    def __post_init__(self) -> None:
+        if self.scales not in _VALID_SCALES:
+            raise ValueError(f"scales must be one of {_VALID_SCALES}, got {self.scales!r}")
+        if self.graphs not in _VALID_GRAPHS:
+            raise ValueError(f"graphs must be one of {_VALID_GRAPHS}, got {self.graphs!r}")
+        if self.features not in _VALID_FEATURES:
+            raise ValueError(
+                f"features must be one of {_VALID_FEATURES}, got {self.features!r}"
+            )
+        if self.tau < 0:
+            raise ValueError("tau must be non-negative")
+
+    @property
+    def include_stats(self) -> bool:
+        """Whether the non-MPD statistical features are extracted."""
+        return self.features in ("all", "extended")
+
+    @property
+    def include_extended(self) -> bool:
+        """Whether the Section-6 future-work features are extracted."""
+        return self.features == "extended"
+
+    def graph_types(self) -> tuple[str, ...]:
+        """The graph kinds to build per scale."""
+        return ("vg", "hvg") if self.graphs == "both" else (self.graphs,)
+
+
+#: The Table 2 heuristic columns.
+HEURISTIC_COLUMNS: dict[str, FeatureConfig] = {
+    "A": FeatureConfig(scales="uvg", graphs="hvg", features="mpds"),
+    "B": FeatureConfig(scales="uvg", graphs="hvg", features="all"),
+    "C": FeatureConfig(scales="uvg", graphs="vg", features="mpds"),
+    "D": FeatureConfig(scales="uvg", graphs="vg", features="all"),
+    "E": FeatureConfig(scales="uvg", graphs="both", features="all"),
+    "F": FeatureConfig(scales="amvg", graphs="both", features="all"),
+    "G": FeatureConfig(scales="mvg", graphs="both", features="all"),
+}
+
+
+def heuristic_config(column: str) -> FeatureConfig:
+    """The :class:`FeatureConfig` of a Table 2 column label (A-G)."""
+    try:
+        return HEURISTIC_COLUMNS[column.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown heuristic column {column!r}; expected one of "
+            f"{sorted(HEURISTIC_COLUMNS)}"
+        ) from None

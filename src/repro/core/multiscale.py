@@ -1,0 +1,65 @@
+"""Multiscale time-series approximation (Definitions 3.1 and 3.2).
+
+A series ``T0`` of length ``n`` is repeatedly halved with Piecewise
+Aggregate Approximation: ``|T_i| = n / 2^i``, stopping before a scale
+would drop to ``tau`` or fewer points (τ guards against "tiny and
+meaningless representations"; the paper uses τ = 15 and stresses it is
+an optimisation knob, not a tuned parameter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default minimum scale size (Section 3: "it is natural to set τ to a
+#: small integer (e.g., τ = 15)").
+DEFAULT_TAU = 15
+
+
+def paa(series: np.ndarray, n_segments: int) -> np.ndarray:
+    """Piecewise Aggregate Approximation (Equation 1).
+
+    Reduces ``series`` to ``n_segments`` segment means.  Lengths that are
+    not multiples of ``n_segments`` use the standard generalised PAA with
+    fractional point weighting.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-dimensional, got shape {series.shape}")
+    n = series.size
+    if n_segments <= 0:
+        raise ValueError("n_segments must be positive")
+    if n_segments > n:
+        raise ValueError(f"n_segments={n_segments} exceeds series length {n}")
+    if n % n_segments == 0:
+        return series.reshape(n_segments, n // n_segments).mean(axis=1)
+    # Generalised PAA: replicate each point n_segments times and regroup,
+    # which weights boundary points fractionally (and preserves the mean).
+    indices = np.arange(n * n_segments) // n_segments
+    grouped = series[indices].reshape(n_segments, n)
+    return grouped.mean(axis=1)
+
+
+def multiscale_approximations(
+    series: np.ndarray, tau: int = DEFAULT_TAU
+) -> list[np.ndarray]:
+    """Downscaled approximations ``(T1, T2, ..., Tm)`` of Definition 3.1.
+
+    Scale ``i`` has length ``n // 2^i``; scales with ``tau`` or fewer
+    points are omitted.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    out: list[np.ndarray] = []
+    length = series.size // 2
+    while length > tau:
+        out.append(paa(series, length))
+        length //= 2
+    return out
+
+
+def multiscale_representation(
+    series: np.ndarray, tau: int = DEFAULT_TAU
+) -> list[np.ndarray]:
+    """Full multiscale representation ``(T0, T1, ..., Tm)`` of Definition 3.2."""
+    series = np.asarray(series, dtype=np.float64)
+    return [series] + multiscale_approximations(series, tau)

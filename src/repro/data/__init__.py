@@ -1,0 +1,28 @@
+"""Datasets: containers, synthetic generator families and the archive.
+
+The paper evaluates on 39 datasets of the UCR / UEA-UCR archive.  The
+archive itself is not redistributable here, so :mod:`repro.data.archive`
+provides a deterministic synthetic surrogate with the same dataset names,
+class counts and (scaled) sizes; :mod:`repro.data.ucr` reads the real UCR
+file format when a local copy is available.
+"""
+
+from repro.data.archive import (
+    ARCHIVE_METADATA,
+    DatasetSpec,
+    archive_dataset_names,
+    load_archive_dataset,
+)
+from repro.data.dataset import Dataset, TrainTestSplit, z_normalize
+from repro.data.ucr import load_ucr_dataset
+
+__all__ = [
+    "Dataset",
+    "TrainTestSplit",
+    "z_normalize",
+    "DatasetSpec",
+    "ARCHIVE_METADATA",
+    "archive_dataset_names",
+    "load_archive_dataset",
+    "load_ucr_dataset",
+]

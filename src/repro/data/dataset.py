@@ -1,0 +1,107 @@
+"""Dataset containers shared by the pipeline, baselines and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def z_normalize(series: np.ndarray, epsilon: float = 1e-8) -> np.ndarray:
+    """Z-normalise one series or a batch of series (last axis).
+
+    Series with (near-)zero standard deviation are centred only, which
+    mirrors the common UCR preprocessing convention and avoids blowing up
+    constant subsequences.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    mean = values.mean(axis=-1, keepdims=True)
+    std = values.std(axis=-1, keepdims=True)
+    return (values - mean) / np.where(std < epsilon, 1.0, std)
+
+
+@dataclass
+class Dataset:
+    """A labelled time series collection.
+
+    Attributes
+    ----------
+    X:
+        ``(n_samples, length)`` float array; all series share one length
+        (the univariate, equal-length setting of the paper).
+    y:
+        ``(n_samples,)`` integer class labels.
+    name:
+        Human-readable dataset name.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {self.X.shape}")
+        if self.y.shape != (self.X.shape[0],):
+            raise ValueError(
+                f"y shape {self.y.shape} does not match {self.X.shape[0]} samples"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of series."""
+        return self.X.shape[0]
+
+    @property
+    def length(self) -> int:
+        """Length (dimensionality) of each series."""
+        return self.X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return int(np.unique(self.y).size)
+
+    def classes(self) -> np.ndarray:
+        """Sorted distinct labels."""
+        return np.unique(self.y)
+
+    def class_counts(self) -> dict[int, int]:
+        """Label -> number of samples."""
+        labels, counts = np.unique(self.y, return_counts=True)
+        return {int(label): int(count) for label, count in zip(labels, counts)}
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """New dataset restricted to ``indices`` (copy)."""
+        idx = np.asarray(indices)
+        return Dataset(self.X[idx].copy(), self.y[idx].copy(), name=self.name)
+
+    def z_normalized(self) -> "Dataset":
+        """Copy with every series z-normalised."""
+        return Dataset(z_normalize(self.X), self.y.copy(), name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n_samples={self.n_samples}, "
+            f"length={self.length}, n_classes={self.n_classes})"
+        )
+
+
+@dataclass
+class TrainTestSplit:
+    """The default train/test orientation of an archive dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def name(self) -> str:
+        """Dataset name (shared by both halves)."""
+        return self.train.name
+
+    def swapped(self) -> "TrainTestSplit":
+        """The opposite orientation (the paper notes the UEA-UCR repository
+        swaps train and test for several datasets, e.g. FordA)."""
+        return TrainTestSplit(train=self.test, test=self.train)

@@ -1,0 +1,314 @@
+"""Synthetic time-series generator families.
+
+These families power the UCR-surrogate archive (see
+:mod:`repro.data.archive`).  Each family produces a single series of a
+requested length from a parameter dictionary and a numpy ``Generator``;
+class structure is created by giving each class its own parameters, and
+intra-class variation by phase jitter, random circular shifts, smooth
+time warping, amplitude scaling and additive noise.
+
+Random shifts/warps intentionally break global alignment: the paper's
+motivation is that distance-based methods (1NN-ED) suffer under
+misalignment while local/structural methods (shapelets, MVG) do not, and
+the surrogate data must reproduce that regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+GeneratorFn = Callable[[int, np.random.Generator, dict], np.ndarray]
+
+_FAMILIES: dict[str, GeneratorFn] = {}
+
+
+def register_family(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    """Decorator registering a generator family under ``name``."""
+
+    def decorator(fn: GeneratorFn) -> GeneratorFn:
+        if name in _FAMILIES:
+            raise ValueError(f"generator family {name!r} already registered")
+        _FAMILIES[name] = fn
+        return fn
+
+    return decorator
+
+
+def family_names() -> tuple[str, ...]:
+    """Registered family names."""
+    return tuple(sorted(_FAMILIES))
+
+
+@register_family("harmonic")
+def harmonic(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Sum of sinusoids: ``freqs`` (cycles per series), ``amps``, with
+    per-sample random phases when ``phase_jitter`` (default True)."""
+    t = np.linspace(0.0, 1.0, length, endpoint=False)
+    freqs = np.atleast_1d(np.asarray(params["freqs"], dtype=np.float64))
+    amps = np.atleast_1d(np.asarray(params.get("amps", np.ones_like(freqs))))
+    jitter = params.get("phase_jitter", True)
+    out = np.zeros(length)
+    for freq, amp in zip(freqs, amps, strict=True):
+        phase = rng.uniform(0, 2 * np.pi) if jitter else 0.0
+        out += amp * np.sin(2 * np.pi * freq * t + phase)
+    return out
+
+
+@register_family("bumps")
+def gaussian_bumps(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Superposition of Gaussian bumps (outline / spectrum shapes).
+
+    ``centers``, ``widths``, ``heights`` are fractions of the series
+    length / amplitudes; ``center_jitter`` perturbs bump locations.
+    """
+    t = np.linspace(0.0, 1.0, length)
+    centers = np.atleast_1d(np.asarray(params["centers"], dtype=np.float64))
+    widths = np.atleast_1d(np.asarray(params["widths"], dtype=np.float64))
+    heights = np.atleast_1d(np.asarray(params["heights"], dtype=np.float64))
+    jitter = params.get("center_jitter", 0.02)
+    out = np.zeros(length)
+    for center, width, height in zip(centers, widths, heights, strict=True):
+        c = center + rng.normal(0.0, jitter)
+        out += height * np.exp(-0.5 * ((t - c) / width) ** 2)
+    # Optional high-frequency ripple: a *local texture* cue that barely
+    # moves raw distances but changes visibility structure markedly.
+    ripple_amp = float(params.get("ripple_amp", 0.0))
+    if ripple_amp > 0.0:
+        ripple_freq = float(params.get("ripple_freq", 16.0))
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        out += ripple_amp * np.sin(2.0 * np.pi * ripple_freq * t + phase)
+    return out
+
+
+@register_family("cbf")
+def cylinder_bell_funnel(
+    length: int, rng: np.random.Generator, params: dict
+) -> np.ndarray:
+    """The classic cylinder/bell/funnel shapes (``shape`` parameter)."""
+    shape = params["shape"]
+    a = int(rng.integers(length // 8, length // 3))
+    b = int(rng.integers(2 * length // 3, length - length // 8))
+    amplitude = 6.0 + rng.normal(0.0, 1.0)
+    out = np.zeros(length)
+    span = max(b - a, 1)
+    idx = np.arange(a, b)
+    if shape == "cylinder":
+        out[a:b] = amplitude
+    elif shape == "bell":
+        out[a:b] = amplitude * (idx - a) / span
+    elif shape == "funnel":
+        out[a:b] = amplitude * (b - idx) / span
+    else:
+        raise ValueError(f"unknown cbf shape {shape!r}")
+    return out
+
+
+@register_family("random_walk")
+def random_walk(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Gaussian random walk with ``drift`` and ``vol``; detrended when
+    ``detrend`` (default True) because VGs dislike monotone trends."""
+    steps = rng.normal(params.get("drift", 0.0), params.get("vol", 1.0), size=length)
+    walk = np.cumsum(steps)
+    if params.get("detrend", True):
+        t = np.arange(length, dtype=np.float64)
+        slope, intercept = np.polyfit(t, walk, 1)
+        walk = walk - (slope * t + intercept)
+    return walk
+
+
+@register_family("ar")
+def autoregressive(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """AR(p) process with coefficients ``phi`` (list) and unit innovations."""
+    phi = np.atleast_1d(np.asarray(params["phi"], dtype=np.float64))
+    p = phi.size
+    burn = 4 * p + 16
+    innov = rng.normal(0.0, 1.0, size=length + burn)
+    out = np.zeros(length + burn)
+    for i in range(length + burn):
+        history = out[max(0, i - p) : i][::-1]
+        out[i] = float(phi[: history.size] @ history) + innov[i]
+    return out[burn:]
+
+
+@register_family("logistic_map")
+def logistic_map(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Chaotic logistic map ``x <- r x (1 - x)`` with optional noise."""
+    r = params.get("r", 4.0)
+    x = rng.uniform(0.2, 0.8)
+    out = np.empty(length)
+    for i in range(length):
+        x = r * x * (1.0 - x)
+        # Keep the orbit inside (0, 1) for r slightly below/above 4.
+        x = min(max(x, 1e-9), 1.0 - 1e-9)
+        out[i] = x
+    return out
+
+
+@register_family("steps")
+def step_profile(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Piecewise-constant device-usage profile.
+
+    ``levels`` is the palette of power levels, ``n_events`` the expected
+    number of on/off events, ``duty`` the fraction of time at high level.
+    """
+    levels = np.atleast_1d(np.asarray(params.get("levels", [0.0, 1.0])))
+    n_events = max(int(params.get("n_events", 4)), 1)
+    duty = float(params.get("duty", 0.4))
+    out = np.full(length, levels[0], dtype=np.float64)
+    for _ in range(int(rng.poisson(n_events)) + 1):
+        start = int(rng.integers(0, length))
+        duration = max(int(rng.exponential(duty * length / n_events)), 2)
+        level = levels[int(rng.integers(1, len(levels)))] if len(levels) > 1 else levels[0]
+        out[start : min(start + duration, length)] = level
+    return out
+
+
+@register_family("ecg")
+def ecg_beat(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Simplified PQRST heartbeat template repeated ``n_beats`` times.
+
+    The class-defining parameters are wave amplitudes (``p``, ``qrs``,
+    ``t``) and the ST-segment ``st_offset`` (elevation/depression), which
+    is how arrhythmia classes typically differ.
+    """
+    n_beats = int(params.get("n_beats", 2))
+    p_amp = float(params.get("p", 0.2))
+    qrs_amp = float(params.get("qrs", 1.0))
+    t_amp = float(params.get("t", 0.35))
+    st_offset = float(params.get("st_offset", 0.0))
+    beat_len = length / n_beats
+    t_axis = np.linspace(0.0, n_beats, length, endpoint=False) % 1.0
+    out = np.zeros(length)
+    jitter = rng.normal(0.0, 0.01)
+
+    def wave(center: float, width: float, amp: float) -> np.ndarray:
+        return amp * np.exp(-0.5 * ((t_axis - center - jitter) / width) ** 2)
+
+    out += wave(0.2, 0.035, p_amp)  # P
+    out += wave(0.37, 0.012, -0.15 * qrs_amp)  # Q
+    out += wave(0.40, 0.016, qrs_amp)  # R
+    out += wave(0.43, 0.012, -0.25 * qrs_amp)  # S
+    out += wave(0.62, 0.05, t_amp)  # T
+    out += st_offset * ((t_axis > 0.45) & (t_axis < 0.58))
+    del beat_len
+    return out
+
+
+@register_family("embedded_pattern")
+def embedded_pattern(length: int, rng: np.random.Generator, params: dict) -> np.ndarray:
+    """Noise with an optional short characteristic pattern embedded at a
+    random position (the ShapeletSim regime).
+
+    ``pattern`` is ``"triangle"``, ``"square"`` or ``"none"``;
+    ``pattern_frac`` controls the embedded length.
+    """
+    out = rng.normal(0.0, 1.0, size=length)
+    pattern = params.get("pattern", "none")
+    if pattern == "none":
+        return out
+    plen = max(int(params.get("pattern_frac", 0.15) * length), 4)
+    start = int(rng.integers(0, length - plen))
+    if pattern == "triangle":
+        shape = np.concatenate(
+            [np.linspace(0, 1, plen // 2), np.linspace(1, 0, plen - plen // 2)]
+        )
+    elif pattern == "square":
+        shape = np.ones(plen)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    out[start : start + plen] += 5.0 * shape
+    return out
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """Recipe for generating samples of one class.
+
+    Attributes
+    ----------
+    family:
+        Registered generator family name.
+    params:
+        Family parameters.
+    noise:
+        Standard deviation of additive Gaussian noise.
+    shift:
+        Maximum circular shift (samples) applied uniformly at random;
+        breaks global alignment.
+    warp:
+        Strength of a smooth random monotone time warp in [0, 1).
+    amplitude_jitter:
+        Multiplicative amplitude perturbation standard deviation.  VGs
+        are affine-invariant, so this degrades raw-distance methods
+        (1NN-ED) without affecting visibility structure — the regime the
+        paper's Section 2.1 describes.
+    offset_jitter:
+        Additive constant offset standard deviation (also affine).
+    spike_rate:
+        Expected fraction of samples hit by isolated spikes.  Spikes
+        create visibility-graph hubs, so per-class spike behaviour is
+        the kind of structure captured by degree statistics and
+        assortativity rather than motif distributions.
+    spike_amp:
+        Spike magnitude (in units of the series' standard deviation).
+    """
+
+    family: str
+    params: dict = field(default_factory=dict)
+    noise: float = 0.25
+    shift: int = 0
+    warp: float = 0.0
+    amplitude_jitter: float = 0.0
+    offset_jitter: float = 0.0
+    spike_rate: float = 0.0
+    spike_amp: float = 3.0
+
+    def generate(self, length: int, rng: np.random.Generator) -> np.ndarray:
+        """One synthetic series of ``length`` samples."""
+        try:
+            family_fn = _FAMILIES[self.family]
+        except KeyError:
+            raise ValueError(f"unknown generator family {self.family!r}") from None
+        series = family_fn(length, rng, self.params)
+        if self.warp > 0.0:
+            series = _time_warp(series, rng, self.warp)
+        if self.shift > 0:
+            series = np.roll(series, int(rng.integers(-self.shift, self.shift + 1)))
+        if self.amplitude_jitter > 0.0:
+            series = series * abs(1.0 + rng.normal(0.0, self.amplitude_jitter))
+        if self.offset_jitter > 0.0:
+            series = series + rng.normal(0.0, self.offset_jitter)
+        if self.noise > 0.0:
+            series = series + rng.normal(0.0, self.noise, size=length)
+        if self.spike_rate > 0.0:
+            n_spikes = int(rng.poisson(self.spike_rate * length))
+            if n_spikes:
+                positions = rng.choice(length, size=min(n_spikes, length), replace=False)
+                scale = max(float(series.std()), 1e-9)
+                signs = rng.choice([-1.0, 1.0], size=positions.size)
+                series = series.copy()
+                series[positions] += signs * self.spike_amp * scale
+        return series
+
+
+def _time_warp(series: np.ndarray, rng: np.random.Generator, strength: float) -> np.ndarray:
+    """Smooth random monotone time warp via knot perturbation."""
+    length = series.size
+    n_knots = 4
+    knots = np.linspace(0, length - 1, n_knots + 2)
+    warped = knots.copy()
+    warped[1:-1] += rng.normal(0.0, strength * length / (n_knots + 1), size=n_knots)
+    warped = np.sort(warped)
+    warped[0], warped[-1] = 0, length - 1
+    positions = np.interp(np.arange(length), knots, warped)
+    return np.interp(positions, np.arange(length), series)
+
+
+def generate_class_samples(
+    spec: ClassSpec, n_samples: int, length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n_samples, length)`` array of samples from one class spec."""
+    return np.stack([spec.generate(length, rng) for _ in range(n_samples)])

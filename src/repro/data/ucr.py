@@ -1,0 +1,72 @@
+"""Reader for the real UCR Time Series Classification Archive file format.
+
+The archive ships one directory per dataset containing
+``<Name>_TRAIN`` / ``<Name>_TEST`` files (optionally with ``.tsv`` or
+``.txt`` extensions); each line is ``label, v1, v2, ...`` separated by
+commas, tabs or spaces.  Point ``REPRO_UCR_ROOT`` (or the ``root``
+argument) at a local copy to run every experiment in this repository on
+the genuine data instead of the synthetic surrogate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset, TrainTestSplit
+
+_SPLIT_SUFFIXES = ("", ".tsv", ".txt", ".csv")
+
+
+def _find_split_file(directory: Path, name: str, split: str) -> Path:
+    for suffix in _SPLIT_SUFFIXES:
+        candidate = directory / f"{name}_{split}{suffix}"
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no {split} file for dataset {name!r} under {directory}"
+    )
+
+
+def _read_split(path: Path, name: str) -> Dataset:
+    rows = []
+    labels = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            labels.append(float(parts[0]))
+            rows.append([float(v) for v in parts[1:]])
+    X = np.asarray(rows, dtype=np.float64)
+    # UCR labels may be arbitrary numbers (e.g. -1/1); relabel to 0..k-1.
+    raw = np.asarray(labels)
+    classes = np.unique(raw)
+    y = np.searchsorted(classes, raw)
+    return Dataset(X, y.astype(np.int64), name=name)
+
+
+def load_ucr_dataset(name: str, root: str | os.PathLike | None = None) -> TrainTestSplit:
+    """Load dataset ``name`` from a local UCR archive copy.
+
+    ``root`` defaults to the ``REPRO_UCR_ROOT`` environment variable.
+    """
+    if root is None:
+        root = os.environ.get("REPRO_UCR_ROOT")
+    if root is None:
+        raise RuntimeError(
+            "no UCR archive root: pass root= or set REPRO_UCR_ROOT"
+        )
+    directory = Path(root) / name
+    if not directory.is_dir():
+        raise FileNotFoundError(f"dataset directory not found: {directory}")
+    train = _read_split(_find_split_file(directory, name, "TRAIN"), name)
+    test = _read_split(_find_split_file(directory, name, "TEST"), name)
+    if train.length != test.length:
+        raise ValueError(
+            f"train/test length mismatch for {name}: {train.length} vs {test.length}"
+        )
+    return TrainTestSplit(train=train, test=test)

@@ -1,0 +1,13 @@
+"""Time-series distance measures (Euclidean, DTW) and lower bounds."""
+
+from repro.distance.dtw import dtw_distance, lb_keogh, lb_kim, nearest_neighbor_dtw
+from repro.distance.euclidean import euclidean_distance, squared_euclidean_distance
+
+__all__ = [
+    "euclidean_distance",
+    "squared_euclidean_distance",
+    "dtw_distance",
+    "lb_keogh",
+    "lb_kim",
+    "nearest_neighbor_dtw",
+]

@@ -1,0 +1,123 @@
+"""Dynamic Time Warping with a Sakoe–Chiba band and lower bounds.
+
+The DP recurrence runs row-by-row with numpy inner vectorisation; the
+1NN search combines the LB_Kim and LB_Keogh lower bounds with early
+ordering, the standard pruning pipeline (Rakthanmanon et al., 2012).
+Distances are on squared pointwise costs with a final square root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _resolve_window(n: int, m: int, window: int | float | None) -> int:
+    if window is None:
+        return max(n, m)
+    if isinstance(window, float):
+        if not 0.0 <= window <= 1.0:
+            raise ValueError("fractional window must be within [0, 1]")
+        window = int(np.ceil(window * max(n, m)))
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    # The band must at least cover the length difference for a path to exist.
+    return max(int(window), abs(n - m))
+
+
+def dtw_distance(
+    a: np.ndarray, b: np.ndarray, window: int | float | None = None
+) -> float:
+    """DTW distance between two series.
+
+    ``window`` is a Sakoe–Chiba band half-width: ``None`` (unconstrained),
+    an absolute integer, or a float fraction of the longer series.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+        raise ValueError("inputs must be non-empty 1-dimensional arrays")
+    n, m = a.size, b.size
+    w = _resolve_window(n, m, window)
+
+    previous = np.full(m + 1, np.inf)
+    previous[0] = 0.0
+    current = np.empty(m + 1)
+    for i in range(1, n + 1):
+        current[:] = np.inf
+        lo = max(1, i - w)
+        hi = min(m, i + w)
+        cost = (a[i - 1] - b[lo - 1 : hi]) ** 2
+        # current[j] = cost + min(prev[j-1], prev[j], current[j-1]); the
+        # current[j-1] term is sequential, so resolve it in a tight loop
+        # over the (usually narrow) band.
+        best_prev = np.minimum(previous[lo - 1 : hi], previous[lo : hi + 1])
+        running = np.inf
+        for offset in range(hi - lo + 1):
+            running = cost[offset] + min(best_prev[offset], running)
+            current[lo + offset] = running
+        previous, current = current, previous
+    return float(np.sqrt(previous[m]))
+
+
+def lb_kim(a: np.ndarray, b: np.ndarray) -> float:
+    """LB_Kim (simplified): distance on first/last points lower-bounds DTW."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return float(np.sqrt((a[0] - b[0]) ** 2 + (a[-1] - b[-1]) ** 2))
+
+
+def _envelope(series: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """Running min/max envelope of half-width ``window``."""
+    n = series.size
+    lower = np.empty(n)
+    upper = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - window)
+        hi = min(n, i + window + 1)
+        segment = series[lo:hi]
+        lower[i] = segment.min()
+        upper[i] = segment.max()
+    return lower, upper
+
+
+def lb_keogh(query: np.ndarray, candidate: np.ndarray, window: int | float | None) -> float:
+    """LB_Keogh lower bound of ``dtw_distance(query, candidate, window)``.
+
+    Both series must have equal length (the UCR setting).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if query.shape != candidate.shape:
+        raise ValueError("LB_Keogh requires equal-length series")
+    w = _resolve_window(query.size, candidate.size, window)
+    lower, upper = _envelope(candidate, w)
+    above = np.maximum(query - upper, 0.0)
+    below = np.maximum(lower - query, 0.0)
+    return float(np.sqrt(np.sum(above**2 + below**2)))
+
+
+def nearest_neighbor_dtw(
+    query: np.ndarray,
+    references: np.ndarray,
+    window: int | float | None = None,
+) -> tuple[int, float]:
+    """Index and distance of the DTW-nearest reference to ``query``.
+
+    Uses LB_Kim then LB_Keogh to skip full DTW computations whenever the
+    bound already exceeds the best distance found so far.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    references = np.asarray(references, dtype=np.float64)
+    best_idx = -1
+    best = np.inf
+    for idx in range(references.shape[0]):
+        candidate = references[idx]
+        if lb_kim(query, candidate) >= best:
+            continue
+        if query.shape == candidate.shape and lb_keogh(query, candidate, window) >= best:
+            continue
+        distance = dtw_distance(query, candidate, window)
+        if distance < best:
+            best = distance
+            best_idx = idx
+    return best_idx, float(best)

@@ -1,0 +1,20 @@
+"""Euclidean distance between equal-length series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Sum of squared pointwise differences."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {b.shape}")
+    diff = a - b
+    return float(diff @ diff)
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean (L2) distance."""
+    return float(np.sqrt(squared_euclidean_distance(a, b)))

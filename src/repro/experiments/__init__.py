@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module is runnable (``python -m repro.experiments.table2`` etc.) and
+is also wrapped by a pytest-benchmark target under ``benchmarks/``.
+Results are cached as JSON under ``REPRO_RESULTS_DIR`` (default:
+``./results``) so the figure harnesses can reuse the table sweeps.
+"""
+
+from repro.experiments.harness import (
+    EvaluationResult,
+    evaluate_baseline,
+    evaluate_mvg,
+    selected_datasets,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_mvg",
+    "evaluate_baseline",
+    "selected_datasets",
+]

@@ -1,0 +1,202 @@
+"""Shared experiment plumbing: timing, dataset selection and result caching.
+
+Environment knobs (all optional):
+
+``REPRO_DATASETS``
+    Comma-separated dataset names; restricts every sweep.
+``REPRO_MAX_DATASETS``
+    Integer; keep only the first N archive datasets (quick runs).
+``REPRO_RESULTS_DIR``
+    Where JSON result caches are written (default ``./results``).
+``REPRO_FULL_GRID``
+    When set (non-empty), use the paper's full XGBoost grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.config import FeatureConfig
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import default_param_grid
+from repro.data.archive import archive_dataset_names, load_archive_dataset
+from repro.data.dataset import TrainTestSplit
+from repro.ml.base import BaseEstimator
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.metrics import error_rate
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.resample import RandomOverSampler
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of one (dataset, method) evaluation."""
+
+    dataset: str
+    method: str
+    error: float
+    fit_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    feature_seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end runtime (feature extraction + fit + predict)."""
+        return self.feature_seconds + self.fit_seconds + self.predict_seconds
+
+
+def selected_datasets() -> tuple[str, ...]:
+    """Archive dataset names honouring the selection env knobs."""
+    names = archive_dataset_names()
+    env = os.environ.get("REPRO_DATASETS")
+    if env:
+        requested = [name.strip() for name in env.split(",") if name.strip()]
+        unknown = sorted(set(requested) - set(names))
+        if unknown:
+            raise ValueError(f"unknown datasets in REPRO_DATASETS: {unknown}")
+        names = tuple(name for name in names if name in requested)
+    cap = os.environ.get("REPRO_MAX_DATASETS")
+    if cap:
+        names = names[: int(cap)]
+    return names
+
+
+def active_param_grid(n_classes: int | None = None) -> dict[str, list[Any]]:
+    """The XGBoost grid for sweeps (paper grid iff REPRO_FULL_GRID set).
+
+    Many-class problems fit ``n_classes`` trees per boosting round, so
+    their grid is trimmed to keep sweep runtime bounded (documented
+    deviation; set REPRO_FULL_GRID to override).
+    """
+    if os.environ.get("REPRO_FULL_GRID"):
+        return default_param_grid(full=True)
+    grid = default_param_grid()
+    if n_classes is not None and n_classes > 10:
+        grid = {"learning_rate": [0.3], "n_estimators": [25, 50], "max_depth": [4]}
+    return grid
+
+
+def results_dir() -> Path:
+    """Directory for JSON result caches (created on demand)."""
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cache_load(name: str) -> dict | None:
+    """Load a cached result blob, or None when absent."""
+    path = results_dir() / f"{name}.json"
+    if not path.is_file():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def cache_store(name: str, payload: dict) -> Path:
+    """Persist a result blob; returns the written path."""
+    path = results_dir() / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return path
+
+
+def evaluate_mvg(
+    split: TrainTestSplit,
+    config: FeatureConfig,
+    param_grid: dict[str, list[Any]] | None = None,
+    random_state: int = 0,
+    oversample: bool = True,
+    precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+) -> EvaluationResult:
+    """Evaluate the MVG pipeline on one split, timing the feature
+    extraction and classification phases separately (the FE/Clf columns
+    of Table 3).
+
+    ``precomputed`` takes ``(train_features, test_features)`` already
+    restricted to ``config``'s columns; sweeps use it to extract the full
+    feature matrix once and slice per heuristic column.
+    """
+    if precomputed is not None:
+        train_features, test_features = precomputed
+        feature_seconds = 0.0
+    else:
+        extractor = FeatureExtractor(config)
+        t0 = time.perf_counter()
+        train_features = extractor.transform(split.train.X)
+        test_features = extractor.transform(split.test.X)
+        feature_seconds = time.perf_counter() - t0
+
+    y_train = split.train.y
+    if oversample:
+        train_features, y_train = RandomOverSampler(random_state).fit_resample(
+            train_features, y_train
+        )
+    base = GradientBoostingClassifier(
+        subsample=0.5, colsample_bytree=0.5, random_state=random_state
+    )
+    model: BaseEstimator
+    if param_grid:
+        model = GridSearchCV(
+            base, param_grid, cv=3, scoring="neg_log_loss", random_state=random_state
+        )
+    else:
+        model = base
+    t0 = time.perf_counter()
+    model.fit(train_features, y_train)
+    fit_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    predictions = model.predict(test_features)
+    predict_seconds = time.perf_counter() - t0
+
+    return EvaluationResult(
+        dataset=split.name,
+        method="MVG",
+        error=error_rate(split.test.y, predictions),
+        fit_seconds=fit_seconds,
+        predict_seconds=predict_seconds,
+        feature_seconds=feature_seconds,
+        extra={"n_features": train_features.shape[1]},
+    )
+
+
+def evaluate_baseline(
+    split: TrainTestSplit,
+    method_name: str,
+    factory: Callable[[], BaseEstimator],
+) -> EvaluationResult:
+    """Fit/predict one baseline classifier on a split with timing."""
+    model = factory()
+    t0 = time.perf_counter()
+    model.fit(split.train.X, split.train.y)
+    fit_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    predictions = model.predict(split.test.X)
+    predict_seconds = time.perf_counter() - t0
+    return EvaluationResult(
+        dataset=split.name,
+        method=method_name,
+        error=error_rate(split.test.y, predictions),
+        fit_seconds=fit_seconds,
+        predict_seconds=predict_seconds,
+    )
+
+
+def mean_error_over_repeats(
+    run: Callable[[int], float], n_repeats: int, base_seed: int = 0
+) -> float:
+    """Average a stochastic evaluation over ``n_repeats`` seeds (the paper
+    averages five repetitions)."""
+    return float(np.mean([run(base_seed + i) for i in range(n_repeats)]))
+
+
+def result_rows_to_json(results: list[EvaluationResult]) -> list[dict]:
+    """Serialisable form of a result list."""
+    return [asdict(result) for result in results]

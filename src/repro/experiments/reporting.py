@@ -1,0 +1,51 @@
+"""Plain-text table rendering shared by the experiment CLIs and benches."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell (floats with three decimals)."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_cd_diagram(
+    names: Sequence[str], ranks: Sequence[float], cd: float, groups: Sequence[tuple[int, ...]]
+) -> str:
+    """ASCII rendition of a critical-difference diagram: ranked methods
+    with the insignificance groups spelled out."""
+    order = sorted(range(len(names)), key=lambda i: ranks[i])
+    lines = [f"CD = {cd:.4f} (alpha = 0.05)"]
+    for position, idx in enumerate(order, start=1):
+        lines.append(f"  {position}. {names[idx]:<24s} avg rank {ranks[idx]:.4f}")
+    for group in groups:
+        if len(group) > 1:
+            members = ", ".join(names[i] for i in group)
+            lines.append(f"  not significantly different: {members}")
+    return "\n".join(lines)

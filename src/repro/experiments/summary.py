@@ -1,0 +1,248 @@
+"""Generate the measured sections of EXPERIMENTS.md from cached results.
+
+After the sweeps have populated ``results/*.json``, running
+
+    python -m repro.experiments.summary
+
+rewrites EXPERIMENTS.md with a paper-vs-measured record for every table
+and figure: win counts, Wilcoxon p-values, CD diagram ranks and the
+runtime comparison, each annotated with the paper's corresponding
+numbers and whether the qualitative conclusion is reproduced.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.harness import cache_load
+from repro.stats.comparison import pairwise_comparison
+from repro.stats.friedman import friedman_test
+from repro.stats.nemenyi import critical_difference
+
+#: Paper's Table 2 footer: (challenger, reference) -> (wins, p-value).
+PAPER_TABLE2 = {
+    ("G", "1NN-ED"): (26, 0.01),
+    ("G", "1NN-DTW"): (23, 0.1638),
+    ("B", "A"): (32, 9.48e-7),
+    ("D", "B"): (30, 3.09e-3),
+    ("D", "C"): (29, 9.56e-5),
+    ("E", "D"): (27, 5.01e-3),
+    ("F", "E"): (19, 0.8623),
+    ("G", "F"): (29, 1.72e-4),
+    ("G", "E"): (30, 8.74e-4),
+}
+
+#: Paper's Table 3 footer: method -> (best count, Wilcoxon p vs MVG).
+PAPER_TABLE3 = {
+    "1NN-ED": (1, 0.0023),
+    "1NN-DTW": (2, 0.0044),
+    "LS": (12, 0.3421),
+    "FS": (3, 0.0005),
+    "SAX-VSM": (10, 0.5767),
+    "MVG": (16, None),
+}
+
+
+def _verdict(matches: bool) -> str:
+    return "reproduced" if matches else "DEVIATION"
+
+
+def table2_section() -> list[str]:
+    """Markdown lines for the Table 2 paper-vs-measured block."""
+    payload = cache_load("table2")
+    if payload is None:
+        return ["*(run `python -m repro table2` first)*"]
+    errors = {k: np.asarray(v) for k, v in payload["errors"].items()}
+    n = len(payload["datasets"])
+    lines = [
+        f"Measured over {n} surrogate datasets "
+        "(wins for the challenger; paper values in parentheses):",
+        "",
+        "| Comparison | wins (paper) | p (paper) | conclusion |",
+        "|---|---|---|---|",
+    ]
+    for (challenger, reference), (paper_wins, paper_p) in PAPER_TABLE2.items():
+        comparison = pairwise_comparison(
+            challenger, errors[challenger], reference, errors[reference]
+        )
+        ours_sig = comparison.wilcoxon.p_value < 0.05
+        paper_sig = paper_p < 0.05
+        direction_ok = comparison.challenger_wins >= comparison.reference_wins
+        paper_direction = paper_wins >= (39 - paper_wins) / 2  # paper always reports winner
+        matches = (ours_sig == paper_sig and direction_ok) or (
+            not paper_sig and not ours_sig
+        )
+        del paper_direction
+        lines.append(
+            f"| {challenger} vs {reference} | "
+            f"{comparison.challenger_wins} ({paper_wins}) | "
+            f"{comparison.wilcoxon.p_value:.2g} ({paper_p:.2g}) | "
+            f"{_verdict(matches)} |"
+        )
+    return lines
+
+
+def table3_section() -> list[str]:
+    """Markdown lines for the Table 3 paper-vs-measured block."""
+    payload = cache_load("table3")
+    if payload is None:
+        return ["*(run `python -m repro table3` first)*"]
+    errors = {k: np.asarray(v) for k, v in payload["errors"].items()}
+    methods = list(errors)
+    matrix = np.stack([errors[m] for m in methods])
+    best = matrix.min(axis=0)
+    lines = [
+        "| Method | best count (paper) | Wilcoxon p vs MVG (paper) |",
+        "|---|---|---|",
+    ]
+    for row, method in enumerate(methods):
+        count = int(np.sum(matrix[row] == best))
+        paper_best, paper_p = PAPER_TABLE3[method]
+        if method == "MVG":
+            lines.append(f"| MVG | {count} ({paper_best}) | — |")
+            continue
+        comparison = pairwise_comparison("MVG", errors["MVG"], method, errors[method])
+        lines.append(
+            f"| {method} | {count} ({paper_best}) | "
+            f"{comparison.wilcoxon.p_value:.2g} ({paper_p:.2g}) |"
+        )
+    mvg_total = float(np.sum(payload["mvg_fe"]) + np.sum(payload["mvg_clf"]))
+    fs_total = float(np.sum(payload["fs_runtime"]))
+    faster = int(
+        np.sum(
+            np.asarray(payload["mvg_fe"]) + np.asarray(payload["mvg_clf"])
+            < np.asarray(payload["fs_runtime"])
+        )
+    )
+    lines += [
+        "",
+        f"Runtime: MVG total {mvg_total:.0f}s vs FS total {fs_total:.0f}s — "
+        f"**{fs_total / max(mvg_total, 1e-9):.1f}x** overall speedup, MVG faster on "
+        f"{faster}/{len(payload['datasets'])} datasets "
+        "(paper: 18x overall, faster on 24/39).",
+    ]
+    return lines
+
+
+def cd_section(name: str, paper_order: str) -> list[str]:
+    """Markdown lines for one critical-difference figure."""
+    payload = cache_load(name)
+    if payload is None:
+        return [f"*(run `python -m repro {name}` first)*"]
+    methods = list(payload["errors"])
+    matrix = np.column_stack([payload["errors"][m] for m in methods])
+    result = friedman_test(matrix)
+    cd = critical_difference(len(methods), matrix.shape[0])
+    ranked = sorted(zip(methods, result.ranks), key=lambda item: item[1])
+    rendered = " < ".join(f"{m} ({r:.2f})" for m, r in ranked)
+    return [
+        f"Average ranks (lower = better): {rendered}; CD = {cd:.4f}; "
+        f"Friedman p = {result.p_value:.2g}.",
+        f"Paper's ordering: {paper_order}.",
+    ]
+
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation, regenerated on the
+synthetic UCR-surrogate archive (see DESIGN.md §2 for the substitution
+rationale).  Absolute error rates are not comparable — the data differ —
+so this file tracks the *shape*: which method wins, significance calls,
+orderings and runtime ratios.  Rendered artifacts live in
+`results/*.txt`; raw sweeps in `results/*.json`.
+
+Regenerate this file with `python -m repro.experiments.summary` after
+running the sweeps (`python -m repro all` or `pytest benchmarks/
+--benchmark-only`).
+"""
+
+KNOWN_DEVIATIONS = """## Known deviations
+
+* **B vs A / D vs C** (adding non-MPD statistics): the paper finds a
+  small but significant gain; on the surrogate archive the effect is
+  directionally mixed and insignificant.  Density is mathematically
+  redundant with P(M21) and the surrogate classes encode most signal in
+  motif space, so the auxiliary statistics have less headroom here.
+* **F vs E** (AMVG vs UVG): the paper finds no significant difference;
+  the surrogate's approximations denoise more aggressively than real UCR
+  data, making AMVG significantly better than UVG.  The paper's key
+  claims on the scale axis (MVG > AMVG and MVG > UVG, both significant)
+  do reproduce.
+* **ECG5000**: the surrogate encodes arrhythmia classes mainly through
+  wave *amplitudes*; visibility graphs are affine-invariant, so MVG
+  loses badly on this one dataset.  This is precisely the limitation the
+  paper concedes in Section 4.7 ("in applications where the absolute
+  oscillation is more important, MVG is less likely to detect such
+  characteristics") and is kept as an honest illustration of it.
+* **G vs 1NN-DTW**: the paper reports statistical parity (p = 0.16); the
+  surrogate archive's alignment-breaking augmentation makes MVG
+  significantly better than 1NN-DTW.  Same winner, stronger margin.
+* **SAX-VSM** is stronger here than in the paper (most best-counts in
+  Table 3): several surrogate archetypes encode class identity as local
+  texture, which SAX word statistics capture as directly as visibility
+  statistics do.  Consistent with the paper insofar as MVG vs SAX-VSM
+  was already statistically insignificant there (p = 0.58).
+* **Figure 6**: the paper finds XGBoost/RF significantly more accurate
+  than SVM; on min-max-scaled surrogate features the three families are
+  statistically indistinguishable (our from-scratch SMO SVM with Platt
+  scaling holds up better than the paper's SVM baseline did).
+* **Figure 7**: the paper finds stacking all families significantly more
+  accurate than any single family; here XGBoost-only stacking edges out
+  the all-family stack and nothing is significant.  With trimmed
+  two-candidate grids (see ``_fig7_families``) the blend has little
+  diversity to exploit; the paper's top-5-per-family setting gives
+  stacking more room.
+* **Runtime magnitude (Table 3 / Figure 9)**: MVG remains faster than FS
+  in total and on most datasets, but by ~2x rather than the paper's 18x:
+  this repository's FS implementation shares the library's vectorised
+  SAX/window substrate, whereas the paper benchmarked the original
+  authors' code.  The *direction* (FS slowest, cost exploding with
+  series length; MVG scaling gracefully) reproduces.
+"""
+
+
+def build() -> str:
+    """The complete EXPERIMENTS.md content."""
+    sections = [HEADER]
+    sections.append("## Table 2 — heuristic validation (E1)\n")
+    sections.append("\n".join(table2_section()))
+    sections.append("\n## Table 3 — accuracy & runtime benchmark (E8)\n")
+    sections.append("\n".join(table3_section()))
+    sections.append("\n## Figure 6 — classifier families (E6)\n")
+    sections.append(
+        "\n".join(
+            cd_section("fig6", "MVG (XGBoost) < MVG (RF) < MVG (SVM), XGBoost/RF "
+                       "both significantly better than SVM, CD = 0.5307")
+        )
+    )
+    sections.append("\n## Figure 7 — stacked generalization (E7)\n")
+    sections.append(
+        "\n".join(
+            cd_section("fig7", "All < XGBoost ≈ SVM ≈ RF, stacking all families "
+                       "significantly best, CD = 0.7511")
+        )
+    )
+    sections.append(
+        "\n## Figures 2-5, 8-10\n\n"
+        "Rendered data (boxplot five-number summaries, scatter pairs with\n"
+        "win counts, log-runtime pairs, top-10 feature statistics) are in\n"
+        "`results/fig2.txt` ... `results/fig10.txt`, regenerated by\n"
+        "`pytest benchmarks/` or `python -m repro all`.  Figures 3-5 are\n"
+        "projections of the Table 2 sweep; Figures 8-9 of Table 3.\n"
+    )
+    sections.append(KNOWN_DEVIATIONS)
+    return "\n".join(sections) + "\n"
+
+
+def main() -> None:
+    """CLI: rewrite EXPERIMENTS.md in the working directory."""
+    target = Path("EXPERIMENTS.md")
+    target.write_text(build())
+    print(f"wrote {target.resolve()}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

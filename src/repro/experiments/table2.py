@@ -1,0 +1,131 @@
+"""Table 2: heuristic validation — columns A-G vs 1NN-ED and 1NN-DTW.
+
+For every archive dataset this sweep evaluates the seven feature-set
+combinations of Section 4.2 (UVG/AMVG/MVG x HVG/VG/both x MPDs/all) with
+the XGBoost-style pipeline, plus the two distance baselines, and prints
+the paper's footer: win counts and Wilcoxon p-values for the nine
+comparison pairs.
+
+Run with ``python -m repro.experiments.table2``; results are cached in
+``results/table2.json`` for the figure harnesses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
+from repro.core.config import HEURISTIC_COLUMNS
+from repro.core.features import FeatureExtractor, feature_mask
+from repro.data.archive import load_archive_dataset
+from repro.experiments.harness import (
+    active_param_grid,
+    cache_load,
+    cache_store,
+    evaluate_baseline,
+    evaluate_mvg,
+    selected_datasets,
+)
+from repro.experiments.reporting import format_table
+from repro.stats.comparison import pairwise_comparison
+
+#: The footer comparison pairs of Table 2 (challenger beats reference?).
+COMPARISON_PAIRS: tuple[tuple[str, str], ...] = (
+    ("G", "1NN-ED"),
+    ("G", "1NN-DTW"),
+    ("B", "A"),
+    ("D", "B"),
+    ("D", "C"),
+    ("E", "D"),
+    ("F", "E"),
+    ("G", "F"),
+    ("G", "E"),
+)
+
+METHODS: tuple[str, ...] = ("1NN-ED", "1NN-DTW") + tuple(HEURISTIC_COLUMNS)
+
+
+def run_table2(force: bool = False, random_state: int = 0) -> dict:
+    """Run (or load from cache) the full Table 2 sweep.
+
+    Returns ``{"datasets": [...], "errors": {method: [per-dataset error]}}``.
+    """
+    datasets = selected_datasets()
+    cached = cache_load("table2")
+    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+        return cached
+
+    errors: dict[str, list[float]] = {method: [] for method in METHODS}
+    full_config = HEURISTIC_COLUMNS["G"]
+    for name in datasets:
+        split = load_archive_dataset(name, orientation="table2")
+        grid = active_param_grid(split.train.n_classes)
+        errors["1NN-ED"].append(
+            evaluate_baseline(split, "1NN-ED", NearestNeighborEuclidean).error
+        )
+        errors["1NN-DTW"].append(
+            evaluate_baseline(
+                split, "1NN-DTW", lambda: NearestNeighborDTW(window=0.1)
+            ).error
+        )
+        # Extract the full (column G) feature matrix once; every other
+        # heuristic column is a subset of its columns.
+        extractor = FeatureExtractor(full_config)
+        train_full = extractor.transform(split.train.X)
+        test_full = extractor.transform(split.test.X)
+        names = extractor.feature_names_
+        for column, config in HEURISTIC_COLUMNS.items():
+            mask = feature_mask(names, config)
+            result = evaluate_mvg(
+                split,
+                config,
+                param_grid=grid,
+                random_state=random_state,
+                precomputed=(train_full[:, mask], test_full[:, mask]),
+            )
+            errors[column].append(result.error)
+        print(
+            f"[table2] {name}: "
+            + " ".join(f"{m}={errors[m][-1]:.3f}" for m in METHODS),
+            file=sys.stderr,
+        )
+
+    payload = {"datasets": list(datasets), "errors": errors}
+    cache_store("table2", payload)
+    return payload
+
+
+def render_table2(payload: dict) -> str:
+    """Format the sweep as the paper's Table 2 (rows + comparison footer)."""
+    datasets = payload["datasets"]
+    errors = payload["errors"]
+    headers = ["Dataset"] + list(METHODS)
+    rows = [
+        [name] + [errors[method][i] for method in METHODS]
+        for i, name in enumerate(datasets)
+    ]
+    table = format_table(headers, rows, title="Table 2: heuristic validation (error rates)")
+
+    footer_lines = ["", "Comparisons (challenger vs reference, wins / ties / losses, Wilcoxon p):"]
+    for challenger, reference in COMPARISON_PAIRS:
+        comparison = pairwise_comparison(
+            challenger,
+            np.asarray(errors[challenger]),
+            reference,
+            np.asarray(errors[reference]),
+        )
+        footer_lines.append("  " + comparison.summary())
+    return table + "\n" + "\n".join(footer_lines)
+
+
+def main() -> None:
+    """CLI: run/load the sweep and print the rendered table."""
+    force = "--force" in sys.argv
+    payload = run_table2(force=force)
+    print(render_table2(payload))
+
+
+if __name__ == "__main__":
+    main()

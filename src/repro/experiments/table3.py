@@ -1,0 +1,169 @@
+"""Table 3: accuracy and runtime benchmark against the five baselines.
+
+Per dataset (UEA-UCR orientation): error rates of 1NN-ED, 1NN-DTW,
+Learning Shapelets, Fast Shapelets, SAX-VSM and MVG; MVG's runtime split
+into feature extraction (FE) and classification (Clf); FS's runtime as
+the efficiency yard-stick.  The footer reproduces the best-count row,
+the Wilcoxon-vs-MVG row and the total-runtime comparison driving
+Figure 9.
+
+Run with ``python -m repro.experiments.table3``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines.fast_shapelets import FastShapeletsClassifier
+from repro.baselines.learning_shapelets import LearningShapeletsClassifier
+from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
+from repro.baselines.saxvsm import SAXVSMClassifier
+from repro.core.config import FeatureConfig
+from repro.data.archive import load_archive_dataset
+from repro.experiments.harness import (
+    active_param_grid,
+    cache_load,
+    cache_store,
+    evaluate_baseline,
+    evaluate_mvg,
+    selected_datasets,
+)
+from repro.experiments.reporting import format_table
+from repro.stats.comparison import pairwise_comparison
+
+BASELINES: tuple[str, ...] = ("1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM")
+METHODS: tuple[str, ...] = BASELINES + ("MVG",)
+
+
+def _baseline_factory(method: str, random_state: int):
+    if method == "1NN-ED":
+        return NearestNeighborEuclidean
+    if method == "1NN-DTW":
+        return lambda: NearestNeighborDTW(window=0.1)
+    if method == "LS":
+        return lambda: LearningShapeletsClassifier(
+            n_epochs=200, random_state=random_state
+        )
+    if method == "FS":
+        return lambda: FastShapeletsClassifier(random_state=random_state)
+    if method == "SAX-VSM":
+        return SAXVSMClassifier
+    raise ValueError(f"unknown baseline {method!r}")
+
+
+def run_table3(force: bool = False, random_state: int = 0) -> dict:
+    """Run (or load) the Table 3 sweep.
+
+    Returns ``{"datasets": [...], "errors": {method: [...]},
+    "mvg_fe": [...], "mvg_clf": [...], "fs_runtime": [...]}``.
+    """
+    datasets = selected_datasets()
+    cached = cache_load("table3")
+    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+        return cached
+
+    errors: dict[str, list[float]] = {method: [] for method in METHODS}
+    mvg_fe: list[float] = []
+    mvg_clf: list[float] = []
+    fs_runtime: list[float] = []
+    for name in datasets:
+        split = load_archive_dataset(name, orientation="table3")
+        grid = active_param_grid(split.train.n_classes)
+        for method in BASELINES:
+            result = evaluate_baseline(
+                split, method, _baseline_factory(method, random_state)
+            )
+            errors[method].append(result.error)
+            if method == "FS":
+                fs_runtime.append(result.fit_seconds + result.predict_seconds)
+        mvg = evaluate_mvg(
+            split, FeatureConfig(), param_grid=grid, random_state=random_state
+        )
+        errors["MVG"].append(mvg.error)
+        mvg_fe.append(mvg.feature_seconds)
+        mvg_clf.append(mvg.fit_seconds + mvg.predict_seconds)
+        print(
+            f"[table3] {name}: "
+            + " ".join(f"{m}={errors[m][-1]:.3f}" for m in METHODS)
+            + f" | mvg={mvg_fe[-1] + mvg_clf[-1]:.1f}s fs={fs_runtime[-1]:.1f}s",
+            file=sys.stderr,
+        )
+
+    payload = {
+        "datasets": list(datasets),
+        "errors": errors,
+        "mvg_fe": mvg_fe,
+        "mvg_clf": mvg_clf,
+        "fs_runtime": fs_runtime,
+    }
+    cache_store("table3", payload)
+    return payload
+
+
+def render_table3(payload: dict) -> str:
+    """Format the sweep as the paper's Table 3."""
+    datasets = payload["datasets"]
+    errors = payload["errors"]
+    headers = (
+        ["Dataset"]
+        + list(METHODS)
+        + ["MVG FE(s)", "MVG Clf(s)", "MVG Sum(s)", "FS(s)"]
+    )
+    rows = []
+    for i, name in enumerate(datasets):
+        mvg_total = payload["mvg_fe"][i] + payload["mvg_clf"][i]
+        rows.append(
+            [name]
+            + [errors[method][i] for method in METHODS]
+            + [
+                payload["mvg_fe"][i],
+                payload["mvg_clf"][i],
+                mvg_total,
+                payload["fs_runtime"][i],
+            ]
+        )
+    table = format_table(
+        headers, rows, title="Table 3: benchmark vs state-of-the-art (error rates, runtime)"
+    )
+
+    lines = ["", "Number of best (including ties):"]
+    error_matrix = np.array([errors[method] for method in METHODS])
+    best = error_matrix.min(axis=0)
+    for row, method in enumerate(METHODS):
+        count = int(np.sum(error_matrix[row] == best))
+        lines.append(f"  {method}: {count}")
+    lines.append("")
+    lines.append("Wilcoxon vs MVG (p-values):")
+    for method in BASELINES:
+        comparison = pairwise_comparison(
+            "MVG", np.asarray(errors["MVG"]), method, np.asarray(errors[method])
+        )
+        lines.append(f"  {comparison.summary()}")
+    mvg_total = float(np.sum(payload["mvg_fe"]) + np.sum(payload["mvg_clf"]))
+    fs_total = float(np.sum(payload["fs_runtime"]))
+    faster = int(
+        np.sum(
+            np.asarray(payload["mvg_fe"]) + np.asarray(payload["mvg_clf"])
+            < np.asarray(payload["fs_runtime"])
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"Total runtime: MVG {mvg_total:.1f}s vs FS {fs_total:.1f}s "
+        f"({fs_total / max(mvg_total, 1e-9):.1f}x); MVG faster on "
+        f"{faster}/{len(datasets)} datasets"
+    )
+    return table + "\n" + "\n".join(lines)
+
+
+def main() -> None:
+    """CLI: run/load the sweep and print the rendered table."""
+    force = "--force" in sys.argv
+    payload = run_table3(force=force)
+    print(render_table3(payload))
+
+
+if __name__ == "__main__":
+    main()

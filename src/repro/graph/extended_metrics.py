@@ -1,0 +1,196 @@
+"""Extended graph features from the paper's future-work list (Section 6).
+
+The conclusion names "degree distribution entropy, centrality,
+bipartivity, etc. [11]" as candidate additional features.  This module
+implements them — still keeping the paper's constraint that features be
+cheap relative to motif counting:
+
+* degree-distribution entropy (Shannon entropy of the degree histogram);
+* degree variance / heterogeneity;
+* estrada bipartivity index (via eigenvalues of the adjacency matrix);
+* eigenvector-centrality statistics (max / mean / std);
+* closeness-centrality statistics via BFS from a vertex sample;
+* global clustering coefficient (transitivity) and average local
+  clustering.
+
+They plug into the pipeline through
+``FeatureConfig(features="extended")`` and are exercised by the ablation
+benchmark (``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+
+def degree_entropy(graph: Graph) -> float:
+    """Shannon entropy (nats) of the degree distribution."""
+    if graph.n_vertices == 0:
+        return 0.0
+    degrees = graph.degrees()
+    _, counts = np.unique(degrees, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def degree_variance(graph: Graph) -> float:
+    """Variance of the degree sequence (degree heterogeneity)."""
+    if graph.n_vertices == 0:
+        return 0.0
+    return float(graph.degrees().var())
+
+
+def _adjacency_matrix(graph: Graph) -> np.ndarray:
+    n = graph.n_vertices
+    A = np.zeros((n, n))
+    for u, v in graph.edges():
+        A[u, v] = 1.0
+        A[v, u] = 1.0
+    return A
+
+
+def bipartivity(graph: Graph) -> float:
+    """Estrada–Rodríguez-Velázquez spectral bipartivity index.
+
+    ``b = sum_i cosh(lambda_i) / sum_i exp(lambda_i)`` over the adjacency
+    spectrum: the fraction of closed-walk weight on even walks.  Equals 1
+    for bipartite graphs and decreases towards 1/2 as odd cycles
+    accumulate.  Uses a dense eigendecomposition (fine at visibility-
+    graph sizes) with max-shift normalisation to avoid overflow.
+    """
+    n = graph.n_vertices
+    if n == 0 or graph.n_edges == 0:
+        return 1.0
+    eigenvalues = np.linalg.eigvalsh(_adjacency_matrix(graph))
+    lam_max = eigenvalues.max()
+    # Both exponents are <= 0 after shifting by lambda_max, since the
+    # spectrum of an undirected graph satisfies |lambda| <= lambda_max.
+    pos = np.exp(eigenvalues - lam_max)
+    neg = np.exp(-eigenvalues - lam_max)
+    return float(0.5 * (pos + neg).sum() / pos.sum())
+
+
+def eigenvector_centrality_stats(
+    graph: Graph, max_iter: int = 200, tol: float = 1e-10
+) -> tuple[float, float, float]:
+    """``(max, mean, std)`` of the eigenvector centrality (power iteration).
+
+    Disconnected graphs use the dominant component implicitly through
+    the power iteration; empty graphs return zeros.
+    """
+    n = graph.n_vertices
+    if n == 0 or graph.n_edges == 0:
+        return (0.0, 0.0, 0.0)
+    x = np.full(n, 1.0 / np.sqrt(n))
+    for _ in range(max_iter):
+        # Iterate on A + I: same eigenvectors, but the spectral shift
+        # breaks the +/-lambda oscillation of bipartite graphs.
+        nxt = x.copy()
+        for u, v in graph.edges():
+            nxt[u] += x[v]
+            nxt[v] += x[u]
+        norm = np.linalg.norm(nxt)
+        if norm == 0.0:
+            return (0.0, 0.0, 0.0)
+        nxt /= norm
+        if np.abs(nxt - x).max() < tol:
+            x = nxt
+            break
+        x = nxt
+    x = np.abs(x)
+    return (float(x.max()), float(x.mean()), float(x.std()))
+
+
+def closeness_centrality_stats(
+    graph: Graph, n_sources: int = 32, seed: int = 0
+) -> tuple[float, float]:
+    """``(mean, max)`` closeness centrality estimated from BFS over a
+    deterministic vertex sample (exact when ``n <= n_sources``)."""
+    n = graph.n_vertices
+    if n <= 1:
+        return (0.0, 0.0)
+    rng = np.random.default_rng(seed)
+    sources = (
+        np.arange(n)
+        if n <= n_sources
+        else np.sort(rng.choice(n, size=n_sources, replace=False))
+    )
+    closeness = []
+    for source in sources:
+        distances = np.full(n, -1, dtype=np.int64)
+        distances[source] = 0
+        frontier = [int(source)]
+        total = 0
+        reached = 0
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in graph.adjacency(u):
+                    if distances[v] < 0:
+                        distances[v] = distances[u] + 1
+                        total += distances[v]
+                        reached += 1
+                        nxt.append(v)
+            frontier = nxt
+        if total > 0:
+            closeness.append(reached / total)
+        else:
+            closeness.append(0.0)
+    values = np.asarray(closeness)
+    return (float(values.mean()), float(values.max()))
+
+
+def transitivity(graph: Graph) -> float:
+    """Global clustering coefficient: 3 * triangles / wedges."""
+    degrees = graph.degrees()
+    wedges = float(np.sum(degrees * (degrees - 1) // 2))
+    if wedges == 0:
+        return 0.0
+    triangles = 0
+    for u, v in graph.edges():
+        nu, nv = graph.adjacency(u), graph.adjacency(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        triangles += sum(1 for w in nu if w in nv)
+    return float(triangles / wedges)  # each triangle counted once per edge = 3x
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean of per-vertex local clustering coefficients."""
+    n = graph.n_vertices
+    if n == 0:
+        return 0.0
+    total = 0.0
+    for u in range(n):
+        nbrs = sorted(graph.adjacency(u))
+        k = len(nbrs)
+        if k < 2:
+            continue
+        links = 0
+        for i, a in enumerate(nbrs):
+            adj_a = graph.adjacency(a)
+            for b in nbrs[i + 1 :]:
+                if b in adj_a:
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+    return float(total / n)
+
+
+def extended_graph_statistics(graph: Graph) -> dict[str, float]:
+    """All future-work features, keyed by display label."""
+    ev_max, ev_mean, ev_std = eigenvector_centrality_stats(graph)
+    close_mean, close_max = closeness_centrality_stats(graph)
+    return {
+        "DegEntropy": degree_entropy(graph),
+        "DegVariance": degree_variance(graph),
+        "Bipartivity": bipartivity(graph),
+        "EigCentMax": ev_max,
+        "EigCentMean": ev_mean,
+        "EigCentStd": ev_std,
+        "CloseMean": close_mean,
+        "CloseMax": close_max,
+        "Transitivity": transitivity(graph),
+        "AvgClustering": average_clustering(graph),
+    }

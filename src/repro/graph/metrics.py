@@ -1,0 +1,123 @@
+"""Cheap statistical graph features (Section 2.2 of the paper).
+
+Everything here is intentionally O(|V|) or O(|E|):
+
+* density — Equation 2;
+* degeneracy (maximal K such that a K-core exists) — Batagelj–Zaversnik
+  bucket algorithm, Equation 3;
+* degree assortativity — Pearson correlation of degrees across edges,
+  Equation 4 (Newman's formulation);
+* degree statistics — max / min / mean degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``2|E| / (|V| (|V|-1))``; 0 for graphs with < 2 vertices."""
+    n = graph.n_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.n_edges / (n * (n - 1))
+
+
+def degeneracy(graph: Graph) -> int:
+    """Largest K for which ``graph`` has a non-empty K-core.
+
+    Uses the O(|E|) bucket-queue peeling algorithm of Batagelj and
+    Zaversnik: repeatedly remove a minimum-degree vertex; the answer is
+    the largest degree seen at removal time.
+    """
+    n = graph.n_vertices
+    if n == 0:
+        return 0
+    degrees = graph.degrees().copy()
+    max_degree = int(degrees.max())
+    # Bucket sort vertices by degree.
+    bins = [0] * (max_degree + 1)
+    for d in degrees:
+        bins[int(d)] += 1
+    start = 0
+    for d in range(max_degree + 1):
+        bins[d], start = start, start + bins[d]
+    position = np.zeros(n, dtype=np.int64)
+    order = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        position[v] = bins[int(degrees[v])]
+        order[position[v]] = v
+        bins[int(degrees[v])] += 1
+    for d in range(max_degree, 0, -1):
+        bins[d] = bins[d - 1]
+    bins[0] = 0
+
+    core = degrees.copy()
+    for i in range(n):
+        v = order[i]
+        for u in graph.adjacency(int(v)):
+            if core[u] > core[v]:
+                # Move u one bucket down (swap with the first vertex of
+                # its current bucket) and decrement its degree.
+                du = int(core[u])
+                pu = int(position[u])
+                pw = bins[du]
+                w = order[pw]
+                if u != w:
+                    position[u], position[w] = pw, pu
+                    order[pu], order[pw] = w, u
+                bins[du] += 1
+                core[u] -= 1
+    return int(core.max())
+
+
+def assortativity_coefficient(graph: Graph) -> float:
+    """Degree assortativity (Pearson correlation over edge endpoints).
+
+    Follows Newman (2003): with ``x_e``/``y_e`` the degrees at either end
+    of each edge (each edge contributing both orientations), the
+    coefficient is ``cov(x, y) / (std(x) std(y))``.  Degenerate graphs
+    (all degrees equal, or no edges) return 0.0, matching the convention
+    used when feeding the value to a classifier.
+    """
+    m = graph.n_edges
+    if m == 0:
+        return 0.0
+    x = np.empty(2 * m, dtype=np.float64)
+    y = np.empty(2 * m, dtype=np.float64)
+    idx = 0
+    for u, v in graph.edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        x[idx], y[idx] = du, dv
+        x[idx + 1], y[idx + 1] = dv, du
+        idx += 2
+    x_mean = x.mean()
+    y_mean = y.mean()
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(((x - x_mean) * (y - y_mean)).mean() / (x_std * y_std))
+
+
+def degree_statistics(graph: Graph) -> tuple[float, float, float]:
+    """``(max, min, mean)`` vertex degree; zeros for the empty graph."""
+    if graph.n_vertices == 0:
+        return (0.0, 0.0, 0.0)
+    degrees = graph.degrees()
+    return (float(degrees.max()), float(degrees.min()), float(degrees.mean()))
+
+
+def graph_statistics(graph: Graph) -> dict[str, float]:
+    """All non-motif statistical features used by the paper, by name."""
+    d_max, d_min, d_mean = degree_statistics(graph)
+    return {
+        "density": density(graph),
+        "kcore": float(degeneracy(graph)),
+        "assortativity": assortativity_coefficient(graph),
+        "degree_max": d_max,
+        "degree_min": d_min,
+        "degree_mean": d_mean,
+    }

@@ -1,0 +1,326 @@
+"""Exact counting of all graphlets (motifs) of size up to four.
+
+This module stands in for PGD (Ahmed et al., *Efficient Graphlet Counting
+for Large Networks*, ICDM 2015), the external C++ tool the paper uses for
+motif statistics.  Like PGD it is edge-centric: per-edge triangle counts
+are computed once, 4-cliques are counted by direct enumeration over
+triangle pairs, and every remaining induced count — connected and
+disconnected — follows from closed-form combinatorial identities.  The
+identities are validated against brute-force enumeration in the tests.
+
+Motif identifiers follow Table 1 of the paper:
+
+====  =======================  ====  =========================
+M21   2-edge                   M22   2-node-independent
+M31   3-triangle               M33   3-node-1-edge
+M32   3-path (wedge)           M34   3-node-independent
+M41   4-clique                 M47   4-node-triangle
+M42   4-chordal-cycle          M48   4-node-star (wedge + node)
+M43   4-tailed-triangle        M49   4-node-2-edges
+M44   4-cycle                  M410  4-node-1-edge
+M45   4-star                   M411  4-node-independent
+M46   4-path
+====  =======================  ====  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from math import comb
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+CONNECTED_MOTIFS_2 = ("m21",)
+DISCONNECTED_MOTIFS_2 = ("m22",)
+CONNECTED_MOTIFS_3 = ("m31", "m32")
+DISCONNECTED_MOTIFS_3 = ("m33", "m34")
+CONNECTED_MOTIFS_4 = ("m41", "m42", "m43", "m44", "m45", "m46")
+DISCONNECTED_MOTIFS_4 = ("m47", "m48", "m49", "m410", "m411")
+
+MOTIF_NAMES: dict[str, str] = {
+    "m21": "2-edge",
+    "m22": "2-node-independent",
+    "m31": "3-triangle",
+    "m32": "3-path",
+    "m33": "3-node-1-edge",
+    "m34": "3-node-independent",
+    "m41": "4-clique",
+    "m42": "4-chordal-cycle",
+    "m43": "4-tailed-triangle",
+    "m44": "4-cycle",
+    "m45": "4-star",
+    "m46": "4-path",
+    "m47": "4-node-triangle",
+    "m48": "4-node-star",
+    "m49": "4-node-2-edges",
+    "m410": "4-node-1-edge",
+    "m411": "4-node-independent",
+}
+
+#: The five normalisation groups of Section 3.1 (motifs of the same size
+#: and connectivity form one probability distribution each).
+MOTIF_GROUPS: tuple[tuple[str, ...], ...] = (
+    CONNECTED_MOTIFS_2 + DISCONNECTED_MOTIFS_2,
+    CONNECTED_MOTIFS_3,
+    DISCONNECTED_MOTIFS_3,
+    CONNECTED_MOTIFS_4,
+    DISCONNECTED_MOTIFS_4,
+)
+
+
+@dataclass(frozen=True)
+class MotifCounts:
+    """Induced counts of every motif of size 2, 3 and 4."""
+
+    m21: int
+    m22: int
+    m31: int
+    m32: int
+    m33: int
+    m34: int
+    m41: int
+    m42: int
+    m43: int
+    m44: int
+    m45: int
+    m46: int
+    m47: int
+    m48: int
+    m49: int
+    m410: int
+    m411: int
+
+    def as_dict(self) -> dict[str, int]:
+        """All counts keyed by motif identifier."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def probability_distributions(self) -> dict[str, float]:
+        """Motif probability distributions (Def. 3.4), normalised per group.
+
+        Within each of the five size/connectivity groups the counts are
+        divided by the group total, so each group forms a probability
+        distribution.  Empty groups yield zero probabilities.
+        """
+        counts = self.as_dict()
+        out: dict[str, float] = {}
+        for group in MOTIF_GROUPS:
+            total = sum(counts[key] for key in group)
+            for key in group:
+                out[key] = counts[key] / total if total > 0 else 0.0
+        return out
+
+    def total_sets(self, size: int) -> int:
+        """Sum of counts over all motifs of the given size."""
+        keys = {
+            2: CONNECTED_MOTIFS_2 + DISCONNECTED_MOTIFS_2,
+            3: CONNECTED_MOTIFS_3 + DISCONNECTED_MOTIFS_3,
+            4: CONNECTED_MOTIFS_4 + DISCONNECTED_MOTIFS_4,
+        }[size]
+        counts = self.as_dict()
+        return sum(counts[key] for key in keys)
+
+
+def _edge_triangle_counts(graph: Graph) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Per-edge common-neighbour (triangle) counts, plus the edge list."""
+    edges = list(graph.edges())
+    tri = np.zeros(len(edges), dtype=np.int64)
+    for idx, (u, v) in enumerate(edges):
+        nu, nv = graph.adjacency(u), graph.adjacency(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        tri[idx] = sum(1 for w in nu if w in nv)
+    return tri, edges
+
+
+def _count_four_cliques(graph: Graph, edges: list[tuple[int, int]]) -> int:
+    """Enumerate 4-cliques: for every edge, count adjacent pairs among its
+    common neighbours.  Each clique is found once per edge (six times)."""
+    total = 0
+    for u, v in edges:
+        nu, nv = graph.adjacency(u), graph.adjacency(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        common = [w for w in nu if w in nv]
+        for i, w in enumerate(common):
+            nbrs_w = graph.adjacency(w)
+            for x in common[i + 1 :]:
+                if x in nbrs_w:
+                    total += 1
+    assert total % 6 == 0, "each 4-clique must be counted exactly six times"
+    return total // 6
+
+
+def _count_noninduced_four_cycles(graph: Graph) -> int:
+    """Non-induced 4-cycles via codegrees: a cycle is a pair of distinct
+    length-2 paths between the same endpoints; each cycle has two diagonal
+    endpoint pairs."""
+    codegree: dict[tuple[int, int], int] = {}
+    for u in range(graph.n_vertices):
+        nbrs = sorted(graph.adjacency(u))
+        for i, a in enumerate(nbrs):
+            for b in nbrs[i + 1 :]:
+                key = (a, b)
+                codegree[key] = codegree.get(key, 0) + 1
+    paired = sum(c * (c - 1) // 2 for c in codegree.values())
+    assert paired % 2 == 0, "each 4-cycle has exactly two diagonals"
+    return paired // 2
+
+
+def count_motifs(graph: Graph) -> MotifCounts:
+    """Count every induced motif of size up to four in ``graph``.
+
+    Complexity is dominated by the per-edge triangle intersection
+    (``O(m * d_max)``) and the 4-clique enumeration over triangle pairs,
+    matching the cost profile PGD reports for its exact mode.
+    """
+    n = graph.n_vertices
+    m = graph.n_edges
+    degrees = graph.degrees()
+
+    tri, edges = _edge_triangle_counts(graph)
+    triangles = int(tri.sum()) // 3
+
+    wedges_noninduced = int(sum(comb(int(d), 2) for d in degrees))
+    wedges = wedges_noninduced - 3 * triangles  # induced 3-paths (M32)
+
+    # 3-node disconnected motifs.
+    m33 = int(
+        sum(
+            n - (degrees[u] + degrees[v] - t)
+            for (u, v), t in zip(edges, tri, strict=True)
+        )
+    )
+    m34 = comb(n, 3) - triangles - wedges - m33
+
+    # Size-4 connected motifs.
+    k4 = _count_four_cliques(graph, edges)
+    cycles_noninduced = _count_noninduced_four_cycles(graph)
+    diamonds = int(sum(comb(int(t), 2) for t in tri)) - 6 * k4
+    c4 = cycles_noninduced - diamonds - 3 * k4
+
+    # Tailed triangles from per-vertex triangle participation.
+    vertex_tri = np.zeros(n, dtype=np.int64)
+    for (u, v), t in zip(edges, tri, strict=True):
+        vertex_tri[u] += t
+        vertex_tri[v] += t
+    assert np.all(vertex_tri % 2 == 0)
+    vertex_tri //= 2  # each triangle at v is seen via both incident edges
+    tailed_noninduced = int(np.sum(vertex_tri * (degrees - 2)))
+    tailed = tailed_noninduced - 4 * diamonds - 12 * k4
+
+    stars = (
+        int(sum(comb(int(d), 3) for d in degrees)) - tailed - 2 * diamonds - 4 * k4
+    )
+
+    paths_noninduced = int(
+        sum(
+            (degrees[u] - 1) * (degrees[v] - 1) - t
+            for (u, v), t in zip(edges, tri, strict=True)
+        )
+    )
+    paths = paths_noninduced - 2 * tailed - 4 * c4 - 6 * diamonds - 12 * k4
+
+    # Size-4 disconnected motifs, via subtraction identities.
+    m47 = triangles * (n - 3) - tailed - 2 * diamonds - 4 * k4
+    m48 = wedges * (n - 3) - 2 * tailed - 2 * diamonds - 4 * c4 - 3 * stars - 2 * paths
+    m49 = comb(m, 2) - wedges_noninduced - paths - 2 * c4 - 2 * diamonds - 3 * k4 - tailed
+    # Every edge lies in comb(n-2, 2) different 4-sets; distributing those
+    # incidences over the known edge counts per motif isolates M410.
+    edge_incidences = m * comb(max(n - 2, 0), 2)
+    m410 = edge_incidences - (
+        6 * k4
+        + 5 * diamonds
+        + 4 * tailed
+        + 4 * c4
+        + 3 * stars
+        + 3 * paths
+        + 3 * m47
+        + 2 * m48
+        + 2 * m49
+    )
+    m411 = comb(n, 4) - (
+        k4 + diamonds + tailed + c4 + stars + paths + m47 + m48 + m49 + m410
+    )
+
+    counts = MotifCounts(
+        m21=m,
+        m22=comb(n, 2) - m,
+        m31=triangles,
+        m32=wedges,
+        m33=m33,
+        m34=m34,
+        m41=k4,
+        m42=diamonds,
+        m43=tailed,
+        m44=c4,
+        m45=stars,
+        m46=paths,
+        m47=m47,
+        m48=m48,
+        m49=m49,
+        m410=m410,
+        m411=m411,
+    )
+    _validate(counts, n)
+    return counts
+
+
+def _validate(counts: MotifCounts, n: int) -> None:
+    """Internal consistency checks: counts are non-negative and every
+    k-subset of vertices is classified exactly once."""
+    for key, value in counts.as_dict().items():
+        if value < 0:
+            raise AssertionError(f"negative motif count {key}={value}")
+    if counts.total_sets(3) != comb(n, 3):
+        raise AssertionError("size-3 motif counts do not partition all 3-sets")
+    if counts.total_sets(4) != comb(n, 4):
+        raise AssertionError("size-4 motif counts do not partition all 4-sets")
+
+
+def count_motifs_bruteforce(graph: Graph) -> MotifCounts:
+    """Classify every 3- and 4-subset directly (test oracle; O(n^4)).
+
+    Four-vertex graphs are uniquely identified by their edge count plus
+    sorted degree sequence, so no isomorphism machinery is needed.
+    """
+    from itertools import combinations
+
+    n = graph.n_vertices
+    size3 = {"m31": 0, "m32": 0, "m33": 0, "m34": 0}
+    for trio in combinations(range(n), 3):
+        k = sum(graph.has_edge(a, b) for a, b in combinations(trio, 2))
+        size3[("m34", "m33", "m32", "m31")[k]] += 1
+
+    signature_to_motif = {
+        (6, (3, 3, 3, 3)): "m41",
+        (5, (2, 2, 3, 3)): "m42",
+        (4, (1, 2, 2, 3)): "m43",
+        (4, (2, 2, 2, 2)): "m44",
+        (3, (1, 1, 1, 3)): "m45",
+        (3, (1, 1, 2, 2)): "m46",
+        (3, (0, 2, 2, 2)): "m47",
+        (2, (0, 1, 1, 2)): "m48",
+        (2, (1, 1, 1, 1)): "m49",
+        (1, (0, 0, 1, 1)): "m410",
+        (0, (0, 0, 0, 0)): "m411",
+    }
+    size4 = {key: 0 for key in signature_to_motif.values()}
+    for quad in combinations(range(n), 4):
+        degs = {v: 0 for v in quad}
+        n_edges = 0
+        for a, b in combinations(quad, 2):
+            if graph.has_edge(a, b):
+                n_edges += 1
+                degs[a] += 1
+                degs[b] += 1
+        signature = (n_edges, tuple(sorted(degs.values())))
+        size4[signature_to_motif[signature]] += 1
+
+    return MotifCounts(
+        m21=graph.n_edges,
+        m22=comb(n, 2) - graph.n_edges,
+        **size3,
+        **size4,
+    )

@@ -1,0 +1,61 @@
+"""Generic machine-learning substrate (the sklearn/XGBoost role).
+
+The paper deliberately separates feature extraction from classification
+and leans on "well-known, well-optimized" generic classifiers.  None of
+those libraries are vendored here; this subpackage implements the needed
+subset from scratch: CART trees, random forests, XGBoost-style Newton
+boosting, SMO kernel SVMs, logistic regression, k-NN, model selection
+(stratified CV, grid search), scaling, oversampling and stacked
+generalization.
+"""
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    error_rate,
+    f1_macro,
+    log_loss,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from repro.ml.resample import RandomOverSampler
+from repro.ml.stacking import StackingEnsemble
+from repro.ml.svm import SVC
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseEstimator",
+    "clone",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "SVC",
+    "LogisticRegression",
+    "KNeighborsClassifier",
+    "MinMaxScaler",
+    "StandardScaler",
+    "LabelEncoder",
+    "StratifiedKFold",
+    "ParameterGrid",
+    "GridSearchCV",
+    "cross_val_score",
+    "train_test_split",
+    "RandomOverSampler",
+    "StackingEnsemble",
+    "accuracy_score",
+    "error_rate",
+    "log_loss",
+    "confusion_matrix",
+    "f1_macro",
+]

@@ -1,0 +1,85 @@
+"""Estimator base class and cloning, mirroring the fit/predict convention."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection.
+
+    Estimator ``__init__`` methods must store every argument on ``self``
+    under the same name (the sklearn convention); ``get_params`` /
+    ``set_params`` / :func:`clone` then work for free.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters and their current values."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Update constructor parameters in place; returns ``self``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}"
+                )
+            setattr(self, name, value)
+        return self
+
+    # -- common helpers ----------------------------------------------------
+    def _check_fitted(self, attribute: str = "classes_") -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict class labels (default: argmax of ``predict_proba``)."""
+        probabilities = self.predict_proba(X)
+        self._check_fitted()
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """A new unfitted estimator with the same constructor parameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} does not match X rows {X.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X, y

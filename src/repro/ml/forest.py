@@ -1,0 +1,74 @@
+"""Random forest: bootstrap-aggregated CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseEstimator):
+    """Bagged ensemble of :class:`DecisionTreeClassifier`.
+
+    Each tree is grown on a bootstrap resample with ``max_features``
+    candidate features per split (default ``"sqrt"``); probabilities are
+    the average of per-tree leaf distributions.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        criterion: str = "gini",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.estimators_: list[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                criterion=self.criterion,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                # A bootstrap sample can drop classes; trees handle that,
+                # but probabilities must be aligned to the full class set.
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        self.feature_importances_ = np.mean(
+            [tree.feature_importances_ for tree in self.estimators_], axis=0
+        )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.estimators_:
+            probs = tree.predict_proba(X)
+            # Map the tree's (possibly reduced) class set onto ours.
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            out[:, cols] += probs
+        out /= len(self.estimators_)
+        return out

@@ -1,0 +1,73 @@
+"""k-nearest-neighbour classification with pluggable distance metrics."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """k-NN with majority vote.
+
+    ``metric`` is ``"euclidean"`` (vectorised) or any callable
+    ``(a, b) -> float`` — the 1NN-DTW baseline passes a DTW callable.
+    Ties in the vote resolve to the smallest label (deterministic).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 1,
+        metric: str | Callable[[np.ndarray, np.ndarray], float] = "euclidean",
+    ):
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError("n_neighbors exceeds the training-set size")
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            sq = (
+                np.sum(X**2, axis=1)[:, None]
+                + np.sum(self._X**2, axis=1)[None, :]
+                - 2.0 * (X @ self._X.T)
+            )
+            return np.sqrt(np.maximum(sq, 0.0))
+        out = np.empty((X.shape[0], self._X.shape[0]))
+        for i, a in enumerate(X):
+            for j, b in enumerate(self._X):
+                out[i, j] = self.metric(a, b)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        distances = self._distances(X)
+        nearest = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+        labels = self._y[nearest]
+        out = np.empty(X.shape[0], dtype=self._y.dtype)
+        for i in range(X.shape[0]):
+            values, counts = np.unique(labels[i], return_counts=True)
+            out[i] = values[np.argmax(counts)]
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        distances = self._distances(X)
+        nearest = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+        labels = self._y[nearest]
+        out = np.zeros((X.shape[0], self.classes_.size))
+        for i in range(X.shape[0]):
+            for label in labels[i]:
+                out[i, int(np.searchsorted(self.classes_, label))] += 1
+        return out / self.n_neighbors

@@ -1,0 +1,89 @@
+"""Softmax logistic regression (used directly and as the stacking meta-learner)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(BaseEstimator):
+    """Multinomial logistic regression trained by full-batch gradient
+    descent with backtracking on the regularised cross-entropy.
+
+    ``C`` is the inverse L2 regularisation strength (sklearn convention).
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+        fit_intercept: bool = True,
+    ):
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        k = self.classes_.size
+        if k < 2:
+            raise ValueError("need at least two classes")
+        n, f = X.shape
+        if self.fit_intercept:
+            # Centre features first: keeps gradient descent well
+            # conditioned for data far from the origin and only changes
+            # the fitted intercept.
+            self._center = X.mean(axis=0)
+            X = np.column_stack([X - self._center, np.ones(n)])
+            f += 1
+        else:
+            self._center = np.zeros(f)
+        onehot = np.eye(k)[y_enc]
+        W = np.zeros((f, k))
+        alpha = 1.0 / (self.C * n)
+
+        def loss_grad(weights: np.ndarray) -> tuple[float, np.ndarray]:
+            probs = _softmax(X @ weights)
+            data_loss = -np.mean(
+                np.log(np.clip(probs[np.arange(n), y_enc], 1e-12, 1.0))
+            )
+            penalty = 0.5 * alpha * float((weights**2).sum())
+            grad = X.T @ (probs - onehot) / n + alpha * weights
+            return data_loss + penalty, grad
+
+        step = 1.0
+        loss, grad = loss_grad(W)
+        for _ in range(self.max_iter):
+            grad_norm = float(np.abs(grad).max())
+            if grad_norm < self.tol:
+                break
+            # Backtracking line search on the descent direction.
+            while step > 1e-10:
+                candidate = W - step * grad
+                new_loss, new_grad = loss_grad(candidate)
+                if new_loss <= loss - 0.5 * step * float((grad**2).sum()):
+                    break
+                step *= 0.5
+            W, loss, grad = candidate, new_loss, new_grad
+            step = min(step * 2.0, 1e4)
+        self.coef_ = W[:-1] if self.fit_intercept else W
+        self.intercept_ = W[-1] if self.fit_intercept else np.zeros(k)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self._center) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_function(X))

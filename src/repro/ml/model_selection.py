@@ -1,0 +1,164 @@
+"""Cross-validation, parameter grids and grid search.
+
+The paper tunes every generic classifier with 3-fold *stratified*
+cross-validation and grid search scored by cross entropy (Equation 5);
+``GridSearchCV`` defaults mirror that setup.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import accuracy_score, log_loss
+
+
+class StratifiedKFold:
+    """K folds preserving per-class proportions."""
+
+    def __init__(self, n_splits: int = 3, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, validation_indices)`` pairs."""
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.empty(y.size, dtype=np.int64)
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            if self.shuffle:
+                idx = rng.permutation(idx)
+            # Deal samples of this class round-robin over folds.
+            fold_of[idx] = np.arange(idx.size) % self.n_splits
+        for fold in range(self.n_splits):
+            validation = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            yield train, validation
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.3,
+    stratify: bool = True,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) split returning ``X_tr, X_te, y_tr, y_te``."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    rng = np.random.default_rng(random_state)
+    test_mask = np.zeros(y.size, dtype=bool)
+    if stratify:
+        for cls in np.unique(y):
+            idx = rng.permutation(np.flatnonzero(y == cls))
+            n_test = max(1, int(round(test_size * idx.size)))
+            test_mask[idx[:n_test]] = True
+    else:
+        idx = rng.permutation(y.size)
+        test_mask[idx[: max(1, int(round(test_size * y.size)))]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class ParameterGrid:
+    """Iterate the Cartesian product of a ``{name: [values...]}`` mapping."""
+
+    def __init__(self, grid: dict[str, list[Any]]):
+        self.grid = {key: list(values) for key, values in grid.items()}
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        keys = sorted(self.grid)
+        for combo in product(*(self.grid[key] for key in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        out = 1
+        for values in self.grid.values():
+            out *= len(values)
+        return out
+
+
+def _score(estimator: BaseEstimator, X: np.ndarray, y: np.ndarray, scoring: str) -> float:
+    """Higher is better for every scoring name."""
+    if scoring == "accuracy":
+        return accuracy_score(y, estimator.predict(X))
+    if scoring == "neg_log_loss":
+        return -log_loss(y, estimator.predict_proba(X), classes=estimator.classes_)
+    raise ValueError(f"unknown scoring {scoring!r}")
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: int = 3,
+    scoring: str = "accuracy",
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Per-fold scores under stratified K-fold CV."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    folds = StratifiedKFold(cv, shuffle=True, random_state=random_state)
+    scores = []
+    for train_idx, valid_idx in folds.split(y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(_score(model, X[valid_idx], y[valid_idx], scoring))
+    return np.asarray(scores)
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive grid search with stratified CV and refit on the winner."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, list[Any]],
+        cv: int = 3,
+        scoring: str = "neg_log_loss",
+        random_state: int | None = None,
+    ):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.results_: list[dict[str, Any]] = []
+        best_score = -np.inf
+        best_params: dict[str, Any] | None = None
+        for params in ParameterGrid(self.param_grid):
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                candidate, X, y, cv=self.cv, scoring=self.scoring,
+                random_state=self.random_state,
+            )
+            mean_score = float(scores.mean())
+            self.results_.append({"params": params, "mean_score": mean_score})
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        assert best_params is not None, "param_grid must be non-empty"
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        self.classes_ = self.best_estimator_.classes_
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict_proba(X)

@@ -1,0 +1,81 @@
+"""Feature scaling and label encoding.
+
+The paper scales features with min-max scaling before SVM training
+(Section 4.3) because kernel machines are sensitive to feature
+magnitudes, while tree ensembles are left unscaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Scale each feature to [0, 1] based on the training range.
+
+    Constant features map to 0.  Out-of-range test values are *not*
+    clipped (matching sklearn's default behaviour).
+    """
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.scale_ = np.where(span == 0.0, 1.0, span)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "min_"):
+            raise RuntimeError("MinMaxScaler is not fitted yet")
+        return (np.asarray(X, dtype=np.float64) - self.min_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature (constant features
+    are centred only)."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted yet")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary labels to contiguous integers ``0..k-1``."""
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted yet")
+        y = np.asarray(y)
+        encoded = np.searchsorted(self.classes_, y)
+        bad = (encoded >= self.classes_.size) | (self.classes_[
+            np.minimum(encoded, self.classes_.size - 1)
+        ] != y)
+        if np.any(bad):
+            raise ValueError(f"unseen labels: {np.unique(y[bad])}")
+        return encoded.astype(np.int64)
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, encoded: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted yet")
+        return self.classes_[np.asarray(encoded)]

@@ -1,0 +1,39 @@
+"""Random oversampling of minority classes (Section 3.2: the paper
+oversamples before stratified validation to counter class imbalance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomOverSampler:
+    """Duplicate minority-class samples until every class matches the
+    majority count."""
+
+    def __init__(self, random_state: int | None = None):
+        self.random_state = random_state
+
+    def fit_resample(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return a rebalanced ``(X, y)`` (original samples first)."""
+        X = np.asarray(X)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of samples")
+        rng = np.random.default_rng(self.random_state)
+        classes, counts = np.unique(y, return_counts=True)
+        target = counts.max()
+        extra_X, extra_y = [], []
+        for cls, count in zip(classes, counts):
+            deficit = int(target - count)
+            if deficit == 0:
+                continue
+            idx = np.flatnonzero(y == cls)
+            picks = rng.choice(idx, size=deficit, replace=True)
+            extra_X.append(X[picks])
+            extra_y.append(y[picks])
+        if not extra_X:
+            return X.copy(), y.copy()
+        return (
+            np.concatenate([X] + extra_X),
+            np.concatenate([y] + extra_y),
+        )

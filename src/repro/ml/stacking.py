@@ -1,0 +1,108 @@
+"""Stacked generalization (Algorithm 2 of the paper).
+
+For each family of base classifiers (hyper-parameter variants of RF, SVM
+and XGBoost), candidates are scored with stratified 3-fold CV on cross
+entropy; the top-k per family are kept, their out-of-fold probability
+predictions become meta-features, and a logistic regression computes the
+combination weights — the "ComputeEstimatorWeights with logistic
+regression" step.  Predicting stacks the refitted base probabilities and
+applies the meta-model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import log_loss
+from repro.ml.model_selection import ParameterGrid, StratifiedKFold
+
+
+class StackingEnsemble(BaseEstimator):
+    """Stacked ensemble over one or more classifier families.
+
+    Parameters
+    ----------
+    families:
+        Mapping ``name -> (prototype_estimator, param_grid)``.  Each grid
+        entry defines one candidate base classifier.
+    top_k:
+        Number of best candidates kept per family (the paper keeps 5).
+    cv:
+        Stratified folds for both candidate scoring and out-of-fold
+        meta-feature generation (the paper uses 3).
+    """
+
+    def __init__(
+        self,
+        families: dict[str, tuple[BaseEstimator, dict[str, list[Any]]]],
+        top_k: int = 5,
+        cv: int = 3,
+        random_state: int | None = None,
+    ):
+        self.families = families
+        self.top_k = top_k
+        self.cv = cv
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "StackingEnsemble":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        k = self.classes_.size
+        folds = list(
+            StratifiedKFold(self.cv, shuffle=True, random_state=self.random_state).split(y)
+        )
+
+        # Score every candidate and keep its out-of-fold probabilities so
+        # meta-training does not need a second CV pass.
+        selected: list[tuple[float, BaseEstimator, np.ndarray]] = []
+        self.candidate_scores_: dict[str, list[float]] = {}
+        for family_name, (prototype, grid) in self.families.items():
+            scored: list[tuple[float, BaseEstimator, np.ndarray]] = []
+            for params in ParameterGrid(grid):
+                candidate = clone(prototype).set_params(**params)
+                oof = np.zeros((y.size, k))
+                for train_idx, valid_idx in folds:
+                    model = clone(candidate)
+                    model.fit(X[train_idx], y[train_idx])
+                    probs = model.predict_proba(X[valid_idx])
+                    cols = np.searchsorted(self.classes_, model.classes_)
+                    oof[np.ix_(valid_idx, cols)] = probs
+                score = log_loss(y, oof, classes=self.classes_)
+                scored.append((score, candidate, oof))
+            scored.sort(key=lambda item: item[0])
+            self.candidate_scores_[family_name] = [item[0] for item in scored]
+            selected.extend(scored[: self.top_k])
+
+        self.base_estimators_ = []
+        meta_blocks = []
+        for _, candidate, oof in selected:
+            fitted = clone(candidate)
+            fitted.fit(X, y)
+            self.base_estimators_.append(fitted)
+            meta_blocks.append(oof)
+        meta_X = np.concatenate(meta_blocks, axis=1)
+        self.meta_model_ = LogisticRegression(C=10.0, max_iter=300)
+        self.meta_model_.fit(meta_X, y)
+        return self
+
+    def _meta_features(self, X: np.ndarray) -> np.ndarray:
+        blocks = []
+        for model in self.base_estimators_:
+            probs = model.predict_proba(X)
+            if model.classes_.size != self.classes_.size:
+                full = np.zeros((X.shape[0], self.classes_.size))
+                cols = np.searchsorted(self.classes_, model.classes_)
+                full[:, cols] = probs
+                probs = full
+            blocks.append(probs)
+        return np.concatenate(blocks, axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("meta_model_")
+        X = np.asarray(X, dtype=np.float64)
+        return self.meta_model_.predict_proba(self._meta_features(X))

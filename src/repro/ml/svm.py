@@ -1,0 +1,206 @@
+"""Kernel SVM trained with a simplified SMO, plus one-vs-rest multiclass.
+
+Probability outputs use Platt scaling (a one-dimensional logistic fit on
+the decision values), which is what the stacking ensemble and log-loss
+model selection consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+def _kernel_matrix(
+    A: np.ndarray, B: np.ndarray, kernel: str, gamma: float, degree: int, coef0: float
+) -> np.ndarray:
+    if kernel == "linear":
+        return A @ B.T
+    if kernel == "rbf":
+        sq = (
+            np.sum(A**2, axis=1)[:, None]
+            + np.sum(B**2, axis=1)[None, :]
+            - 2.0 * (A @ B.T)
+        )
+        return np.exp(-gamma * np.maximum(sq, 0.0))
+    if kernel == "poly":
+        return (gamma * (A @ B.T) + coef0) ** degree
+    raise ValueError(f"unknown kernel {kernel!r}")
+
+
+class _BinarySMO:
+    """Platt's simplified SMO for a single binary problem (labels ±1)."""
+
+    def __init__(self, C: float, tol: float, max_passes: int, rng: np.random.Generator):
+        self.C = C
+        self.tol = tol
+        self.max_passes = max_passes
+        self.rng = rng
+
+    def fit(self, K: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+        n = y.size
+        alpha = np.zeros(n)
+        b = 0.0
+        passes = 0
+        while passes < self.max_passes:
+            changed = 0
+            errors = (alpha * y) @ K + b - y
+            for i in range(n):
+                e_i = float((alpha * y) @ K[:, i] + b - y[i])
+                if (y[i] * e_i < -self.tol and alpha[i] < self.C) or (
+                    y[i] * e_i > self.tol and alpha[i] > 0
+                ):
+                    j = int(self.rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    e_j = float((alpha * y) @ K[:, j] + b - y[j])
+                    a_i_old, a_j_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, a_j_old - a_i_old)
+                        high = min(self.C, self.C + a_j_old - a_i_old)
+                    else:
+                        low = max(0.0, a_i_old + a_j_old - self.C)
+                        high = min(self.C, a_i_old + a_j_old)
+                    if low >= high:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    a_j = a_j_old - y[j] * (e_i - e_j) / eta
+                    a_j = min(max(a_j, low), high)
+                    if abs(a_j - a_j_old) < 1e-6:
+                        continue
+                    a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j)
+                    alpha[i], alpha[j] = a_i, a_j
+                    b1 = (
+                        b
+                        - e_i
+                        - y[i] * (a_i - a_i_old) * K[i, i]
+                        - y[j] * (a_j - a_j_old) * K[i, j]
+                    )
+                    b2 = (
+                        b
+                        - e_j
+                        - y[i] * (a_i - a_i_old) * K[i, j]
+                        - y[j] * (a_j - a_j_old) * K[j, j]
+                    )
+                    if 0 < a_i < self.C:
+                        b = b1
+                    elif 0 < a_j < self.C:
+                        b = b2
+                    else:
+                        b = 0.5 * (b1 + b2)
+                    changed += 1
+            del errors
+            passes = passes + 1 if changed == 0 else 0
+        return alpha, b
+
+
+def _platt_scale(scores: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
+    """Fit ``P(y=1|s) = sigmoid(a s + c)`` by Newton iterations."""
+    a, c = 1.0, 0.0
+    t = targets.astype(np.float64)
+    for _ in range(50):
+        z = a * scores + c
+        p = 1.0 / (1.0 + np.exp(-z))
+        g_a = float(((p - t) * scores).sum())
+        g_c = float((p - t).sum())
+        w = p * (1 - p) + 1e-12
+        h_aa = float((w * scores * scores).sum()) + 1e-9
+        h_cc = float(w.sum()) + 1e-9
+        h_ac = float((w * scores).sum())
+        det = h_aa * h_cc - h_ac * h_ac
+        if abs(det) < 1e-12:
+            break
+        da = (h_cc * g_a - h_ac * g_c) / det
+        dc = (h_aa * g_c - h_ac * g_a) / det
+        a -= da
+        c -= dc
+        if max(abs(da), abs(dc)) < 1e-8:
+            break
+    return a, c
+
+
+class SVC(BaseEstimator):
+    """One-vs-rest kernel SVM.
+
+    ``gamma="scale"`` follows the sklearn heuristic
+    ``1 / (n_features * X.var())``.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float | str = "scale",
+        degree: int = 3,
+        coef0: float = 0.0,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        random_state: int | None = None,
+    ):
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tol = tol
+        self.max_passes = max_passes
+        self.random_state = random_state
+
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        if self.gamma == "scale":
+            var = float(X.var())
+            return 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        if self.gamma == "auto":
+            return 1.0 / X.shape[1]
+        return float(self.gamma)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVC":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self._X = X
+        self._gamma = self._resolve_gamma(X)
+        rng = np.random.default_rng(self.random_state)
+        K = _kernel_matrix(X, X, self.kernel, self._gamma, self.degree, self.coef0)
+        self._dual: list[tuple[np.ndarray, float]] = []
+        self._platt: list[tuple[float, float]] = []
+        smo = _BinarySMO(self.C, self.tol, self.max_passes, rng)
+        binary = self.classes_.size == 2
+        targets = [self.classes_[1]] if binary else list(self.classes_)
+        for cls in targets:
+            y_signed = np.where(y == cls, 1.0, -1.0)
+            alpha, b = smo.fit(K, y_signed)
+            self._dual.append((alpha * y_signed, b))
+            scores = (alpha * y_signed) @ K + b
+            self._platt.append(_platt_scale(scores, (y_signed > 0).astype(float)))
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw OVR decision values, one column per trained machine."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        K = _kernel_matrix(
+            self._X, X, self.kernel, self._gamma, self.degree, self.coef0
+        )
+        columns = [coeff @ K + b for coeff, b in self._dual]
+        return np.column_stack(columns)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        if self.classes_.size == 2:
+            a, c = self._platt[0]
+            p1 = 1.0 / (1.0 + np.exp(-(a * scores[:, 0] + c)))
+            return np.column_stack([1.0 - p1, p1])
+        probs = np.empty_like(scores)
+        for idx, (a, c) in enumerate(self._platt):
+            probs[:, idx] = 1.0 / (1.0 + np.exp(-(a * scores[:, idx] + c)))
+        total = probs.sum(axis=1, keepdims=True)
+        return probs / np.where(total == 0.0, 1.0, total)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        if self.classes_.size == 2:
+            return self.classes_[(scores[:, 0] > 0).astype(int)]
+        return self.classes_[np.argmax(scores, axis=1)]

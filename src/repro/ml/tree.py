@@ -1,0 +1,210 @@
+"""CART decision tree for classification.
+
+The split search is vectorised across *all* candidate features at once:
+each node sorts its submatrix column-wise, accumulates one-hot class
+counts with a single cumulative sum and evaluates the impurity of every
+(feature, threshold) pair simultaneously.  This keeps pure-Python tree
+construction fast enough to power the random forest and the grid-search
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X_y
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _impurity_matrix(
+    counts_left: np.ndarray, counts_right: np.ndarray, criterion: str
+) -> np.ndarray:
+    """Weighted impurity for every candidate split.
+
+    ``counts_left``/``counts_right`` have shape ``(n_splits, n_features,
+    n_classes)``; the result has shape ``(n_splits, n_features)``.
+    """
+    n_left = counts_left.sum(axis=2)
+    n_right = counts_right.sum(axis=2)
+    total = n_left + n_right
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_left = counts_left / np.maximum(n_left, 1)[:, :, None]
+        p_right = counts_right / np.maximum(n_right, 1)[:, :, None]
+        if criterion == "gini":
+            imp_left = 1.0 - (p_left**2).sum(axis=2)
+            imp_right = 1.0 - (p_right**2).sum(axis=2)
+        elif criterion == "entropy":
+            imp_left = -(p_left * np.log2(np.where(p_left > 0, p_left, 1.0))).sum(axis=2)
+            imp_right = -(p_right * np.log2(np.where(p_right > 0, p_right, 1.0))).sum(axis=2)
+        else:
+            raise ValueError(f"unknown criterion {criterion!r}")
+    return (n_left * imp_left + n_right * imp_right) / total
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """CART classifier with gini or entropy impurity.
+
+    Parameters mirror the sklearn names: ``max_depth``,
+    ``min_samples_split``, ``min_samples_leaf`` and ``max_features``
+    (``None`` = all, ``"sqrt"``, an int, or a float fraction).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        criterion: str = "gini",
+        max_features: int | float | str | None = None,
+        random_state: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.criterion = criterion
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._n_subset = self._resolve_max_features(X.shape[1])
+        onehot = np.eye(self.classes_.size, dtype=np.float64)[y_enc]
+        self._nodes: list[_Node] = []
+        self._build(X, onehot, np.arange(X.shape[0]), depth=0)
+        self.feature_importances_ = self._importances(X, onehot)
+        return self
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        return max(1, min(int(mf), n_features))
+
+    def _build(self, X: np.ndarray, onehot: np.ndarray, idx: np.ndarray, depth: int) -> int:
+        node_id = len(self._nodes)
+        node = _Node()
+        self._nodes.append(node)
+        counts = onehot[idx].sum(axis=0)
+        node.value = counts / counts.sum()
+
+        pure = np.count_nonzero(counts) <= 1
+        too_deep = self.max_depth is not None and depth >= self.max_depth
+        too_small = idx.size < self.min_samples_split
+        if pure or too_deep or too_small:
+            return node_id
+
+        split = self._find_split(X[idx], onehot[idx])
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[idx, feature] <= threshold
+        left_idx, right_idx = idx[mask], idx[~mask]
+        if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+            return node_id
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X, onehot, left_idx, depth + 1)
+        node.right = self._build(X, onehot, right_idx, depth + 1)
+        return node_id
+
+    def _find_split(self, Xn: np.ndarray, Yn: np.ndarray) -> tuple[int, float] | None:
+        n = Xn.shape[0]
+        if self._n_subset < self.n_features_:
+            features = self._rng.choice(self.n_features_, size=self._n_subset, replace=False)
+        else:
+            features = np.arange(self.n_features_)
+        Xf = Xn[:, features]
+        order = np.argsort(Xf, axis=0, kind="stable")
+        x_sorted = np.take_along_axis(Xf, order, axis=0)
+        y_sorted = Yn[order]  # (n, n_sub, k)
+        cum = np.cumsum(y_sorted, axis=0)
+        total = cum[-1]  # (n_sub, k)
+        counts_left = cum[:-1]  # split after position i => left size i+1
+        counts_right = total[None, :, :] - counts_left
+        impurity = _impurity_matrix(counts_left, counts_right, self.criterion)
+
+        left_sizes = np.arange(1, n)
+        size_ok = (left_sizes >= self.min_samples_leaf) & (
+            n - left_sizes >= self.min_samples_leaf
+        )
+        distinct = x_sorted[:-1] < x_sorted[1:]
+        valid = distinct & size_ok[:, None]
+        if not np.any(valid):
+            return None
+        impurity = np.where(valid, impurity, np.inf)
+        flat = int(np.argmin(impurity))
+        row, col = divmod(flat, impurity.shape[1])
+        threshold = 0.5 * (x_sorted[row, col] + x_sorted[row + 1, col])
+        return int(features[col]), float(threshold)
+
+    def _importances(self, X: np.ndarray, onehot: np.ndarray) -> np.ndarray:
+        """Split-count importances (sufficient for the case-study ranking)."""
+        importances = np.zeros(self.n_features_)
+        for node in self._nodes:
+            if not node.is_leaf:
+                importances[node.feature] += 1.0
+        total = importances.sum()
+        return importances / total if total > 0 else importances
+
+    # -- prediction ----------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((X.shape[0], self.classes_.size))
+        # Route samples through the tree breadth-first in index groups.
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node_id, rows = stack.pop()
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            if np.any(mask):
+                stack.append((node.left, rows[mask]))
+            if not np.all(mask):
+                stack.append((node.right, rows[~mask]))
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of tree nodes (fitted trees only)."""
+        self._check_fitted()
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (root = 0)."""
+        self._check_fitted()
+
+        def node_depth(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(0)

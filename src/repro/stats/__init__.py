@@ -1,0 +1,18 @@
+"""Statistical tests used in the paper's evaluation: Wilcoxon signed-rank
+(Table 2/3 significance rows), Friedman + Nemenyi critical-difference
+analysis (Figures 6-7) and win/loss comparison utilities."""
+
+from repro.stats.comparison import pairwise_comparison, win_counts
+from repro.stats.friedman import average_ranks, friedman_test
+from repro.stats.nemenyi import critical_difference, nemenyi_groups
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+
+__all__ = [
+    "wilcoxon_signed_rank",
+    "friedman_test",
+    "average_ranks",
+    "critical_difference",
+    "nemenyi_groups",
+    "win_counts",
+    "pairwise_comparison",
+]

@@ -1,0 +1,66 @@
+"""Win/tie/loss bookkeeping for method-vs-method comparisons.
+
+Table 2's footer reports, for each column pair, how many datasets the
+right-hand method wins plus the Wilcoxon p-value; these helpers compute
+exactly those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+
+def win_counts(errors_a: np.ndarray, errors_b: np.ndarray) -> tuple[int, int, int]:
+    """``(a_wins, ties, b_wins)`` counted over per-dataset error rates
+    (lower error wins)."""
+    errors_a = np.asarray(errors_a, dtype=np.float64)
+    errors_b = np.asarray(errors_b, dtype=np.float64)
+    if errors_a.shape != errors_b.shape:
+        raise ValueError("error arrays must have the same shape")
+    a_wins = int(np.sum(errors_a < errors_b))
+    b_wins = int(np.sum(errors_b < errors_a))
+    ties = errors_a.size - a_wins - b_wins
+    return a_wins, ties, b_wins
+
+
+@dataclass(frozen=True)
+class PairwiseComparison:
+    """One comparison row: wins for the challenger plus significance."""
+
+    challenger: str
+    reference: str
+    challenger_wins: int
+    ties: int
+    reference_wins: int
+    wilcoxon: WilcoxonResult
+
+    def summary(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.challenger} vs {self.reference}: "
+            f"{self.challenger_wins}W/{self.ties}T/{self.reference_wins}L, "
+            f"p={self.wilcoxon.p_value:.3g}"
+        )
+
+
+def pairwise_comparison(
+    challenger_name: str,
+    challenger_errors: np.ndarray,
+    reference_name: str,
+    reference_errors: np.ndarray,
+) -> PairwiseComparison:
+    """Compare two methods' per-dataset error vectors."""
+    ref_wins, ties, chal_wins = win_counts(reference_errors, challenger_errors)
+    result = wilcoxon_signed_rank(challenger_errors, reference_errors)
+    return PairwiseComparison(
+        challenger=challenger_name,
+        reference=reference_name,
+        challenger_wins=chal_wins,
+        ties=ties,
+        reference_wins=ref_wins,
+        wilcoxon=result,
+    )

@@ -1,0 +1,67 @@
+"""Friedman rank test across multiple methods and datasets.
+
+Precedes the Nemenyi post-hoc analysis of Figures 6-7: methods are
+ranked per dataset (1 = best, average ranks on ties) and the Friedman
+chi-square statistic tests whether average ranks differ at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import chi2
+
+
+def average_ranks(errors: np.ndarray) -> np.ndarray:
+    """Average rank of each method (column) over datasets (rows).
+
+    Lower error = better = rank 1; ties share average ranks.
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.ndim != 2:
+        raise ValueError("errors must be (n_datasets, n_methods)")
+    n_datasets, n_methods = errors.shape
+    ranks = np.empty_like(errors)
+    for row in range(n_datasets):
+        values = errors[row]
+        order = np.argsort(values, kind="stable")
+        row_ranks = np.empty(n_methods)
+        i = 0
+        while i < n_methods:
+            j = i
+            while j + 1 < n_methods and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            row_ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+            i = j + 1
+        ranks[row] = row_ranks
+    return ranks.mean(axis=0)
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Friedman test outcome plus the average ranks it was computed from."""
+
+    statistic: float
+    p_value: float
+    ranks: np.ndarray
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether at least one method differs at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def friedman_test(errors: np.ndarray) -> FriedmanResult:
+    """Friedman chi-square test over an ``(n_datasets, n_methods)`` matrix."""
+    errors = np.asarray(errors, dtype=np.float64)
+    n, k = errors.shape
+    if k < 2:
+        raise ValueError("need at least two methods")
+    if n < 2:
+        raise ValueError("need at least two datasets")
+    ranks = average_ranks(errors)
+    statistic = 12.0 * n / (k * (k + 1)) * float(
+        np.sum(ranks**2) - k * (k + 1) ** 2 / 4.0
+    )
+    p_value = float(chi2.sf(statistic, df=k - 1))
+    return FriedmanResult(statistic=statistic, p_value=p_value, ranks=ranks)

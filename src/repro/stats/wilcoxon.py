@@ -1,0 +1,72 @@
+"""Wilcoxon signed-rank test (two-sided, normal approximation).
+
+The paper reports Wilcoxon p-values when comparing per-dataset error
+rates of two methods (Tables 2 and 3).  This implementation follows the
+standard treatment: zero differences are discarded (Wilcoxon's original
+proposal), ties share average ranks, and the z statistic uses the tie
+correction.  It is cross-validated against ``scipy.stats.wilcoxon`` in
+the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Test outcome: the smaller signed-rank sum and the two-sided p-value."""
+
+    statistic: float
+    p_value: float
+    n_effective: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at ``alpha``."""
+        return self.p_value < alpha
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def wilcoxon_signed_rank(x: np.ndarray, y: np.ndarray) -> WilcoxonResult:
+    """Two-sided Wilcoxon signed-rank test of paired samples ``x`` vs ``y``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-dimensional arrays of equal length")
+    differences = x - y
+    differences = differences[differences != 0.0]
+    n = differences.size
+    if n == 0:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n_effective=0)
+
+    ranks = _average_ranks(np.abs(differences))
+    r_plus = float(ranks[differences > 0].sum())
+    r_minus = float(ranks[differences < 0].sum())
+    statistic = min(r_plus, r_minus)
+
+    mean = n * (n + 1) / 4.0
+    variance = n * (n + 1) * (2 * n + 1) / 24.0
+    # Tie correction on the ranks of |differences|.
+    _, tie_counts = np.unique(np.abs(differences), return_counts=True)
+    variance -= float(np.sum(tie_counts**3 - tie_counts)) / 48.0
+    if variance <= 0:
+        return WilcoxonResult(statistic=statistic, p_value=1.0, n_effective=n)
+    z = (statistic - mean) / np.sqrt(variance)
+    p_value = float(min(2.0 * norm.cdf(z), 1.0))
+    return WilcoxonResult(statistic=statistic, p_value=p_value, n_effective=n)

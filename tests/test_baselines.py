@@ -1,0 +1,183 @@
+"""Baseline TSC classifiers: 1NN, SAX-VSM, BOP, FS, LS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BagOfPatternsClassifier,
+    FastShapeletsClassifier,
+    LearningShapeletsClassifier,
+    NearestNeighborDTW,
+    NearestNeighborEuclidean,
+    SAXVSMClassifier,
+)
+from repro.baselines.fast_shapelets import subsequence_distance
+from repro.data.dataset import z_normalize
+
+
+class TestNearestNeighborEuclidean:
+    def test_memorizes_training_set(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = NearestNeighborEuclidean().fit(X_tr, y_tr)
+        assert clf.score(X_tr, y_tr) == 1.0
+
+    def test_proba_is_one_hot(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        probs = NearestNeighborEuclidean().fit(X_tr, y_tr).predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+
+    def test_simple_two_class(self):
+        X_tr = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        clf = NearestNeighborEuclidean().fit(X_tr, np.array([0, 1]))
+        assert clf.predict(np.array([[0.2, -0.1, 0.1]])) == [0]
+        assert clf.predict(np.array([[4.0, 6.0, 5.0]])) == [1]
+
+
+class TestNearestNeighborDTW:
+    def test_handles_misalignment_better_than_ed(self, rng):
+        # Impulse at shifting positions: DTW warps it, ED cannot.
+        def impulse(pos):
+            x = np.zeros(24)
+            x[pos] = 5.0
+            return x + rng.normal(0, 0.05, 24)
+
+        X_tr = np.stack([impulse(6), impulse(7), np.ones(24), np.ones(24)])
+        y_tr = np.array([0, 0, 1, 1])
+        X_te = np.stack([impulse(10)])
+        dtw = NearestNeighborDTW(window=6).fit(X_tr, y_tr)
+        assert dtw.predict(X_te) == [0]
+
+    def test_window_none_unconstrained(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = NearestNeighborDTW(window=None).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.6
+
+
+class TestSAXVSM:
+    def test_separable_textures(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = SAXVSMClassifier(window=0.25, word_length=6).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_proba_normalized(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        probs = SAXVSMClassifier().fit(X_tr, y_tr).predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_integer_window(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = SAXVSMClassifier(window=16).fit(X_tr, y_tr)
+        assert clf._window == 16
+
+
+class TestBagOfPatterns:
+    def test_separable_textures(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = BagOfPatternsClassifier(window=0.25, word_length=6).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.6
+
+    def test_train_prediction_reasonable(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = BagOfPatternsClassifier().fit(X_tr, y_tr)
+        assert clf.score(X_tr, y_tr) > 0.8
+
+
+class TestSubsequenceDistance:
+    def test_exact_occurrence_zero(self, rng):
+        series = rng.normal(size=40)
+        shapelet = z_normalize(series[10:20])
+        assert subsequence_distance(series, shapelet) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_absent_pattern(self, rng):
+        series = rng.normal(size=40)
+        shapelet = z_normalize(np.sin(np.linspace(0, 20, 10)) * 10)
+        assert subsequence_distance(series, shapelet) > 0
+
+
+class TestFastShapelets:
+    @pytest.fixture
+    def shapelet_dataset(self, rng):
+        """Class 1 contains a sharp triangle pattern at a random place."""
+
+        def sample(label):
+            x = rng.normal(0, 1, 80)
+            if label == 1:
+                pos = int(rng.integers(10, 60))
+                x[pos : pos + 12] += np.concatenate(
+                    [np.linspace(0, 6, 6), np.linspace(6, 0, 6)]
+                )
+            return x
+
+        X_tr = np.stack([sample(i % 2) for i in range(30)])
+        y_tr = np.arange(30) % 2
+        X_te = np.stack([sample(i % 2) for i in range(20)])
+        y_te = np.arange(20) % 2
+        return X_tr, y_tr, X_te, y_te
+
+    def test_finds_embedded_shapelet(self, shapelet_dataset):
+        X_tr, y_tr, X_te, y_te = shapelet_dataset
+        clf = FastShapeletsClassifier(random_state=0).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) >= 0.75
+
+    def test_tree_has_shapelet_root(self, shapelet_dataset):
+        X_tr, y_tr, _, _ = shapelet_dataset
+        clf = FastShapeletsClassifier(random_state=0).fit(X_tr, y_tr)
+        assert clf._root.label is None
+        assert clf._root.shapelet is not None
+
+    def test_single_class_leaf(self):
+        X = np.random.default_rng(0).normal(size=(6, 30))
+        y = np.zeros(6, dtype=int)
+        clf = FastShapeletsClassifier(random_state=0).fit(X, y)
+        assert clf._root.label == 0
+        assert np.all(clf.predict(X) == 0)
+
+    def test_deterministic(self, shapelet_dataset):
+        X_tr, y_tr, X_te, _ = shapelet_dataset
+        p1 = FastShapeletsClassifier(random_state=3).fit(X_tr, y_tr).predict(X_te)
+        p2 = FastShapeletsClassifier(random_state=3).fit(X_tr, y_tr).predict(X_te)
+        assert np.array_equal(p1, p2)
+
+
+class TestLearningShapelets:
+    def test_learns_texture_classes(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = LearningShapeletsClassifier(n_epochs=150, random_state=0).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_transform_shape(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        clf = LearningShapeletsClassifier(
+            n_shapelets=6, scales=2, n_epochs=30, random_state=0
+        ).fit(X_tr, y_tr)
+        features = clf.transform(X_te)
+        assert features.shape == (X_te.shape[0], 6)
+        assert np.all(features >= 0)
+
+    def test_shapelet_banks_exposed(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = LearningShapeletsClassifier(
+            n_shapelets=4, scales=2, length=0.2, n_epochs=10, random_state=0
+        ).fit(X_tr, y_tr)
+        banks = clf.shapelets_
+        assert len(banks) == 2
+        base = max(4, int(round(0.2 * X_tr.shape[1])))
+        assert banks[0].shape[1] == base
+        assert banks[1].shape[1] == 2 * base
+
+    def test_probabilities_valid(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        clf = LearningShapeletsClassifier(n_epochs=20, random_state=0).fit(X_tr, y_tr)
+        probs = clf.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_training_reduces_loss(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        short = LearningShapeletsClassifier(n_epochs=5, random_state=0).fit(X_tr, y_tr)
+        long = LearningShapeletsClassifier(n_epochs=200, random_state=0).fit(X_tr, y_tr)
+        from repro.ml.metrics import log_loss
+
+        loss_short = log_loss(y_tr, short.predict_proba(X_tr), classes=short.classes_)
+        loss_long = log_loss(y_tr, long.predict_proba(X_tr), classes=long.classes_)
+        assert loss_long < loss_short

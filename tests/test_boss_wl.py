@@ -1,0 +1,141 @@
+"""BOSS ensemble and WL graph-kernel classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.boss import (
+    BOSSEnsembleClassifier,
+    _SFA,
+    boss_distance,
+)
+from repro.core.graph_kernel import (
+    WLVisibilityKernelClassifier,
+    wl_color_histogram,
+    wl_kernel_value,
+)
+from repro.graph import Graph
+
+
+class TestSFA:
+    def test_words_in_range(self, rng):
+        windows = rng.normal(size=(40, 32))
+        sfa = _SFA(word_length=6, alphabet_size=4, mean_norm=True).fit(windows)
+        words = sfa.transform_words(windows)
+        assert words.shape == (40,)
+        assert words.min() >= 0
+        assert words.max() < 4**6
+
+    def test_offset_invariance_with_mean_norm(self, rng):
+        windows = rng.normal(size=(10, 32))
+        sfa = _SFA(word_length=6, alphabet_size=4, mean_norm=True).fit(windows)
+        shifted = windows + 100.0
+        assert np.array_equal(
+            sfa.transform_words(windows), sfa.transform_words(shifted)
+        )
+
+    def test_breakpoints_shape(self, rng):
+        sfa = _SFA(word_length=8, alphabet_size=5, mean_norm=True)
+        sfa.fit(rng.normal(size=(30, 40)))
+        assert sfa.breakpoints_.shape == (4, 8)
+
+
+class TestBossDistance:
+    def test_identical_bags_zero(self):
+        from collections import Counter
+
+        bag = Counter({1: 3, 2: 1})
+        assert boss_distance(bag, bag) == 0.0
+
+    def test_asymmetry(self):
+        from collections import Counter
+
+        a = Counter({1: 2})
+        b = Counter({1: 2, 2: 5})
+        assert boss_distance(a, b) == 0.0  # only a's words count
+        assert boss_distance(b, a) == 25.0
+
+
+class TestBOSSEnsemble:
+    def test_separates_texture_classes(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = BOSSEnsembleClassifier().fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.75
+
+    def test_ensemble_members_selected(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = BOSSEnsembleClassifier().fit(X_tr, y_tr)
+        assert 1 <= len(clf.members_) <= 4
+
+    def test_probabilities_are_vote_fractions(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        clf = BOSSEnsembleClassifier().fit(X_tr, y_tr)
+        probs = clf.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance_beats_alignment_noise(self, rng):
+        # Same waveform circularly shifted per sample: histograms barely move.
+        t = np.linspace(0, 1, 64, endpoint=False)
+
+        def sample(label):
+            base = np.sin(2 * np.pi * (3 if label == 0 else 7) * t)
+            return np.roll(base, int(rng.integers(0, 64))) + rng.normal(0, 0.1, 64)
+
+        X_tr = np.stack([sample(i % 2) for i in range(20)])
+        y_tr = np.arange(20) % 2
+        X_te = np.stack([sample(i % 2) for i in range(10)])
+        y_te = np.arange(10) % 2
+        clf = BOSSEnsembleClassifier().fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) >= 0.8
+
+
+class TestWLColorHistogram:
+    def test_zero_iterations_is_degree_histogram(self):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        histogram = wl_color_histogram(star, n_iterations=0)
+        assert sum(histogram.values()) == 4
+
+    def test_refinement_distinguishes_nonisomorphic(self):
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        h_path = wl_color_histogram(path, n_iterations=2)
+        h_star = wl_color_histogram(star, n_iterations=2)
+        assert h_path != h_star
+
+    def test_isomorphic_graphs_same_histogram(self):
+        a = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        b = Graph(4, [(3, 2), (2, 1), (1, 0)])  # same path, reversed labels
+        assert wl_color_histogram(a, 2) == wl_color_histogram(b, 2)
+
+    def test_kernel_value_symmetric_nonnegative(self):
+        a = wl_color_histogram(Graph(4, [(0, 1), (1, 2), (2, 3)]), 2)
+        b = wl_color_histogram(Graph(4, [(0, 1), (0, 2), (0, 3)]), 2)
+        assert wl_kernel_value(a, b) == wl_kernel_value(b, a)
+        assert wl_kernel_value(a, b) >= 0
+        assert wl_kernel_value(a, a) > 0
+
+
+class TestWLClassifier:
+    def test_separates_texture_classes(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = WLVisibilityKernelClassifier().fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_kernel_matrix_psd_diagonal(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = WLVisibilityKernelClassifier().fit(X_tr[:6], y_tr[:6])
+        K = clf.kernel_matrix(X_tr[:6])
+        assert np.allclose(K, K.T)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-6  # PSD up to numerics
+
+    def test_uniscale_variant(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = WLVisibilityKernelClassifier(multiscale=False, use_hvg=False)
+        clf.fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.5
+
+    def test_probabilities_valid(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        clf = WLVisibilityKernelClassifier(n_iterations=1).fit(X_tr, y_tr)
+        probs = clf.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)

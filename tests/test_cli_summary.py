@@ -1,0 +1,85 @@
+"""CLI dispatch and the EXPERIMENTS.md summary generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import ALL_COMMANDS, main
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ArrowHead" in out
+        assert "Surrogate archive" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_all_commands_enumerated(self):
+        assert "table2" in ALL_COMMANDS
+        assert "fig10" in ALL_COMMANDS
+        assert len(ALL_COMMANDS) == 11
+
+    def test_fig2_runs_without_cache(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestSummary:
+    @pytest.fixture
+    def fake_results(self, monkeypatch, tmp_path):
+        """Synthesised sweep caches so the summary renders standalone."""
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        rng = np.random.default_rng(0)
+        datasets = [f"ds{i}" for i in range(10)]
+        methods2 = ["1NN-ED", "1NN-DTW"] + list("ABCDEFG")
+        table2 = {
+            "datasets": datasets,
+            "errors": {m: rng.uniform(0, 1, 10).tolist() for m in methods2},
+        }
+        methods3 = ["1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM", "MVG"]
+        table3 = {
+            "datasets": datasets,
+            "errors": {m: rng.uniform(0, 1, 10).tolist() for m in methods3},
+            "mvg_fe": rng.uniform(1, 5, 10).tolist(),
+            "mvg_clf": rng.uniform(1, 5, 10).tolist(),
+            "fs_runtime": rng.uniform(10, 50, 10).tolist(),
+        }
+        fig6 = {
+            "datasets": datasets,
+            "errors": {
+                m: rng.uniform(0, 1, 10).tolist()
+                for m in ["MVG (SVM)", "MVG (RF)", "MVG (XGBoost)"]
+            },
+        }
+        for name, payload in (("table2", table2), ("table3", table3), ("fig6", fig6)):
+            (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_build_contains_all_sections(self, fake_results):
+        from repro.experiments.summary import build
+
+        text = build()
+        assert "## Table 2" in text
+        assert "## Table 3" in text
+        assert "## Figure 6" in text
+        assert "Known deviations" in text
+        assert "G vs 1NN-ED" in text
+
+    def test_missing_cache_message(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "empty"))
+        from repro.experiments.summary import table2_section
+
+        assert "run `python -m repro table2`" in table2_section()[0]
+
+    def test_runtime_speedup_reported(self, fake_results):
+        from repro.experiments.summary import table3_section
+
+        text = "\n".join(table3_section())
+        assert "speedup" in text
+        assert "MVG faster on" in text

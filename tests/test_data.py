@@ -1,0 +1,243 @@
+"""Dataset containers, generators, archive registry and the UCR reader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ARCHIVE_METADATA,
+    Dataset,
+    TrainTestSplit,
+    archive_dataset_names,
+    load_archive_dataset,
+    load_ucr_dataset,
+    z_normalize,
+)
+from repro.data.archive import build_class_specs
+from repro.data.generators import ClassSpec, family_names, generate_class_samples
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(3, 5, size=100)
+        z = z_normalize(x)
+        assert z.mean() == pytest.approx(0.0, abs=1e-9)
+        assert z.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_series_centered(self):
+        z = z_normalize(np.full(10, 7.0))
+        assert np.allclose(z, 0.0)
+
+    def test_batch_normalizes_rows(self, rng):
+        X = rng.normal(size=(4, 50)) * np.array([[1], [10], [100], [1000]])
+        Z = z_normalize(X)
+        assert np.allclose(Z.std(axis=1), 1.0)
+
+
+class TestDataset:
+    def test_properties(self, rng):
+        ds = Dataset(rng.normal(size=(10, 20)), np.repeat([0, 1], 5), name="toy")
+        assert ds.n_samples == 10
+        assert ds.length == 20
+        assert ds.n_classes == 2
+        assert ds.class_counts() == {0: 5, 1: 5}
+        assert "toy" in repr(ds)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.normal(size=(10,)), np.zeros(10))
+        with pytest.raises(ValueError):
+            Dataset(rng.normal(size=(10, 5)), np.zeros(9))
+
+    def test_subset_copies(self, rng):
+        ds = Dataset(rng.normal(size=(6, 4)), np.arange(6) % 2)
+        sub = ds.subset(np.array([0, 2]))
+        sub.X[0, 0] = 999.0
+        assert ds.X[0, 0] != 999.0
+
+    def test_z_normalized_copy(self, rng):
+        ds = Dataset(rng.normal(5, 3, size=(4, 30)), np.zeros(4, dtype=int))
+        normalized = ds.z_normalized()
+        assert np.allclose(normalized.X.mean(axis=1), 0.0, atol=1e-9)
+        assert not np.allclose(ds.X.mean(axis=1), 0.0)
+
+    def test_split_swap(self, rng):
+        train = Dataset(rng.normal(size=(4, 8)), np.zeros(4, dtype=int), name="x")
+        test = Dataset(rng.normal(size=(6, 8)), np.zeros(6, dtype=int), name="x")
+        split = TrainTestSplit(train=train, test=test)
+        swapped = split.swapped()
+        assert swapped.train.n_samples == 6
+        assert swapped.name == "x"
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(family_names()))
+    def test_every_family_produces_finite_series(self, family, rng):
+        params = {
+            "harmonic": {"freqs": [3.0, 7.0]},
+            "bumps": {"centers": [0.3, 0.7], "widths": [0.05, 0.1], "heights": [1.0, -1.0]},
+            "cbf": {"shape": "bell"},
+            "random_walk": {},
+            "ar": {"phi": [0.6]},
+            "logistic_map": {"r": 3.9},
+            "steps": {"levels": [0.0, 1.0, 2.0]},
+            "ecg": {},
+            "embedded_pattern": {"pattern": "triangle"},
+        }[family]
+        spec = ClassSpec(family=family, params=params, noise=0.1)
+        series = spec.generate(64, rng)
+        assert series.shape == (64,)
+        assert np.all(np.isfinite(series))
+
+    def test_unknown_family_raises(self, rng):
+        with pytest.raises(ValueError):
+            ClassSpec(family="nonsense").generate(32, rng)
+
+    def test_cbf_shapes(self, rng):
+        for shape in ("cylinder", "bell", "funnel"):
+            spec = ClassSpec(family="cbf", params={"shape": shape}, noise=0.0)
+            assert spec.generate(64, rng).max() > 1.0
+        with pytest.raises(ValueError):
+            ClassSpec(family="cbf", params={"shape": "cube"}).generate(64, rng)
+
+    def test_embedded_pattern_kinds(self, rng):
+        for pattern in ("triangle", "square", "none"):
+            spec = ClassSpec(family="embedded_pattern", params={"pattern": pattern})
+            assert spec.generate(80, rng).shape == (80,)
+        with pytest.raises(ValueError):
+            ClassSpec(
+                family="embedded_pattern", params={"pattern": "circle"}
+            ).generate(80, rng)
+
+    def test_batch_generation(self, rng):
+        spec = ClassSpec(family="harmonic", params={"freqs": [2.0]})
+        X = generate_class_samples(spec, 7, 48, rng)
+        assert X.shape == (7, 48)
+
+    def test_detrended_walk_has_no_linear_trend(self, rng):
+        spec = ClassSpec(family="random_walk", params={"drift": 0.5}, noise=0.0)
+        series = spec.generate(200, rng)
+        slope = np.polyfit(np.arange(200), series, 1)[0]
+        assert abs(slope) < 0.05
+
+    def test_logistic_map_stays_in_unit_interval(self, rng):
+        spec = ClassSpec(family="logistic_map", params={"r": 4.0}, noise=0.0)
+        series = spec.generate(100, rng)
+        assert np.all((series > 0) & (series < 1))
+
+
+class TestArchive:
+    def test_registry_has_39_datasets(self):
+        assert len(archive_dataset_names()) == 39
+
+    def test_metadata_matches_paper_counts(self):
+        assert ARCHIVE_METADATA["Phoneme"].n_classes == 39
+        assert ARCHIVE_METADATA["ShapesAll"].n_classes == 60
+        assert ARCHIVE_METADATA["ECG5000"].paper_test == 4500
+        assert ARCHIVE_METADATA["HandOutlines"].paper_length == 2709
+
+    def test_swapped_flags(self):
+        assert ARCHIVE_METADATA["FordA"].swapped_in_table3
+        assert not ARCHIVE_METADATA["ArrowHead"].swapped_in_table3
+
+    @pytest.mark.parametrize("name", ["BeetleFly", "ECG5000", "DistalPhalanxTW"])
+    def test_load_shapes(self, name):
+        spec = ARCHIVE_METADATA[name]
+        split = load_archive_dataset(name)
+        assert split.train.n_samples == spec.train_size
+        assert split.test.n_samples == spec.test_size
+        assert split.train.length == spec.length
+        assert split.train.n_classes == spec.n_classes
+        assert split.test.n_classes == spec.n_classes
+
+    def test_deterministic_across_loads(self):
+        a = load_archive_dataset("Wine")
+        b = load_archive_dataset("Wine")
+        assert np.array_equal(a.train.X, b.train.X)
+        assert np.array_equal(a.test.y, b.test.y)
+
+    def test_different_datasets_differ(self):
+        a = load_archive_dataset("BeetleFly")
+        b = load_archive_dataset("BirdChicken")
+        assert not np.array_equal(a.train.X, b.train.X)
+
+    def test_orientation_swap(self):
+        t2 = load_archive_dataset("Strawberry", orientation="table2")
+        t3 = load_archive_dataset("Strawberry", orientation="table3")
+        assert np.array_equal(t2.train.X, t3.test.X)
+
+    def test_orientation_noswap_for_stable_dataset(self):
+        t2 = load_archive_dataset("ArrowHead", orientation="table2")
+        t3 = load_archive_dataset("ArrowHead", orientation="table3")
+        assert np.array_equal(t2.train.X, t3.train.X)
+
+    def test_bad_orientation(self):
+        with pytest.raises(ValueError):
+            load_archive_dataset("Wine", orientation="table4")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_archive_dataset("NotADataset")
+
+    def test_class_specs_deterministic(self):
+        spec = ARCHIVE_METADATA["Herring"]
+        a = build_class_specs(spec)
+        b = build_class_specs(spec)
+        assert len(a) == spec.n_classes
+        assert all(x.family == y.family for x, y in zip(a, b))
+
+    def test_all_datasets_have_known_archetype(self):
+        for spec in ARCHIVE_METADATA.values():
+            assert build_class_specs(spec)  # raises on unknown archetype
+
+    def test_seed_override_changes_data(self):
+        a = load_archive_dataset("Wine")
+        b = load_archive_dataset("Wine", seed=999)
+        assert not np.array_equal(a.train.X, b.train.X)
+
+
+class TestUCRReader:
+    def _write_dataset(self, tmp_path, name, sep):
+        directory = tmp_path / name
+        directory.mkdir()
+        rows_train = [f"1{sep}0.1{sep}0.2{sep}0.3", f"2{sep}1.0{sep}1.1{sep}1.2"]
+        rows_test = [f"2{sep}0.9{sep}1.0{sep}1.1"]
+        (directory / f"{name}_TRAIN").write_text("\n".join(rows_train) + "\n")
+        (directory / f"{name}_TEST").write_text("\n".join(rows_test) + "\n")
+        return directory
+
+    def test_reads_comma_separated(self, tmp_path):
+        self._write_dataset(tmp_path, "Toy", ",")
+        split = load_ucr_dataset("Toy", root=tmp_path)
+        assert split.train.n_samples == 2
+        assert split.train.length == 3
+        assert split.test.n_samples == 1
+        # labels 1/2 remap to 0/1
+        assert set(split.train.y) == {0, 1}
+
+    def test_reads_tab_separated(self, tmp_path):
+        self._write_dataset(tmp_path, "Toy", "\t")
+        split = load_ucr_dataset("Toy", root=tmp_path)
+        assert split.train.X[1, 2] == pytest.approx(1.2)
+
+    def test_missing_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_UCR_ROOT", raising=False)
+        with pytest.raises(RuntimeError):
+            load_ucr_dataset("Toy")
+
+    def test_missing_dataset_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ucr_dataset("Nope", root=tmp_path)
+
+    def test_env_root(self, tmp_path, monkeypatch):
+        self._write_dataset(tmp_path, "Toy", ",")
+        monkeypatch.setenv("REPRO_UCR_ROOT", str(tmp_path))
+        split = load_ucr_dataset("Toy")
+        assert split.name == "Toy"
+
+    def test_length_mismatch_detected(self, tmp_path):
+        directory = tmp_path / "Bad"
+        directory.mkdir()
+        (directory / "Bad_TRAIN").write_text("1,0.1,0.2\n")
+        (directory / "Bad_TEST").write_text("1,0.1,0.2,0.3\n")
+        with pytest.raises(ValueError):
+            load_ucr_dataset("Bad", root=tmp_path)

@@ -1,0 +1,136 @@
+"""Directed and weighted visibility-graph variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    WeightedGraph,
+    directed_visibility_degrees,
+    irreversibility_kld,
+    visibility_graph,
+    weighted_strength_statistics,
+    weighted_visibility_graph,
+)
+from repro.graph.directed import degree_distribution
+
+series_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=2,
+    max_size=50,
+).map(np.asarray)
+
+
+class TestDirectedDegrees:
+    @given(series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_in_plus_out_equals_undirected(self, series):
+        in_degree, out_degree = directed_visibility_degrees(series)
+        undirected = visibility_graph(series).degrees()
+        assert np.array_equal(in_degree + out_degree, undirected)
+
+    def test_first_vertex_has_no_in_edges(self, rng):
+        series = rng.normal(size=20)
+        in_degree, out_degree = directed_visibility_degrees(series)
+        assert in_degree[0] == 0
+        assert out_degree[-1] == 0
+
+    def test_degree_distribution_sums_to_one(self, rng):
+        in_degree, _ = directed_visibility_degrees(rng.normal(size=30))
+        dist = degree_distribution(in_degree)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_degree_distribution_empty(self):
+        assert degree_distribution(np.array([])) == {}
+
+
+class TestIrreversibility:
+    def test_nonnegative(self, rng):
+        assert irreversibility_kld(rng.normal(size=100)) >= 0.0
+
+    def test_irreversible_process_scores_higher(self, rng):
+        iid = np.mean(
+            [irreversibility_kld(rng.normal(size=200)) for _ in range(8)]
+        )
+        sawtooth = np.tile(
+            np.concatenate([np.linspace(0, 1, 18), [0.2]]), 11
+        )[:200] + rng.normal(0, 0.01, 200)
+        assert irreversibility_kld(sawtooth) > iid
+
+    def test_reversal_symmetry_direction(self, rng):
+        # Reversing the series swaps in/out roles -> KLD changes but stays finite.
+        series = rng.normal(size=80).cumsum()
+        series -= np.linspace(series[0], series[-1], series.size)
+        assert np.isfinite(irreversibility_kld(series))
+        assert np.isfinite(irreversibility_kld(series[::-1]))
+
+
+class TestWeightedGraph:
+    def test_construction(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(1, 2, 1.5)
+        assert g.n_edges == 2
+        assert g.weight(0, 1) == 0.5
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(2).add_edge(0, 0, 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(-1)
+
+    def test_strengths(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 3.0)
+        assert np.allclose(g.strengths(), [2.0, 5.0, 3.0])
+
+    def test_edges_iteration(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 2, 0.7)
+        assert list(g.edges()) == [(0, 2, 0.7)]
+
+    def test_to_unweighted(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1, 0.1)
+        plain = g.to_unweighted()
+        assert plain.has_edge(0, 1)
+        assert plain.n_edges == 1
+
+
+class TestWeightedVG:
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_same_structure_as_unweighted(self, series):
+        weighted = weighted_visibility_graph(series)
+        assert weighted.to_unweighted() == visibility_graph(series)
+
+    def test_weights_are_view_angles(self):
+        series = np.array([0.0, 1.0])
+        weighted = weighted_visibility_graph(series)
+        assert weighted.weight(0, 1) == pytest.approx(np.arctan(1.0))
+
+    def test_weights_nonnegative_and_bounded(self, rng):
+        weighted = weighted_visibility_graph(rng.normal(size=40))
+        for _, _, w in weighted.edges():
+            assert 0.0 <= w <= np.pi / 2
+
+    def test_strength_statistics_keys(self, rng):
+        weighted = weighted_visibility_graph(rng.normal(size=30))
+        stats = weighted_strength_statistics(weighted)
+        assert set(stats) == {
+            "strength_max",
+            "strength_min",
+            "strength_mean",
+            "total_weight",
+        }
+        assert stats["strength_max"] >= stats["strength_mean"] >= stats["strength_min"]
+
+    def test_empty_graph_statistics(self):
+        stats = weighted_strength_statistics(WeightedGraph(0))
+        assert all(v == 0.0 for v in stats.values())

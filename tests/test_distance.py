@@ -1,0 +1,142 @@
+"""DTW, Euclidean and lower-bound properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import (
+    dtw_distance,
+    euclidean_distance,
+    lb_keogh,
+    lb_kim,
+    nearest_neighbor_dtw,
+    squared_euclidean_distance,
+)
+
+series_pairs = st.tuples(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30),
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=30),
+).map(lambda ab: (np.asarray(ab[0]), np.asarray(ab[1])))
+
+equal_length_pairs = st.integers(2, 30).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n),
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n),
+    )
+).map(lambda ab: (np.asarray(ab[0]), np.asarray(ab[1])))
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_squared(self):
+        assert squared_euclidean_distance(np.array([1.0]), np.array([4.0])) == 9.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.ones(3), np.ones(4))
+
+
+class TestDTWBasics:
+    def test_identity_zero(self, rng):
+        a = rng.normal(size=20)
+        assert dtw_distance(a, a) == 0.0
+
+    def test_known_alignment(self):
+        # [1,2,3] vs [1,1,2,3]: the doubled 1 warps for free.
+        assert dtw_distance(np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0, 2.0, 3.0])) == 0.0
+
+    def test_shifted_impulse(self):
+        a = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0, 0.0, 0.0])
+        assert dtw_distance(a, b) == 0.0  # warping absorbs the shift
+        assert euclidean_distance(a, b) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.ones(3), np.ones(3), window=-1)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.ones(3), np.ones(3), window=1.5)
+
+
+class TestDTWProperties:
+    @given(equal_length_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a), rel=1e-9)
+
+    @given(equal_length_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_upper_bounded_by_euclidean(self, pair):
+        a, b = pair
+        assert dtw_distance(a, b) <= euclidean_distance(a, b) + 1e-9
+
+    @given(equal_length_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_window_monotonicity(self, pair):
+        a, b = pair
+        tight = dtw_distance(a, b, window=1)
+        loose = dtw_distance(a, b, window=len(a))
+        assert loose <= tight + 1e-9
+
+    @given(equal_length_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_window_zero_is_euclidean(self, pair):
+        a, b = pair
+        assert dtw_distance(a, b, window=0) == pytest.approx(
+            euclidean_distance(a, b), rel=1e-9, abs=1e-9
+        )
+
+    @given(series_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, pair):
+        a, b = pair
+        assert dtw_distance(a, b) >= 0.0
+
+
+class TestLowerBounds:
+    @given(equal_length_pairs, st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_lb_keogh_lower_bounds_dtw(self, pair, window):
+        a, b = pair
+        assert lb_keogh(a, b, window) <= dtw_distance(a, b, window) + 1e-9
+
+    @given(equal_length_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_lb_kim_lower_bounds_dtw(self, pair):
+        a, b = pair
+        assert lb_kim(a, b) <= dtw_distance(a, b) + 1e-9
+
+    def test_lb_keogh_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            lb_keogh(np.ones(3), np.ones(4), 1)
+
+    def test_lb_keogh_zero_inside_envelope(self):
+        a = np.array([1.0, 1.0, 1.0])
+        b = np.array([0.0, 2.0, 0.0])
+        assert lb_keogh(a, b, window=2) == 0.0
+
+
+class TestNearestNeighborDTW:
+    def test_matches_exhaustive(self, rng):
+        references = rng.normal(size=(12, 25))
+        query = rng.normal(size=25)
+        idx, dist = nearest_neighbor_dtw(query, references, window=3)
+        exhaustive = [dtw_distance(query, r, window=3) for r in references]
+        assert idx == int(np.argmin(exhaustive))
+        assert dist == pytest.approx(min(exhaustive))
+
+    def test_exact_match_found(self, rng):
+        references = rng.normal(size=(5, 10))
+        idx, dist = nearest_neighbor_dtw(references[3], references, window=2)
+        assert idx == 3
+        assert dist == 0.0

@@ -1,0 +1,152 @@
+"""Random forest and gradient boosting tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.metrics import log_loss
+
+
+class TestRandomForest:
+    def test_blobs_accuracy(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert rf.score(X, y) > 0.95
+
+    def test_probabilities_valid(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        probs = rf.predict_proba(X)
+        assert probs.shape == (X.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        p1 = RandomForestClassifier(n_estimators=8, random_state=42).fit(X, y).predict(X)
+        p2 = RandomForestClassifier(n_estimators=8, random_state=42).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_no_bootstrap(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=5, bootstrap=False, random_state=0)
+        rf.fit(X, y)
+        assert rf.score(X, y) > 0.95
+
+    def test_handles_class_dropped_by_bootstrap(self, rng):
+        # Tiny minority class: some bootstrap samples will miss it entirely.
+        X = np.concatenate([rng.normal(0, 1, (30, 2)), rng.normal(8, 1, (2, 2))])
+        y = np.array([0] * 30 + [1] * 2)
+        rf = RandomForestClassifier(n_estimators=30, random_state=0).fit(X, y)
+        probs = rf.predict_proba(X)
+        assert probs.shape == (32, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_feature_importances(self, blobs):
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert rf.feature_importances_.shape == (X.shape[1],)
+        assert rf.feature_importances_.sum() == pytest.approx(1.0)
+
+
+class TestGradientBoosting:
+    def test_binary_blobs(self, binary_blobs):
+        X, y = binary_blobs
+        gb = GradientBoostingClassifier(n_estimators=30, random_state=0).fit(X, y)
+        assert gb.score(X, y) > 0.95
+
+    def test_multiclass_blobs(self, blobs):
+        X, y = blobs
+        gb = GradientBoostingClassifier(n_estimators=30, random_state=0).fit(X, y)
+        assert gb.score(X, y) > 0.95
+
+    def test_binary_uses_single_output(self, binary_blobs):
+        X, y = binary_blobs
+        gb = GradientBoostingClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert gb._n_outputs == 1
+
+    def test_xor_with_depth(self, rng):
+        X = rng.uniform(-1, 1, size=(150, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        gb = GradientBoostingClassifier(
+            n_estimators=50, max_depth=3, random_state=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.9
+
+    def test_probabilities_valid(self, blobs):
+        X, y = blobs
+        gb = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        probs = gb.predict_proba(X)
+        assert probs.shape == (X.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_more_rounds_reduce_training_loss(self, blobs):
+        X, y = blobs
+        losses = []
+        for n in (2, 10, 40):
+            gb = GradientBoostingClassifier(n_estimators=n, random_state=0).fit(X, y)
+            losses.append(log_loss(y, gb.predict_proba(X), classes=gb.classes_))
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_learning_rate_zero_keeps_uniform(self, blobs):
+        X, y = blobs
+        gb = GradientBoostingClassifier(
+            n_estimators=5, learning_rate=0.0, random_state=0
+        ).fit(X, y)
+        probs = gb.predict_proba(X)
+        assert np.allclose(probs, 1.0 / 3.0)
+
+    def test_subsampling(self, blobs):
+        X, y = blobs
+        gb = GradientBoostingClassifier(
+            n_estimators=20, subsample=0.5, colsample_bytree=0.5, random_state=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.9
+
+    def test_regularization_shrinks_leaves(self, binary_blobs):
+        X, y = binary_blobs
+        weak = GradientBoostingClassifier(
+            n_estimators=5, reg_lambda=1000.0, random_state=0
+        ).fit(X, y)
+        strong = GradientBoostingClassifier(
+            n_estimators=5, reg_lambda=0.1, random_state=0
+        ).fit(X, y)
+        # Heavier regularisation keeps probabilities closer to 0.5.
+        spread_weak = np.abs(weak.predict_proba(X)[:, 1] - 0.5).mean()
+        spread_strong = np.abs(strong.predict_proba(X)[:, 1] - 0.5).mean()
+        assert spread_weak < spread_strong
+
+    def test_gamma_prunes_splits(self, rng):
+        X = rng.normal(size=(60, 4))
+        y = rng.integers(0, 2, size=60)  # pure noise
+        gb = GradientBoostingClassifier(
+            n_estimators=5, gamma=1e6, random_state=0
+        ).fit(X, y)
+        # With a huge split penalty every tree is a single leaf.
+        for round_trees in gb.trees_:
+            for tree in round_trees:
+                assert all(f < 0 for f in tree.feature)
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = GradientBoostingClassifier(n_estimators=8, subsample=0.7, random_state=1)
+        b = GradientBoostingClassifier(n_estimators=8, subsample=0.7, random_state=1)
+        assert np.array_equal(a.fit(X, y).predict(X), b.fit(X, y).predict(X))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(np.ones((4, 2)), np.zeros(4))
+
+    def test_feature_importances(self, blobs):
+        X, y = blobs
+        gb = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        importances = gb.feature_importances_
+        assert importances.shape == (X.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [10.0], [0.2], [9.7]])
+        y = np.array(["low", "high", "low", "high"])
+        gb = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert set(gb.predict(X)) <= {"low", "high"}
+        assert gb.score(X, y) == 1.0

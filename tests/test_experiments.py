@@ -1,0 +1,178 @@
+"""Experiment harnesses: integration tests on a restricted dataset set.
+
+These run the real table/figure pipelines end to end but confined to the
+two smallest archive datasets via the REPRO_DATASETS knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HEURISTIC_COLUMNS, FeatureConfig
+from repro.data.archive import load_archive_dataset
+from repro.experiments.harness import (
+    EvaluationResult,
+    active_param_grid,
+    cache_load,
+    cache_store,
+    evaluate_baseline,
+    evaluate_mvg,
+    selected_datasets,
+)
+from repro.experiments.reporting import format_cd_diagram, format_table
+
+
+@pytest.fixture
+def tiny_archive(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_DATASETS", "BeetleFly,BirdChicken")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestHarness:
+    def test_selected_datasets_filter(self, tiny_archive):
+        assert selected_datasets() == ("BeetleFly", "BirdChicken")
+
+    def test_selected_datasets_unknown_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASETS", "NotReal")
+        with pytest.raises(ValueError):
+            selected_datasets()
+
+    def test_max_datasets_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATASETS", raising=False)
+        monkeypatch.setenv("REPRO_MAX_DATASETS", "3")
+        assert len(selected_datasets()) == 3
+
+    def test_cache_roundtrip(self, tiny_archive):
+        payload = {"datasets": ["a"], "errors": {"m": [0.5]}}
+        cache_store("unit", payload)
+        assert cache_load("unit") == payload
+        assert cache_load("missing") is None
+
+    def test_adaptive_grid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_GRID", raising=False)
+        small = active_param_grid(2)
+        large = active_param_grid(30)
+        assert len(small["learning_rate"]) >= len(large["learning_rate"])
+
+    def test_full_grid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_GRID", "1")
+        grid = active_param_grid(30)
+        assert len(grid["n_estimators"]) == 10
+
+    def test_evaluate_mvg_records_phases(self):
+        split = load_archive_dataset("BeetleFly")
+        result = evaluate_mvg(split, FeatureConfig(scales="uvg"), random_state=0)
+        assert isinstance(result, EvaluationResult)
+        assert 0.0 <= result.error <= 1.0
+        assert result.feature_seconds > 0
+        assert result.fit_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.feature_seconds + result.fit_seconds + result.predict_seconds
+        )
+
+    def test_evaluate_mvg_precomputed_skips_extraction(self, rng):
+        split = load_archive_dataset("BeetleFly")
+        train = rng.normal(size=(split.train.n_samples, 5))
+        test = rng.normal(size=(split.test.n_samples, 5))
+        result = evaluate_mvg(
+            split, FeatureConfig(), random_state=0, precomputed=(train, test)
+        )
+        assert result.feature_seconds == 0.0
+
+    def test_evaluate_baseline(self):
+        from repro.baselines.nn import NearestNeighborEuclidean
+
+        split = load_archive_dataset("BeetleFly")
+        result = evaluate_baseline(split, "1NN-ED", NearestNeighborEuclidean)
+        assert result.method == "1NN-ED"
+        assert 0.0 <= result.error <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 0.123456], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.123" in text
+        assert "bb" in text
+
+    def test_format_cd_diagram(self):
+        text = format_cd_diagram(
+            ["A", "B", "C"], [1.2, 2.9, 1.5], cd=0.6, groups=[(0, 2), (1,)]
+        )
+        assert "CD = 0.6000" in text
+        assert "1. A" in text
+        assert "not significantly different: A, C" in text
+
+
+@pytest.mark.slow
+class TestTable2Integration:
+    def test_run_and_render(self, tiny_archive):
+        from repro.experiments.table2 import render_table2, run_table2
+
+        payload = run_table2(force=True)
+        assert payload["datasets"] == ["BeetleFly", "BirdChicken"]
+        assert set(payload["errors"]) == {"1NN-ED", "1NN-DTW", *HEURISTIC_COLUMNS}
+        text = render_table2(payload)
+        assert "BeetleFly" in text
+        assert "G vs 1NN-ED" in text
+        # Cached second run returns the identical payload.
+        assert run_table2(force=False) == payload
+
+
+@pytest.mark.slow
+class TestTable3Integration:
+    def test_run_and_render(self, tiny_archive):
+        from repro.experiments.table3 import render_table3, run_table3
+
+        payload = run_table3(force=True)
+        assert len(payload["fs_runtime"]) == 2
+        assert len(payload["mvg_fe"]) == 2
+        text = render_table3(payload)
+        assert "Total runtime" in text
+        assert "Wilcoxon vs MVG" in text
+
+
+@pytest.mark.slow
+class TestFiguresIntegration:
+    def test_figure2(self):
+        from repro.experiments.figures import render_figure2
+
+        text = render_figure2("BeetleFly")
+        assert "connected 4-motifs" in text
+        assert "M41" in text
+
+    def test_scatter_figures_from_cache(self, tiny_archive):
+        from repro.experiments.figures import render
+        from repro.experiments.table2 import run_table2
+
+        run_table2(force=True)
+        for figure in ("fig3", "fig4", "fig5"):
+            text = render(figure)
+            assert "wins:" in text
+
+    def test_unknown_figure(self):
+        from repro.experiments.figures import render
+
+        with pytest.raises(ValueError):
+            render("fig11")
+
+
+@pytest.mark.slow
+class TestCDAndCaseStudy:
+    def test_fig6(self, tiny_archive):
+        from repro.experiments.cd_diagrams import FIG6_METHODS, render_cd, run_fig6
+
+        payload = run_fig6(force=True)
+        text = render_cd(payload, FIG6_METHODS, "Figure 6")
+        assert "Friedman" in text
+        assert "MVG (XGBoost)" in text
+
+    def test_case_study(self, tiny_archive):
+        from repro.experiments.case_study import render_case_study, run_case_study
+
+        result = run_case_study("BeetleFly", top_n=5)
+        assert len(result["top_features"]) == 5
+        text = render_case_study(result)
+        assert "top features" in text
+        assert "Most visually separating feature" in text

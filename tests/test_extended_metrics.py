@@ -1,0 +1,144 @@
+"""Extended (Section-6 future-work) graph features."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.graph.extended_metrics import (
+    average_clustering,
+    bipartivity,
+    closeness_centrality_stats,
+    degree_entropy,
+    degree_variance,
+    eigenvector_centrality_stats,
+    extended_graph_statistics,
+    transitivity,
+)
+from repro.graph.visibility import visibility_graph
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+class TestDegreeEntropy:
+    def test_regular_graph_zero_entropy(self):
+        cycle = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert degree_entropy(cycle) == 0.0
+
+    def test_two_level_degrees(self):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        # degrees: one 3, three 1 -> entropy of (1/4, 3/4)
+        expected = -(0.25 * np.log(0.25) + 0.75 * np.log(0.75))
+        assert degree_entropy(star) == pytest.approx(expected)
+
+    def test_empty(self):
+        assert degree_entropy(Graph(0)) == 0.0
+
+
+class TestDegreeVariance:
+    def test_regular_zero(self):
+        cycle = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_variance(cycle) == 0.0
+
+    def test_star_positive(self):
+        assert degree_variance(Graph(4, [(0, 1), (0, 2), (0, 3)])) > 0
+
+
+class TestBipartivity:
+    def test_bipartite_graphs_are_one(self):
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        even_cycle = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert bipartivity(path) == pytest.approx(1.0)
+        assert bipartivity(even_cycle) == pytest.approx(1.0)
+
+    def test_triangle_below_one(self):
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert 0.5 < bipartivity(triangle) < 1.0
+
+    def test_complete_graph_approaches_half(self):
+        k8 = Graph(8, [(a, b) for a in range(8) for b in range(a + 1, 8)])
+        assert bipartivity(k8) < 0.6
+
+    def test_edgeless_is_one(self):
+        assert bipartivity(Graph(5)) == 1.0
+
+    def test_in_valid_range(self):
+        for seed in range(5):
+            g = random_graph(15, 0.3, seed)
+            assert 0.5 - 1e-9 <= bipartivity(g) <= 1.0 + 1e-9
+
+
+class TestCentrality:
+    def test_star_center_dominates(self):
+        star = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        ev_max, ev_mean, _ = eigenvector_centrality_stats(star)
+        assert ev_max > ev_mean
+
+    def test_matches_networkx_eigenvector(self):
+        g = random_graph(15, 0.4, 3)
+        ev_max, _, _ = eigenvector_centrality_stats(g)
+        nx_values = nx.eigenvector_centrality_numpy(g.to_networkx())
+        assert ev_max == pytest.approx(max(abs(v) for v in nx_values.values()), abs=1e-4)
+
+    def test_empty_graph(self):
+        assert eigenvector_centrality_stats(Graph(3)) == (0.0, 0.0, 0.0)
+
+    def test_closeness_exact_small_graph(self):
+        path = Graph(3, [(0, 1), (1, 2)])
+        mean_close, max_close = closeness_centrality_stats(path)
+        nx_closeness = nx.closeness_centrality(path.to_networkx())
+        assert max_close == pytest.approx(max(nx_closeness.values()))
+        assert mean_close == pytest.approx(np.mean(list(nx_closeness.values())))
+
+    def test_closeness_single_vertex(self):
+        assert closeness_centrality_stats(Graph(1)) == (0.0, 0.0)
+
+
+class TestClustering:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_transitivity_matches_networkx(self, seed):
+        g = random_graph(14, 0.35, seed)
+        assert transitivity(g) == pytest.approx(nx.transitivity(g.to_networkx()))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_average_clustering_matches_networkx(self, seed):
+        g = random_graph(14, 0.35, seed)
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(g.to_networkx())
+        )
+
+    def test_triangle_free_zero(self):
+        square = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert transitivity(square) == 0.0
+        assert average_clustering(square) == 0.0
+
+
+class TestExtendedStatistics:
+    def test_keys_and_finiteness(self):
+        g = visibility_graph(np.random.default_rng(0).normal(size=50))
+        stats = extended_graph_statistics(g)
+        assert len(stats) == 10
+        assert all(np.isfinite(v) for v in stats.values())
+
+    def test_plugs_into_feature_extraction(self):
+        from repro.core.config import FeatureConfig
+        from repro.core.features import extract_feature_vector
+
+        series = np.random.default_rng(1).normal(size=64)
+        all_vec, all_names = extract_feature_vector(
+            series, FeatureConfig(scales="uvg", features="all")
+        )
+        ext_vec, ext_names = extract_feature_vector(
+            series, FeatureConfig(scales="uvg", features="extended")
+        )
+        assert ext_vec.size == all_vec.size + 2 * 10
+        assert any("Bipartivity" in name for name in ext_names)
+        assert not any("Bipartivity" in name for name in all_names)

@@ -1,0 +1,131 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+        assert g.is_connected()
+
+    def test_vertices_without_edges(self):
+        g = Graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 0
+        assert not g.is_connected()
+
+    def test_edges_in_constructor(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 1)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_edge_rejected(self):
+        g = Graph(3)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            g.add_edge(-1, 0)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(0, 1)
+        assert g.n_edges == 1
+
+
+class TestQueries:
+    @pytest.fixture
+    def triangle_plus_tail(self):
+        return Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+    def test_degrees(self, triangle_plus_tail):
+        assert list(triangle_plus_tail.degrees()) == [2, 2, 3, 1]
+
+    def test_degree_single(self, triangle_plus_tail):
+        assert triangle_plus_tail.degree(2) == 3
+
+    def test_neighbors(self, triangle_plus_tail):
+        assert triangle_plus_tail.neighbors(2) == frozenset({0, 1, 3})
+
+    def test_edges_iteration_ordered(self, triangle_plus_tail):
+        edges = list(triangle_plus_tail.edges())
+        assert all(u < v for u, v in edges)
+        assert set(edges) == {(0, 1), (0, 2), (1, 2), (2, 3)}
+
+    def test_edge_array(self, triangle_plus_tail):
+        arr = triangle_plus_tail.edge_array()
+        assert arr.shape == (4, 2)
+        assert set(map(tuple, arr)) == {(0, 1), (0, 2), (1, 2), (2, 3)}
+
+    def test_edge_array_empty(self):
+        assert Graph(3).edge_array().shape == (0, 2)
+
+    def test_connectivity(self, triangle_plus_tail):
+        assert triangle_plus_tail.is_connected()
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_single_vertex_connected(self):
+        assert Graph(1).is_connected()
+
+
+class TestSubgraphAndInterop:
+    def test_subgraph_relabels(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)])
+        sub = g.subgraph([1, 2, 4])
+        assert sub.n_vertices == 3
+        # vertices 1,2,4 -> 0,1,2; edges (1,2) and (1,4) survive
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(0, 2)
+        assert not sub.has_edge(1, 2)
+
+    def test_networkx_roundtrip(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)])
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_to_networkx_preserves_isolated(self):
+        g = Graph(4, [(0, 1)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 1
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(0, 1)])
+        c = Graph(3, [(0, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n_vertices=3, n_edges=1)"
+
+
+class TestRandomGraphs:
+    def test_degree_sum_is_twice_edges(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 30))
+            g = Graph(n)
+            for _ in range(int(rng.integers(0, 3 * n))):
+                u, v = rng.integers(0, n, size=2)
+                if u != v:
+                    g.add_edge(int(u), int(v))
+            assert int(g.degrees().sum()) == 2 * g.n_edges
+            assert len(list(g.edges())) == g.n_edges

@@ -1,0 +1,136 @@
+"""Graph statistics vs networkx references and known values."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    assortativity_coefficient,
+    degeneracy,
+    degree_statistics,
+    density,
+    graph_statistics,
+)
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+class TestDensity:
+    def test_complete_graph(self):
+        g = Graph(5, [(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert density(g) == 1.0
+
+    def test_empty(self):
+        assert density(Graph(5)) == 0.0
+
+    def test_single_vertex(self):
+        assert density(Graph(1)) == 0.0
+        assert density(Graph(0)) == 0.0
+
+    def test_formula(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        assert density(g) == pytest.approx(2 * 2 / (4 * 3))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = random_graph(15, 0.4, seed)
+        assert density(g) == pytest.approx(nx.density(g.to_networkx()))
+
+
+class TestDegeneracy:
+    def test_tree_is_1_core(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert degeneracy(g) == 1
+
+    def test_cycle_is_2_core(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degeneracy(g) == 2
+
+    def test_clique(self):
+        g = Graph(5, [(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert degeneracy(g) == 4
+
+    def test_empty(self):
+        assert degeneracy(Graph(4)) == 0
+        assert degeneracy(Graph(0)) == 0
+
+    def test_clique_with_pendant(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (0, 3), (1, 3), (3, 4)])
+        assert degeneracy(g) == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("p", [0.15, 0.4, 0.7])
+    def test_matches_networkx(self, seed, p):
+        g = random_graph(20, p, seed)
+        expected = max(nx.core_number(g.to_networkx()).values())
+        assert degeneracy(g) == expected
+
+
+class TestAssortativity:
+    def test_star_is_disassortative(self):
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        assert assortativity_coefficient(g) == pytest.approx(-1.0)
+
+    def test_regular_graph_degenerate(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        # All degrees equal -> zero variance -> defined as 0.
+        assert assortativity_coefficient(g) == 0.0
+
+    def test_no_edges(self):
+        assert assortativity_coefficient(Graph(3)) == 0.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        g = random_graph(18, 0.3, seed)
+        ours = assortativity_coefficient(g)
+        theirs = nx.degree_assortativity_coefficient(g.to_networkx())
+        if np.isnan(theirs):
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded(self, seed):
+        g = random_graph(12, 0.35, seed)
+        assert -1.0 - 1e-9 <= assortativity_coefficient(g) <= 1.0 + 1e-9
+
+
+class TestDegreeStatistics:
+    def test_known_graph(self):
+        g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        d_max, d_min, d_mean = degree_statistics(g)
+        assert d_max == 3.0
+        assert d_min == 1.0
+        assert d_mean == pytest.approx(6 / 4)
+
+    def test_empty(self):
+        assert degree_statistics(Graph(0)) == (0.0, 0.0, 0.0)
+
+
+class TestGraphStatistics:
+    def test_keys(self):
+        stats = graph_statistics(Graph(4, [(0, 1), (1, 2)]))
+        assert set(stats) == {
+            "density",
+            "kcore",
+            "assortativity",
+            "degree_max",
+            "degree_min",
+            "degree_mean",
+        }
+
+    def test_all_finite(self):
+        g = random_graph(20, 0.3, 0)
+        assert all(np.isfinite(v) for v in graph_statistics(g).values())

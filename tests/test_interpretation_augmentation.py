@@ -1,0 +1,187 @@
+"""Interpretation utilities and the augmentation toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpretation import (
+    FeatureReport,
+    class_conditional_report,
+    permutation_importance,
+    top_features_table,
+)
+from repro.data.augmentation import (
+    AugmentingOverSampler,
+    add_noise,
+    add_offset,
+    add_spikes,
+    amplitude_scale,
+    augment,
+    random_shift,
+    time_warp,
+)
+from repro.ml import DecisionTreeClassifier
+
+
+class TestClassConditionalReport:
+    @pytest.fixture
+    def setup(self, rng):
+        n = 60
+        y = np.repeat([0, 1], n // 2)
+        informative = np.where(y == 0, 0.0, 5.0) + rng.normal(0, 0.3, n)
+        noise = rng.normal(size=n)
+        features = np.column_stack([informative, noise])
+        importances = np.array([0.9, 0.1])
+        return features, y, ["signal", "noise"], importances
+
+    def test_ordering_by_importance(self, setup):
+        features, y, names, importances = setup
+        reports = class_conditional_report(features, y, names, importances, top_n=2)
+        assert reports[0].name == "signal"
+        assert reports[1].name == "noise"
+
+    def test_separability_ranks_informative_higher(self, setup):
+        features, y, names, importances = setup
+        reports = class_conditional_report(features, y, names, importances, top_n=2)
+        by_name = {r.name: r for r in reports}
+        assert by_name["signal"].separability > by_name["noise"].separability
+
+    def test_class_means_correct(self, setup):
+        features, y, names, importances = setup
+        report = class_conditional_report(features, y, names, importances, top_n=1)[0]
+        assert report.class_means[0] == pytest.approx(0.0, abs=0.2)
+        assert report.class_means[1] == pytest.approx(5.0, abs=0.2)
+
+    def test_misaligned_inputs(self, setup):
+        features, y, names, importances = setup
+        with pytest.raises(ValueError):
+            class_conditional_report(features, y, names[:1], importances)
+
+    def test_table_rendering(self, setup):
+        features, y, names, importances = setup
+        reports = class_conditional_report(features, y, names, importances, top_n=2)
+        text = top_features_table(reports)
+        assert "signal" in text
+        assert "separability" in text
+
+
+class TestPermutationImportance:
+    def test_informative_feature_scores_highest(self, rng):
+        n = 80
+        y = np.repeat([0, 1], n // 2)
+        X = np.column_stack(
+            [np.where(y == 0, 0.0, 4.0) + rng.normal(0, 0.2, n), rng.normal(size=n)]
+        )
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        importances = permutation_importance(model, X, y, random_state=0)
+        assert importances[0] > importances[1]
+        assert importances[0] > 0.2
+
+    def test_useless_feature_near_zero(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        importances = permutation_importance(model, X, y, random_state=0)
+        assert abs(importances[1]) < 0.1
+
+
+class TestAugmentationFunctions:
+    def test_random_shift_preserves_multiset(self, rng):
+        series = rng.normal(size=30)
+        shifted = random_shift(series, rng, 5)
+        assert np.allclose(np.sort(shifted), np.sort(series))
+
+    def test_random_shift_zero_is_copy(self, rng):
+        series = rng.normal(size=10)
+        out = random_shift(series, rng, 0)
+        assert np.array_equal(out, series)
+        assert out is not series
+
+    def test_random_shift_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_shift(np.ones(5), rng, -1)
+
+    def test_time_warp_preserves_endpoints_and_range(self, rng):
+        series = np.sin(np.linspace(0, 7, 50))
+        warped = time_warp(series, rng, 0.1)
+        assert warped.size == series.size
+        assert warped[0] == pytest.approx(series[0])
+        assert warped[-1] == pytest.approx(series[-1])
+        assert warped.min() >= series.min() - 1e-9
+        assert warped.max() <= series.max() + 1e-9
+
+    def test_time_warp_zero_strength(self, rng):
+        series = rng.normal(size=20)
+        assert np.array_equal(time_warp(series, rng, 0.0), series)
+
+    def test_amplitude_scale_proportional(self, rng):
+        series = rng.normal(size=20)
+        scaled = amplitude_scale(series, rng, 0.3)
+        ratio = scaled / series
+        assert np.allclose(ratio, ratio[0])
+
+    def test_add_offset_constant(self, rng):
+        series = rng.normal(size=20)
+        shifted = add_offset(series, rng, 1.0)
+        assert np.allclose(shifted - series, (shifted - series)[0])
+
+    def test_add_noise_changes_values(self, rng):
+        series = np.zeros(100)
+        noisy = add_noise(series, rng, 0.5)
+        assert noisy.std() > 0.3
+
+    def test_add_spikes_count(self, rng):
+        series = np.sin(np.linspace(0, 7, 200))
+        spiked = add_spikes(series, rng, rate=0.05, amplitude=5.0)
+        changed = np.sum(spiked != series)
+        assert 0 < changed < 40
+
+    def test_augment_composition(self, rng):
+        series = np.sin(np.linspace(0, 7, 64))
+        out = augment(
+            series,
+            rng,
+            max_shift=4,
+            warp_strength=0.05,
+            amplitude_jitter=0.1,
+            offset_jitter=0.2,
+            noise_sigma=0.05,
+            spike_rate=0.02,
+        )
+        assert out.shape == series.shape
+        assert np.all(np.isfinite(out))
+        assert not np.array_equal(out, series)
+
+
+class TestAugmentingOverSampler:
+    def test_balances_classes(self, rng):
+        X = rng.normal(size=(12, 40))
+        y = np.array([0] * 9 + [1] * 3)
+        Xo, yo = AugmentingOverSampler(random_state=0).fit_resample(X, y)
+        _, counts = np.unique(yo, return_counts=True)
+        assert counts.tolist() == [9, 9]
+
+    def test_extras_are_not_exact_duplicates(self, rng):
+        X = rng.normal(size=(8, 40))
+        y = np.array([0] * 6 + [1] * 2)
+        Xo, _ = AugmentingOverSampler(random_state=0).fit_resample(X, y)
+        extras = Xo[8:]
+        for extra in extras:
+            assert not any(np.array_equal(extra, original) for original in X)
+
+    def test_balanced_input_untouched(self, rng):
+        X = rng.normal(size=(4, 10))
+        y = np.array([0, 0, 1, 1])
+        Xo, yo = AugmentingOverSampler(random_state=0).fit_resample(X, y)
+        assert np.array_equal(Xo, X)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            AugmentingOverSampler().fit_resample(rng.normal(size=(3, 5)), np.ones(4))
+
+
+def test_feature_report_dataclass():
+    report = FeatureReport(
+        name="f", importance=0.5, class_means={0: 0.0, 1: 2.0},
+        class_stds={0: 0.5, 1: 1.0},
+    )
+    assert report.separability == pytest.approx(2.0)

@@ -1,0 +1,101 @@
+"""Cross-module property tests tying the substrate layers together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FeatureConfig
+from repro.core.features import extract_feature_vector
+from repro.core.multiscale import multiscale_representation, paa
+from repro.graph.motifs import MOTIF_GROUPS, count_motifs
+from repro.graph.visibility import horizontal_visibility_graph, visibility_graph
+
+series = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    min_size=32,
+    max_size=80,
+).map(np.asarray)
+
+
+class TestFeatureVectorInvariants:
+    @given(series)
+    @settings(max_examples=15, deadline=None)
+    def test_mpd_groups_sum_to_one_in_feature_vector(self, values):
+        vector, names = extract_feature_vector(
+            values, FeatureConfig(scales="uvg", graphs="vg", features="mpds")
+        )
+        by_name = dict(zip(names, vector))
+        for group in MOTIF_GROUPS:
+            total = sum(by_name[f"T0 VG P(M{key[1:]})"] for key in group)
+            assert total == pytest.approx(1.0) or total == pytest.approx(0.0)
+
+    @given(series)
+    @settings(max_examples=15, deadline=None)
+    def test_all_features_finite_and_bounded_probabilities(self, values):
+        vector, names = extract_feature_vector(values, FeatureConfig(scales="uvg"))
+        assert np.all(np.isfinite(vector))
+        for name, value in zip(names, vector):
+            if "P(M" in name:
+                assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(series, st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_scale_count_follows_halving(self, values, tau_pow):
+        tau = 2**tau_pow
+        rep = multiscale_representation(values, tau=tau)
+        expected = 1
+        length = values.size // 2
+        while length > tau:
+            expected += 1
+            length //= 2
+        assert len(rep) == expected
+
+    @given(series)
+    @settings(max_examples=10, deadline=None)
+    def test_feature_count_formula(self, values):
+        config = FeatureConfig()
+        vector, _ = extract_feature_vector(values, config)
+        n_scales = len(multiscale_representation(values, tau=config.tau))
+        assert vector.size == n_scales * 2 * 23
+
+
+class TestGraphSeriesConsistency:
+    @given(series)
+    @settings(max_examples=15, deadline=None)
+    def test_vertex_counts_match_series_lengths(self, values):
+        for scale in multiscale_representation(values):
+            assert visibility_graph(scale).n_vertices == scale.size
+            assert horizontal_visibility_graph(scale).n_vertices == scale.size
+
+    @given(series)
+    @settings(max_examples=15, deadline=None)
+    def test_hvg_edge_count_at_most_vg(self, values):
+        assert (
+            horizontal_visibility_graph(values).n_edges
+            <= visibility_graph(values).n_edges
+        )
+
+    @given(series)
+    @settings(max_examples=10, deadline=None)
+    def test_motif_m21_equals_edge_count(self, values):
+        graph = visibility_graph(values)
+        assert count_motifs(graph).m21 == graph.n_edges
+
+
+class TestPAAComposition:
+    @given(series)
+    @settings(max_examples=20, deadline=None)
+    def test_double_halving_equals_quarter_for_powers_of_two(self, values):
+        # Exact only when lengths divide evenly; trim to a power-of-two length.
+        n = 1 << (values.size.bit_length() - 1)
+        trimmed = values[:n]
+        once = paa(paa(trimmed, n // 2), n // 4)
+        direct = paa(trimmed, n // 4)
+        assert np.allclose(once, direct)
+
+    @given(series)
+    @settings(max_examples=20, deadline=None)
+    def test_paa_idempotent_at_same_size(self, values):
+        reduced = paa(values, values.size // 2)
+        assert np.allclose(paa(reduced, reduced.size), reduced)

@@ -1,0 +1,186 @@
+"""Graphlet counting: closed-form identities vs brute-force enumeration."""
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, count_motifs
+from repro.graph.motifs import (
+    CONNECTED_MOTIFS_4,
+    DISCONNECTED_MOTIFS_4,
+    MOTIF_GROUPS,
+    MOTIF_NAMES,
+    MotifCounts,
+    count_motifs_bruteforce,
+)
+from repro.graph.visibility import visibility_graph
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        counts = count_motifs(Graph(5))
+        assert counts.m21 == 0
+        assert counts.m22 == comb(5, 2)
+        assert counts.m411 == comb(5, 4)
+        assert counts.m41 == 0
+
+    def test_single_triangle(self):
+        counts = count_motifs(Graph(3, [(0, 1), (1, 2), (0, 2)]))
+        assert counts.m31 == 1
+        assert counts.m32 == 0
+
+    def test_wedge(self):
+        counts = count_motifs(Graph(3, [(0, 1), (1, 2)]))
+        assert counts.m31 == 0
+        assert counts.m32 == 1
+
+    def test_k4(self):
+        g = Graph(4, [(a, b) for a in range(4) for b in range(a + 1, 4)])
+        counts = count_motifs(g)
+        assert counts.m41 == 1
+        assert counts.m31 == 4
+        assert sum(getattr(counts, key) for key in CONNECTED_MOTIFS_4) == 1
+
+    def test_four_cycle(self):
+        counts = count_motifs(Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)]))
+        assert counts.m44 == 1
+        assert counts.m41 == counts.m42 == counts.m43 == 0
+
+    def test_diamond(self):
+        counts = count_motifs(Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]))
+        assert counts.m42 == 1
+        assert counts.m44 == 0  # the chord makes the 4-cycle non-induced
+
+    def test_star(self):
+        counts = count_motifs(Graph(4, [(0, 1), (0, 2), (0, 3)]))
+        assert counts.m45 == 1
+
+    def test_path(self):
+        counts = count_motifs(Graph(4, [(0, 1), (1, 2), (2, 3)]))
+        assert counts.m46 == 1
+
+    def test_tailed_triangle(self):
+        counts = count_motifs(Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)]))
+        assert counts.m43 == 1
+
+    def test_triangle_plus_isolated(self):
+        counts = count_motifs(Graph(4, [(0, 1), (1, 2), (0, 2)]))
+        assert counts.m47 == 1
+
+    def test_two_independent_edges(self):
+        counts = count_motifs(Graph(4, [(0, 1), (2, 3)]))
+        assert counts.m49 == 1
+
+    def test_edge_plus_two_isolated(self):
+        counts = count_motifs(Graph(4, [(0, 1)]))
+        assert counts.m410 == 1
+
+    def test_k5_counts(self):
+        g = Graph(5, [(a, b) for a in range(5) for b in range(a + 1, 5)])
+        counts = count_motifs(g)
+        assert counts.m41 == comb(5, 4)
+        assert counts.m31 == comb(5, 3)
+        assert counts.m42 == 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("p", [0.1, 0.3, 0.6, 0.9])
+    def test_random_graphs(self, seed, p):
+        g = random_graph(12, p, seed)
+        assert count_motifs(g) == count_motifs_bruteforce(g)
+
+    @given(st.integers(0, 10_000), st.integers(4, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_random_graphs(self, seed, n):
+        g = random_graph(n, 0.35, seed)
+        assert count_motifs(g) == count_motifs_bruteforce(g)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=4,
+            max_size=22,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_visibility_graphs(self, values):
+        g = visibility_graph(np.asarray(values))
+        assert count_motifs(g) == count_motifs_bruteforce(g)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_counts_partition_all_subsets(self, seed):
+        g = random_graph(20, 0.25, seed)
+        counts = count_motifs(g)
+        assert counts.total_sets(2) == comb(20, 2)
+        assert counts.total_sets(3) == comb(20, 3)
+        assert counts.total_sets(4) == comb(20, 4)
+
+    def test_all_counts_nonnegative(self):
+        g = random_graph(25, 0.5, 7)
+        assert all(v >= 0 for v in count_motifs(g).as_dict().values())
+
+
+class TestProbabilityDistributions:
+    def test_groups_sum_to_one(self):
+        g = random_graph(15, 0.3, 3)
+        probs = count_motifs(g).probability_distributions()
+        for group in MOTIF_GROUPS:
+            assert sum(probs[key] for key in group) == pytest.approx(1.0)
+
+    def test_empty_group_yields_zeros(self):
+        # A graph with no edges has empty connected 3/4-motif groups.
+        probs = count_motifs(Graph(6)).probability_distributions()
+        assert probs["m31"] == 0.0
+        assert probs["m32"] == 0.0
+        assert probs["m41"] == 0.0
+
+    def test_probabilities_in_unit_interval(self):
+        g = random_graph(18, 0.4, 11)
+        probs = count_motifs(g).probability_distributions()
+        assert all(0.0 <= v <= 1.0 for v in probs.values())
+
+    def test_motif_names_cover_all_keys(self):
+        counts = count_motifs(Graph(4, [(0, 1)]))
+        assert set(counts.as_dict()) == set(MOTIF_NAMES)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3])
+    def test_tiny_graphs(self, n):
+        g = Graph(n)
+        if n >= 2:
+            g.add_edge(0, 1)
+        counts = count_motifs(g)
+        assert counts == count_motifs_bruteforce(g)
+
+    def test_motifcounts_frozen(self):
+        counts = count_motifs(Graph(2, [(0, 1)]))
+        with pytest.raises(AttributeError):
+            counts.m21 = 5
+
+    def test_disconnected_motif_name_sets(self):
+        assert len(CONNECTED_MOTIFS_4) == 6
+        assert len(DISCONNECTED_MOTIFS_4) == 5
+
+
+def test_motifcounts_equality():
+    a = count_motifs(Graph(4, [(0, 1), (1, 2)]))
+    b = count_motifs(Graph(4, [(0, 1), (1, 2)]))
+    assert a == b
+    assert isinstance(a, MotifCounts)

@@ -1,0 +1,116 @@
+"""PAA and multiscale representations (Definitions 3.1 / 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiscale import (
+    DEFAULT_TAU,
+    multiscale_approximations,
+    multiscale_representation,
+    paa,
+)
+
+
+class TestPAA:
+    def test_exact_division(self):
+        series = np.array([1.0, 3.0, 2.0, 4.0, 10.0, 12.0])
+        assert np.allclose(paa(series, 3), [2.0, 3.0, 11.0])
+
+    def test_identity_when_segments_equal_length(self):
+        series = np.arange(7, dtype=float)
+        assert np.allclose(paa(series, 7), series)
+
+    def test_single_segment_is_mean(self):
+        series = np.array([2.0, 4.0, 9.0])
+        assert paa(series, 1) == pytest.approx([5.0])
+
+    def test_fractional_segments_preserve_mean(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        reduced = paa(series, 2)
+        assert reduced.mean() == pytest.approx(series.mean())
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            paa(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            paa(np.ones(4), 5)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            paa(np.ones((2, 4)), 2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_preserved(self, values, n_segments):
+        series = np.asarray(values)
+        if n_segments > series.size:
+            n_segments = series.size
+        reduced = paa(series, n_segments)
+        assert reduced.size == n_segments
+        assert reduced.mean() == pytest.approx(series.mean(), abs=1e-8)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_bounded(self, values):
+        series = np.asarray(values)
+        reduced = paa(series, series.size // 2)
+        assert reduced.min() >= series.min() - 1e-9
+        assert reduced.max() <= series.max() + 1e-9
+
+
+class TestMultiscale:
+    def test_lengths_halve(self):
+        series = np.arange(128, dtype=float)
+        approx = multiscale_approximations(series, tau=15)
+        assert [a.size for a in approx] == [64, 32, 16]
+
+    def test_tau_cutoff(self):
+        series = np.arange(128, dtype=float)
+        approx = multiscale_approximations(series, tau=40)
+        assert [a.size for a in approx] == [64]
+
+    def test_tau_zero_goes_to_one(self):
+        series = np.arange(16, dtype=float)
+        approx = multiscale_approximations(series, tau=0)
+        assert [a.size for a in approx] == [8, 4, 2, 1]
+
+    def test_short_series_has_no_scales(self):
+        assert multiscale_approximations(np.arange(16, dtype=float)) == []
+
+    def test_representation_includes_original(self):
+        series = np.arange(64, dtype=float)
+        rep = multiscale_representation(series, tau=15)
+        assert rep[0] is not series or rep[0].size == 64
+        assert np.array_equal(rep[0], series)
+        assert [r.size for r in rep] == [64, 32, 16]
+
+    def test_default_tau_is_paper_value(self):
+        assert DEFAULT_TAU == 15
+
+    @given(st.integers(min_value=1, max_value=600))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_sizes_exceed_tau(self, length):
+        series = np.linspace(0, 1, length)
+        for scale in multiscale_approximations(series):
+            assert scale.size > DEFAULT_TAU
+
+    def test_total_expansion_bounded(self):
+        # sum_i n/2^i < n: the full multiscale stack at most doubles work.
+        series = np.zeros(1024)
+        rep = multiscale_representation(series, tau=0)
+        assert sum(r.size for r in rep[1:]) < series.size

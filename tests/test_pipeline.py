@@ -1,0 +1,151 @@
+"""End-to-end MVG classifier and stacking pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FeatureConfig,
+    MVGClassifier,
+    MVGStackingClassifier,
+    default_param_grid,
+)
+from repro.core.stacking_pipeline import default_families
+from repro.ml import SVC, GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.model_selection import GridSearchCV
+
+
+class TestMVGClassifier:
+    def test_learns_texture_classes(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = MVGClassifier(random_state=0)
+        clf.fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.8
+
+    def test_feature_names_recorded(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(random_state=0).fit(X_tr, y_tr)
+        assert clf.feature_names_
+        assert all(name.startswith("T") for name in clf.feature_names_)
+
+    def test_predict_proba_valid(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, _ = tiny_series_dataset
+        clf = MVGClassifier(random_state=0).fit(X_tr, y_tr)
+        probs = clf.predict_proba(X_te)
+        assert probs.shape == (X_te.shape[0], 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_grid_search_wrapping(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = MVGClassifier(
+            param_grid={"n_estimators": [10, 25]}, random_state=0
+        ).fit(X_tr, y_tr)
+        assert isinstance(clf._model, GridSearchCV)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_custom_classifier(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = MVGClassifier(
+            classifier=RandomForestClassifier(n_estimators=20, random_state=0),
+            random_state=0,
+        ).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_svm_gets_scaled_features(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(classifier=SVC(random_state=0), random_state=0)
+        clf.fit(X_tr, y_tr)
+        assert clf._scaler is not None
+
+    def test_tree_models_unscaled_by_default(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(random_state=0).fit(X_tr, y_tr)
+        assert clf._scaler is None
+
+    def test_scale_features_override(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(scale_features=True, random_state=0).fit(X_tr, y_tr)
+        assert clf._scaler is not None
+
+    def test_uvg_config(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = MVGClassifier(
+            config=FeatureConfig(scales="uvg"), random_state=0
+        ).fit(X_tr, y_tr)
+        assert len(clf.feature_names_) == 46
+
+    def test_feature_importances_ranked(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(random_state=0).fit(X_tr, y_tr)
+        ranked = clf.feature_importances()
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        assert abs(sum(values) - 1.0) < 1e-9
+
+    def test_fitted_classifier_property(self, tiny_series_dataset):
+        X_tr, y_tr, _, _ = tiny_series_dataset
+        clf = MVGClassifier(random_state=0).fit(X_tr, y_tr)
+        assert isinstance(clf.fitted_classifier_, GradientBoostingClassifier)
+
+    def test_unfitted_raises(self, tiny_series_dataset):
+        _, _, X_te, _ = tiny_series_dataset
+        with pytest.raises(RuntimeError):
+            MVGClassifier().predict(X_te)
+
+    def test_oversample_disabled(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        clf = MVGClassifier(oversample=False, random_state=0).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+
+    def test_imbalanced_data_with_oversampling(self, rng):
+        t = np.linspace(0, 1, 64, endpoint=False)
+
+        def sample(label):
+            base = np.sin(2 * np.pi * 3 * t)
+            if label:
+                base = base + 0.8 * np.sin(2 * np.pi * 15 * t)
+            return base + rng.normal(0, 0.1, 64)
+
+        X = np.stack([sample(0)] * 20 + [sample(1)] * 4)
+        y = np.array([0] * 20 + [1] * 4)
+        clf = MVGClassifier(random_state=0).fit(X, y)
+        assert set(clf.classes_) == {0, 1}
+
+
+class TestDefaultParamGrid:
+    def test_light_grid(self):
+        grid = default_param_grid()
+        assert set(grid) == {"learning_rate", "n_estimators", "max_depth"}
+
+    def test_full_grid_matches_paper(self):
+        grid = default_param_grid(full=True)
+        assert grid["learning_rate"] == [0.01, 0.1, 0.3]
+        assert len(grid["n_estimators"]) == 10
+        assert grid["max_depth"] == [10, 20]
+
+
+class TestMVGStackingClassifier:
+    def test_fit_predict(self, tiny_series_dataset):
+        X_tr, y_tr, X_te, y_te = tiny_series_dataset
+        families = {
+            "xgboost": (
+                GradientBoostingClassifier(random_state=0),
+                {"n_estimators": [10, 20]},
+            ),
+            "rf": (
+                RandomForestClassifier(random_state=0),
+                {"n_estimators": [10, 20]},
+            ),
+        }
+        clf = MVGStackingClassifier(
+            families=families, top_k=1, random_state=0
+        ).fit(X_tr, y_tr)
+        assert clf.score(X_te, y_te) > 0.7
+        probs = clf.predict_proba(X_te)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_default_families_structure(self):
+        families = default_families(0)
+        assert set(families) == {"xgboost", "rf", "svm"}
+        for prototype, grid in families.values():
+            assert hasattr(prototype, "fit")
+            assert isinstance(grid, dict)

@@ -1,0 +1,92 @@
+"""SAX symbolisation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sax import (
+    sax_breakpoints,
+    sax_transform,
+    sax_transform_batch,
+    sax_words,
+)
+
+
+class TestBreakpoints:
+    def test_binary_alphabet(self):
+        assert np.allclose(sax_breakpoints(2), [0.0])
+
+    def test_four_letter_quartiles(self):
+        bp = sax_breakpoints(4)
+        assert bp.shape == (3,)
+        assert bp[1] == pytest.approx(0.0)
+        assert bp[0] == pytest.approx(-0.6745, abs=1e-3)
+
+    def test_monotone(self):
+        bp = sax_breakpoints(8)
+        assert np.all(np.diff(bp) > 0)
+
+    def test_too_small_alphabet(self):
+        with pytest.raises(ValueError):
+            sax_breakpoints(1)
+
+
+class TestSAXTransform:
+    def test_word_length_and_alphabet(self):
+        word = sax_transform(np.sin(np.linspace(0, 6, 32)), 8, 4)
+        assert len(word) == 8
+        assert set(word) <= set("abcd")
+
+    def test_increasing_series_increasing_word(self):
+        word = sax_transform(np.linspace(0, 1, 16), 4, 4)
+        assert word == "abcd"
+
+    def test_constant_series(self):
+        # A constant z-normalises to zeros -> middle symbol everywhere.
+        word = sax_transform(np.ones(16), 4, 4)
+        assert len(set(word)) == 1
+
+    def test_batch_matches_single(self, rng):
+        windows = rng.normal(size=(20, 23))
+        batch = sax_transform_batch(windows, 6, 5)
+        assert batch == [sax_transform(w, 6, 5) for w in windows]
+
+    def test_batch_exact_division(self, rng):
+        windows = rng.normal(size=(10, 24))
+        batch = sax_transform_batch(windows, 8, 4)
+        assert batch == [sax_transform(w, 8, 4) for w in windows]
+
+    def test_batch_word_too_long(self, rng):
+        with pytest.raises(ValueError):
+            sax_transform_batch(rng.normal(size=(2, 4)), 8, 4)
+
+    def test_batch_1d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sax_transform_batch(rng.normal(size=8), 4, 4)
+
+    @given(st.integers(0, 1000), st.integers(2, 6), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_batch_single_agree(self, seed, alphabet, word_length):
+        rng = np.random.default_rng(seed)
+        windows = rng.normal(size=(5, 33))
+        assert sax_transform_batch(windows, word_length, alphabet) == [
+            sax_transform(w, word_length, alphabet) for w in windows
+        ]
+
+
+class TestSAXWords:
+    def test_window_count_without_reduction(self, rng):
+        series = rng.normal(size=30)
+        words = sax_words(series, window=10, word_length=4, alphabet_size=4,
+                          numerosity_reduction=False)
+        assert len(words) == 21
+
+    def test_numerosity_reduction_collapses(self):
+        series = np.ones(20)
+        words = sax_words(series, window=8, word_length=4, alphabet_size=4)
+        assert len(words) == 1
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError):
+            sax_words(np.ones(5), window=10, word_length=4, alphabet_size=4)

@@ -1,0 +1,73 @@
+"""Stacked generalization (Algorithm 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    StackingEnsemble,
+)
+
+
+@pytest.fixture
+def families():
+    return {
+        "trees": (DecisionTreeClassifier(), {"max_depth": [1, 3, 6]}),
+        "boost": (GradientBoostingClassifier(random_state=0), {"n_estimators": [5, 15]}),
+    }
+
+
+class TestStackingEnsemble:
+    def test_fit_predict(self, blobs, families):
+        X, y = blobs
+        ensemble = StackingEnsemble(families, top_k=2, cv=3, random_state=0)
+        ensemble.fit(X, y)
+        assert ensemble.score(X, y) > 0.9
+
+    def test_base_estimator_count(self, blobs, families):
+        X, y = blobs
+        ensemble = StackingEnsemble(families, top_k=2, cv=3, random_state=0).fit(X, y)
+        assert len(ensemble.base_estimators_) == 4  # 2 families x top 2
+
+    def test_top_k_larger_than_grid_keeps_all(self, blobs):
+        X, y = blobs
+        families = {"trees": (DecisionTreeClassifier(), {"max_depth": [2, 4]})}
+        ensemble = StackingEnsemble(families, top_k=10, cv=3, random_state=0).fit(X, y)
+        assert len(ensemble.base_estimators_) == 2
+
+    def test_candidate_scores_recorded_sorted(self, blobs, families):
+        X, y = blobs
+        ensemble = StackingEnsemble(families, top_k=1, cv=3, random_state=0).fit(X, y)
+        for scores in ensemble.candidate_scores_.values():
+            assert scores == sorted(scores)
+
+    def test_probabilities_valid(self, blobs, families):
+        X, y = blobs
+        ensemble = StackingEnsemble(families, top_k=1, cv=3, random_state=0).fit(X, y)
+        probs = ensemble.predict_proba(X)
+        assert probs.shape == (X.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_meta_model_is_logistic_regression(self, blobs, families):
+        X, y = blobs
+        ensemble = StackingEnsemble(families, top_k=1, cv=3, random_state=0).fit(X, y)
+        assert isinstance(ensemble.meta_model_, LogisticRegression)
+
+    def test_stacking_not_much_worse_than_best_base(self, rng):
+        # Overlapping classes: stacking should track the better base model.
+        X = np.concatenate([rng.normal(0, 1.2, (60, 4)), rng.normal(1.5, 1.2, (60, 4))])
+        y = np.repeat([0, 1], 60)
+        families = {
+            "boost": (GradientBoostingClassifier(random_state=0), {"n_estimators": [20]}),
+            "forest": (RandomForestClassifier(random_state=0), {"n_estimators": [20]}),
+        }
+        ensemble = StackingEnsemble(families, top_k=1, cv=3, random_state=0).fit(X, y)
+        base_best = max(m.score(X, y) for m in ensemble.base_estimators_)
+        assert ensemble.score(X, y) >= base_best - 0.1
+
+    def test_unfitted_raises(self, families):
+        with pytest.raises(RuntimeError):
+            StackingEnsemble(families).predict(np.ones((2, 2)))

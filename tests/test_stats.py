@@ -1,0 +1,157 @@
+"""Statistical tests: Wilcoxon vs scipy, Friedman/Nemenyi, comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    average_ranks,
+    critical_difference,
+    friedman_test,
+    nemenyi_groups,
+    pairwise_comparison,
+    wilcoxon_signed_rank,
+    win_counts,
+)
+
+
+class TestWilcoxon:
+    def test_matches_scipy_approx(self, rng):
+        for _ in range(15):
+            x = rng.normal(size=25)
+            y = x + rng.normal(0.3, 0.6, size=25)
+            ours = wilcoxon_signed_rank(x, y)
+            theirs = scipy_stats.wilcoxon(
+                x, y, zero_method="wilcox", correction=False, method="approx"
+            )
+            assert ours.statistic == pytest.approx(theirs.statistic)
+            assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_identical_samples(self):
+        x = np.arange(10.0)
+        result = wilcoxon_signed_rank(x, x)
+        assert result.p_value == 1.0
+        assert result.n_effective == 0
+
+    def test_detects_systematic_shift(self, rng):
+        x = rng.normal(size=40)
+        result = wilcoxon_signed_rank(x, x + 1.0)
+        assert result.significant()
+
+    def test_ties_handled(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        y = x + np.array([0.5, 0.5, -0.5, 0.5, 0.5, -0.5, 0.5, 0.5])
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy_stats.wilcoxon(
+            x, y, zero_method="wilcox", correction=False, method="approx"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank(np.ones(3), np.ones(4))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=20)
+        y = x + rng.normal(0, 0.8, size=20)
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy_stats.wilcoxon(
+            x, y, zero_method="wilcox", correction=False, method="approx"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-8)
+
+    def test_p_value_in_unit_interval(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        assert 0.0 <= wilcoxon_signed_rank(x, y).p_value <= 1.0
+
+
+class TestFriedman:
+    def test_matches_scipy(self, rng):
+        errors = rng.uniform(size=(20, 4))
+        ours = friedman_test(errors)
+        theirs = scipy_stats.friedmanchisquare(*errors.T)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_ranks_known_case(self):
+        errors = np.array([[0.1, 0.2, 0.3], [0.1, 0.2, 0.3]])
+        ranks = average_ranks(errors)
+        assert np.allclose(ranks, [1.0, 2.0, 3.0])
+
+    def test_ranks_with_ties(self):
+        errors = np.array([[0.1, 0.1, 0.3]])
+        assert np.allclose(average_ranks(errors), [1.5, 1.5, 3.0])
+
+    def test_clearly_better_method_detected(self, rng):
+        errors = rng.uniform(0.3, 0.5, size=(30, 3))
+        errors[:, 0] -= 0.25
+        result = friedman_test(errors)
+        assert result.significant()
+        assert np.argmin(result.ranks) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            friedman_test(np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            friedman_test(np.ones((5, 1)))
+        with pytest.raises(ValueError):
+            average_ranks(np.ones(5))
+
+
+class TestNemenyi:
+    def test_paper_cd_values(self):
+        """The paper prints CD=0.5307 (k=3) and CD=0.7511 (k=4) for 39
+        datasets at alpha=0.05 — exact reproduction."""
+        assert critical_difference(3, 39) == pytest.approx(0.5307, abs=2e-4)
+        assert critical_difference(4, 39) == pytest.approx(0.7511, abs=2e-4)
+
+    def test_cd_shrinks_with_more_datasets(self):
+        assert critical_difference(3, 100) < critical_difference(3, 10)
+
+    def test_cd_grows_with_more_methods(self):
+        assert critical_difference(5, 39) > critical_difference(3, 39)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_difference(1, 10)
+        with pytest.raises(ValueError):
+            critical_difference(3, 1)
+
+    def test_groups_all_similar(self):
+        groups = nemenyi_groups(np.array([2.0, 2.1, 1.9]), n_datasets=39)
+        assert groups == [(2, 0, 1)]
+
+    def test_groups_clear_separation(self):
+        groups = nemenyi_groups(np.array([1.0, 3.0]), n_datasets=39)
+        assert (0,) in groups and (1,) in groups
+
+    def test_groups_chain(self):
+        # A < B < C with consecutive overlap but no A-C overlap.
+        ranks = np.array([1.0, 1.4, 1.8])
+        groups = nemenyi_groups(ranks, n_datasets=39)  # CD ~ 0.53
+        assert (0, 1) in groups and (1, 2) in groups
+
+
+class TestComparisons:
+    def test_win_counts(self):
+        a = np.array([0.1, 0.2, 0.3, 0.4])
+        b = np.array([0.2, 0.2, 0.2, 0.5])
+        assert win_counts(a, b) == (2, 1, 1)
+
+    def test_win_counts_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            win_counts(np.ones(2), np.ones(3))
+
+    def test_pairwise_summary(self):
+        a = np.array([0.1, 0.15, 0.2, 0.05, 0.3])
+        b = a + 0.1
+        comparison = pairwise_comparison("MVG", a, "LS", b)
+        assert comparison.challenger_wins == 5
+        assert comparison.reference_wins == 0
+        assert "MVG vs LS" in comparison.summary()

@@ -1,0 +1,127 @@
+"""SVM, logistic regression and k-NN tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KNeighborsClassifier, LogisticRegression, SVC
+
+
+class TestSVC:
+    def test_linearly_separable(self, binary_blobs):
+        X, y = binary_blobs
+        svc = SVC(kernel="linear", random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.95
+
+    def test_rbf_xor(self, rng):
+        X = rng.uniform(-1, 1, size=(150, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        svc = SVC(C=10.0, kernel="rbf", random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.9
+
+    def test_multiclass_ovr(self, blobs):
+        X, y = blobs
+        svc = SVC(random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.9
+        assert svc.decision_function(X).shape == (X.shape[0], 3)
+
+    def test_binary_decision_function_single_column(self, binary_blobs):
+        X, y = binary_blobs
+        svc = SVC(random_state=0).fit(X, y)
+        assert svc.decision_function(X).shape == (X.shape[0], 1)
+
+    def test_probabilities_valid(self, blobs):
+        X, y = blobs
+        svc = SVC(random_state=0).fit(X, y)
+        probs = svc.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_poly_kernel(self, binary_blobs):
+        X, y = binary_blobs
+        svc = SVC(kernel="poly", degree=2, random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.8
+
+    def test_unknown_kernel_raises(self, binary_blobs):
+        X, y = binary_blobs
+        with pytest.raises(ValueError):
+            SVC(kernel="sigmoid", random_state=0).fit(X, y)
+
+    def test_gamma_auto(self, binary_blobs):
+        X, y = binary_blobs
+        svc = SVC(gamma="auto", random_state=0).fit(X, y)
+        assert svc._gamma == pytest.approx(1.0 / X.shape[1])
+
+    def test_gamma_numeric(self, binary_blobs):
+        X, y = binary_blobs
+        svc = SVC(gamma=0.5, random_state=0).fit(X, y)
+        assert svc._gamma == 0.5
+
+
+class TestLogisticRegression:
+    def test_binary(self, binary_blobs):
+        X, y = binary_blobs
+        lr = LogisticRegression().fit(X, y)
+        assert lr.score(X, y) > 0.95
+
+    def test_multiclass(self, blobs):
+        X, y = blobs
+        lr = LogisticRegression().fit(X, y)
+        assert lr.score(X, y) > 0.95
+
+    def test_probabilities_valid(self, blobs):
+        X, y = blobs
+        probs = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_heavy_regularization_flattens(self, binary_blobs):
+        X, y = binary_blobs
+        lr = LogisticRegression(C=1e-6).fit(X, y)
+        probs = lr.predict_proba(X)
+        assert np.abs(probs - 0.5).max() < 0.2
+
+    def test_intercept_handles_shifted_data(self, rng):
+        X = rng.normal(100.0, 1.0, size=(60, 2))
+        y = (X[:, 0] > 100.0).astype(int)
+        lr = LogisticRegression().fit(X, y)
+        assert lr.score(X, y) > 0.9
+
+    def test_no_intercept(self, binary_blobs):
+        X, y = binary_blobs
+        lr = LogisticRegression(fit_intercept=False).fit(X, y)
+        assert np.allclose(lr.intercept_, 0.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((4, 2)), np.zeros(4))
+
+
+class TestKNN:
+    def test_1nn_memorizes(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(1).fit(X, y)
+        assert knn.score(X, y) == 1.0
+
+    def test_3nn_majority(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 0, 1])
+        knn = KNeighborsClassifier(3).fit(X, y)
+        assert knn.predict(np.array([[0.05]])) == [0]
+
+    def test_callable_metric(self):
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        y = np.array([0, 1])
+        manhattan = lambda a, b: float(np.abs(a - b).sum())
+        knn = KNeighborsClassifier(1, metric=manhattan).fit(X, y)
+        assert knn.predict(np.array([[1.0, 1.0]])) == [0]
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(5).fit(np.ones((3, 2)), np.array([0, 1, 0]))
+
+    def test_proba_counts(self):
+        X = np.array([[0.0], [0.2], [0.4], [5.0]])
+        y = np.array([0, 0, 1, 1])
+        knn = KNeighborsClassifier(3).fit(X, y)
+        probs = knn.predict_proba(np.array([[0.1]]))
+        assert probs[0, 0] == pytest.approx(2 / 3)
+        assert probs[0, 1] == pytest.approx(1 / 3)

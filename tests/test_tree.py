@@ -1,0 +1,140 @@
+"""CART decision tree tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+
+
+class TestBasicFitting:
+    def test_perfectly_separable_1d(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.depth == 1
+
+    def test_xor_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.depth == 2
+
+    def test_blobs(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_single_class(self):
+        X = np.ones((5, 2))
+        y = np.zeros(5, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 0)
+        assert tree.n_nodes == 1
+
+    def test_entropy_criterion(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(criterion="entropy").fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_unknown_criterion_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="nope").fit(X, y)
+
+
+class TestConstraints:
+    def test_max_depth_zero_is_stump(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_max_depth_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+
+        def leaf_sizes(node_id, rows):
+            node = tree._nodes[node_id]
+            if node.is_leaf:
+                return [rows.sum()]
+            mask = X[rows][:, node.feature] <= node.threshold
+            idx = np.flatnonzero(rows)
+            left = np.zeros_like(rows)
+            left[idx[mask]] = True
+            right = np.zeros_like(rows)
+            right[idx[~mask]] = True
+            return leaf_sizes(node.left, left) + leaf_sizes(node.right, right)
+
+        sizes = leaf_sizes(0, np.ones(50, dtype=bool))
+        assert min(sizes) >= 10
+
+    def test_min_samples_split(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.integers(0, 2, size=10)
+        tree = DecisionTreeClassifier(min_samples_split=100).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_max_features_sqrt(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_features="sqrt", random_state=0).fit(X, y)
+        assert tree._n_subset == 2  # sqrt(6) -> 2
+
+    def test_max_features_fraction(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_features=0.5, random_state=0).fit(X, y)
+        assert tree._n_subset == 3
+
+
+class TestProbabilities:
+    def test_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        probs = tree.predict_proba(X)
+        assert probs.shape == (X.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_pure_leaves_give_hard_probabilities(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        probs = tree.predict_proba(X)
+        assert np.allclose(probs, [[1, 0], [0, 1]])
+
+    def test_noninteger_labels(self):
+        X = np.array([[0.0], [10.0], [0.5], [9.5]])
+        y = np.array(["a", "b", "a", "b"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == ["a", "b", "a", "b"]
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_nan_rejected(self):
+        X = np.array([[np.nan], [1.0]])
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, np.array([0, 1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_feature_importances_sum_to_one(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_constant_features_no_split(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_nodes == 1
