@@ -26,6 +26,9 @@ from repro.experiments.reporting import format_table
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.metrics import error_rate
 
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
+
 PANEL = ("BeetleFly", "ECG5000", "SmallKitchenAppliances", "ShapeletSim")
 
 

@@ -3,6 +3,10 @@
 from _bench_utils import emit
 
 from repro.experiments.case_study import render_case_study, run_case_study
+import pytest
+
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
 
 
 def test_figure10_case_study(benchmark):

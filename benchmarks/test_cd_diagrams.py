@@ -3,6 +3,7 @@
 Cached under ``results/fig6.json`` / ``results/fig7.json``.
 """
 
+import pytest
 from _bench_utils import emit
 
 from repro.experiments.cd_diagrams import (
@@ -12,6 +13,9 @@ from repro.experiments.cd_diagrams import (
     run_fig6,
     run_fig7,
 )
+
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
 
 
 def test_figure6_classifier_families(benchmark):

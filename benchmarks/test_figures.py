@@ -8,11 +8,15 @@ import pytest
 from _bench_utils import emit
 
 from repro.experiments.figures import (
+
     render_figure2,
     render_figure8,
     render_figure9,
     render_scatter_figure,
 )
+
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
 
 
 def test_figure2_motif_distributions(benchmark):

@@ -1,10 +1,15 @@
 """Micro-benchmarks backing the complexity claims of Sections 2.1 / 4.5:
 
 * VG divide-and-conquer vs the naive O(n^2) sweep;
+* the fast-path (array-backed) builders of :mod:`repro.graph.fast`
+  vs both reference builders at n=2048;
 * HVG O(n) construction;
 * motif counting (the PGD replacement);
-* full per-series MVG feature extraction;
+* full per-series MVG feature extraction (fast and reference builders);
 * DTW with and without a Sakoe-Chiba band, and LB_Keogh.
+
+``benchmarks/test_fastpath.py`` aggregates the headline speedups into
+``results/BENCH_fastpath.json``.
 """
 
 import numpy as np
@@ -15,15 +20,24 @@ from repro.core.features import extract_feature_vector
 from repro.distance.dtw import dtw_distance, lb_keogh
 from repro.graph.motifs import count_motifs
 from repro.graph.visibility import (
+
     horizontal_visibility_graph,
     visibility_graph_dc,
     visibility_graph_naive,
 )
 
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def series_512():
     return np.random.default_rng(0).normal(size=512)
+
+
+@pytest.fixture(scope="module")
+def series_2048():
+    return np.random.default_rng(7).normal(size=2048)
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +65,45 @@ def test_hvg_4096(benchmark, series_4096):
     assert graph.is_connected()
 
 
+def test_vg_seed_2048(benchmark, series_2048):
+    graph = benchmark(visibility_graph_dc, series_2048)
+    assert graph.is_connected()
+
+
+def test_hvg_seed_2048(benchmark, series_2048):
+    graph = benchmark(horizontal_visibility_graph, series_2048)
+    assert graph.is_connected()
+
+
+def test_vg_fast_csr_2048(benchmark, series_2048):
+    from repro.graph.fast import fast_visibility_graph_csr
+
+    csr = benchmark(fast_visibility_graph_csr, series_2048)
+    assert csr.to_graph() == visibility_graph_dc(series_2048)
+
+
+def test_hvg_fast_csr_2048(benchmark, series_2048):
+    from repro.graph.fast import fast_horizontal_visibility_graph_csr
+
+    csr = benchmark(fast_horizontal_visibility_graph_csr, series_2048)
+    assert csr.to_graph() == horizontal_visibility_graph(series_2048)
+
+
+def test_vg_hvg_fast_combined_2048(benchmark, series_2048):
+    from repro.graph.fast import visibility_graphs_csr
+
+    vg, hvg = benchmark(visibility_graphs_csr, series_2048)
+    assert vg.n_edges >= hvg.n_edges
+
+
+def test_vg_hvg_fast_to_graph_2048(benchmark, series_2048):
+    from repro.graph.fast import visibility_graphs
+
+    vg, hvg = benchmark(visibility_graphs, series_2048)
+    assert vg == visibility_graph_dc(series_2048)
+    assert hvg == horizontal_visibility_graph(series_2048)
+
+
 def test_motif_counting_vg_256(benchmark):
     graph = visibility_graph_dc(np.random.default_rng(2).normal(size=256))
     counts = benchmark(count_motifs, graph)
@@ -60,6 +113,14 @@ def test_motif_counting_vg_256(benchmark):
 def test_feature_extraction_mvg_256(benchmark):
     series = np.random.default_rng(3).normal(size=256)
     vector, names = benchmark(extract_feature_vector, series, FeatureConfig())
+    assert vector.size == len(names)
+
+
+def test_feature_extraction_mvg_256_reference_builders(benchmark):
+    series = np.random.default_rng(3).normal(size=256)
+    vector, names = benchmark(
+        lambda: extract_feature_vector(series, FeatureConfig(), fast=False)
+    )
     assert vector.size == len(names)
 
 

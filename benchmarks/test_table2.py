@@ -9,6 +9,10 @@ written to ``results/table2.txt`` and echoed to stdout.
 from _bench_utils import emit
 
 from repro.experiments.table2 import METHODS, render_table2, run_table2
+import pytest
+
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
 
 
 def test_table2(benchmark):

@@ -7,6 +7,10 @@ import numpy as np
 from _bench_utils import emit
 
 from repro.experiments.table3 import METHODS, render_table3, run_table3
+import pytest
+
+#: Everything in benchmarks/ is a macro/micro benchmark.
+pytestmark = pytest.mark.bench
 
 
 def test_table3(benchmark):

@@ -13,13 +13,20 @@ datasets       list the surrogate archive with metadata
 all            run every artifact in order
 =============  ==================================================
 
-Global flags: ``--force`` ignores JSON caches; restrict datasets with
-the ``REPRO_DATASETS`` / ``REPRO_MAX_DATASETS`` environment variables.
+Global flags: ``--force`` ignores JSON caches; ``--jobs N`` fans the
+per-series feature extraction of every sweep over ``N`` worker
+processes (it sets the ``REPRO_JOBS`` env knob consumed by
+:class:`repro.core.batch.BatchFeatureExtractor`).  Restrict datasets
+with the ``REPRO_DATASETS`` / ``REPRO_MAX_DATASETS`` environment
+variables.  Extracted feature vectors are cached per series under
+``REPRO_RESULTS_DIR/feature_cache``, so re-runs (and artifacts sharing
+datasets, e.g. table2 and the figure sweeps) skip re-extraction.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.data.archive import ARCHIVE_METADATA
@@ -119,7 +126,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--force", action="store_true", help="ignore cached sweep results"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for feature extraction (sets REPRO_JOBS)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        if args.jobs <= 0:
+            parser.error(f"--jobs must be a positive integer, got {args.jobs}")
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     commands = ALL_COMMANDS if args.command == "all" else (args.command,)
     for command in commands:
         _dispatch(command, args.force)

@@ -1,6 +1,7 @@
 """The paper's contribution: multiscale visibility graphs and the MVG
 feature-extraction / classification pipeline."""
 
+from repro.core.batch import BatchFeatureExtractor
 from repro.core.config import (
     FeatureConfig,
     HEURISTIC_COLUMNS,
@@ -28,6 +29,7 @@ __all__ = [
     "heuristic_config",
     "HEURISTIC_COLUMNS",
     "FeatureExtractor",
+    "BatchFeatureExtractor",
     "graph_feature_dict",
     "extract_feature_vector",
     "MVGClassifier",

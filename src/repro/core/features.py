@@ -60,20 +60,53 @@ def graph_feature_dict(
     return out
 
 
-_BUILDERS = {
+#: Reference (pure-Python) builders; the fast path must stay
+#: graph-identical to these (enforced by the property tests).
+_REFERENCE_BUILDERS = {
     "vg": visibility_graph,
     "hvg": horizontal_visibility_graph,
 }
 
+#: Below this scale length the reference builders win on constant
+#: overhead; at or above it the array-backed fast builders take over.
+_FAST_MIN_LENGTH = 48
+
+
+def _build_scale_graphs(
+    series: np.ndarray, graph_types: tuple[str, ...], fast: bool
+) -> dict[str, Graph]:
+    """Visibility graphs of one scale, keyed by graph type.
+
+    The fast path dispatches to :mod:`repro.graph.fast`; when both graph
+    types are requested it uses the combined builder, which shares the
+    Cartesian-tree pass between the VG and the HVG.
+    """
+    if not fast or series.size < _FAST_MIN_LENGTH:
+        return {kind: _REFERENCE_BUILDERS[kind](series) for kind in graph_types}
+    from repro.graph.fast import (
+        fast_horizontal_visibility_graph,
+        fast_visibility_graph,
+        visibility_graphs,
+    )
+
+    if len(graph_types) == 2:
+        vg, hvg = visibility_graphs(series)
+        return {"vg": vg, "hvg": hvg}
+    if graph_types[0] == "vg":
+        return {"vg": fast_visibility_graph(series)}
+    return {"hvg": fast_horizontal_visibility_graph(series)}
+
 
 def extract_feature_vector(
-    series: np.ndarray, config: FeatureConfig
+    series: np.ndarray, config: FeatureConfig, *, fast: bool = True
 ) -> tuple[np.ndarray, list[str]]:
     """Feature vector and names for one series under ``config``.
 
     Implements Algorithm 1: build graphs per scale, extract and
     concatenate features.  The scale set depends on ``config.scales``;
-    scale 0 is the original series.
+    scale 0 is the original series.  ``fast=False`` forces the reference
+    graph builders (the outputs are identical either way; only the
+    builder wall-clock differs).
     """
     series = np.asarray(series, dtype=np.float64)
     representation = multiscale_representation(series, tau=config.tau)
@@ -92,8 +125,9 @@ def extract_feature_vector(
     values: list[float] = []
     names: list[str] = []
     for scale_index, scaled_series in scales:
+        graphs = _build_scale_graphs(scaled_series, config.graph_types(), fast)
         for graph_type in config.graph_types():
-            graph = _BUILDERS[graph_type](scaled_series)
+            graph = graphs[graph_type]
             features = graph_feature_dict(
                 graph,
                 include_stats=config.include_stats,
@@ -136,10 +170,16 @@ class FeatureExtractor:
     Series of equal length produce identical feature layouts; mixed
     lengths are rejected at ``transform`` time because scale counts (and
     hence columns) would differ.
+
+    ``fast=False`` pins the reference graph builders (useful for
+    benchmarking the fast path against the seed behaviour; outputs are
+    identical).  For multiprocessing fan-out and on-disk caching see
+    :class:`repro.core.batch.BatchFeatureExtractor`.
     """
 
-    def __init__(self, config: FeatureConfig | None = None):
+    def __init__(self, config: FeatureConfig | None = None, fast: bool = True):
         self.config = config or FeatureConfig()
+        self.fast = fast
         self.feature_names_: list[str] | None = None
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -150,7 +190,9 @@ class FeatureExtractor:
         rows = []
         names: list[str] | None = None
         for series in X:
-            vector, series_names = extract_feature_vector(series, self.config)
+            vector, series_names = extract_feature_vector(
+                series, self.config, fast=self.fast
+            )
             if names is None:
                 names = series_names
             elif names != series_names:

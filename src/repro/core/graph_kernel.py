@@ -20,6 +20,7 @@ MVG in the ablation benchmark.
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter
 
 import numpy as np
@@ -49,17 +50,18 @@ def wl_color_histogram(
         for d in degrees
     ]
     histogram: Counter = Counter(labels)
+    # Compress the (long) signatures into stable short colour ids.
+    # zlib.crc32 (not hash()) keeps colours identical across processes
+    # regardless of PYTHONHASHSEED.  One palette is shared by all
+    # refinement rounds, so a signature seen again (stable colourings
+    # converge after a couple of rounds) reuses its interned id instead
+    # of being re-hashed and re-allocated each round.
+    palette: dict[str, str] = {}
     for _ in range(n_iterations):
         new_labels = []
         for u in range(n):
             neighborhood = sorted(labels[v] for v in graph.adjacency(u))
             new_labels.append(f"{labels[u]}|{','.join(neighborhood)}")
-        # Compress the (long) signatures into stable short colour ids.
-        # zlib.crc32 (not hash()) keeps colours identical across processes
-        # regardless of PYTHONHASHSEED.
-        import zlib
-
-        palette: dict[str, str] = {}
         for signature in new_labels:
             if signature not in palette:
                 palette[signature] = f"c{zlib.crc32(signature.encode()):08x}"

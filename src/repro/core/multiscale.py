@@ -33,11 +33,28 @@ def paa(series: np.ndarray, n_segments: int) -> np.ndarray:
         raise ValueError(f"n_segments={n_segments} exceeds series length {n}")
     if n % n_segments == 0:
         return series.reshape(n_segments, n // n_segments).mean(axis=1)
-    # Generalised PAA: replicate each point n_segments times and regroup,
-    # which weights boundary points fractionally (and preserves the mean).
-    indices = np.arange(n * n_segments) // n_segments
-    grouped = series[indices].reshape(n_segments, n)
-    return grouped.mean(axis=1)
+    # Generalised PAA with fractional boundary-point weighting (preserves
+    # the mean).  Conceptually each point is replicated ``n_segments``
+    # times and the replicas regrouped into ``n_segments`` runs of ``n``;
+    # materialising that is O(n * n_segments) memory (OOM around
+    # n ~ 1e5), so each segment sum is assembled in O(n) total instead:
+    # the run of points wholly or partly inside segment ``s`` starts at
+    # point ``i0 = floor(s n / m)`` and ends at ``i1 = floor((s+1) n / m)``,
+    # and in replica units the segment owes the previous segment ``r0``
+    # replicas of its first point and claims ``r1`` replicas of point
+    # ``i1``.  Per-segment ``reduceat`` sums keep the rounding error
+    # local (no long-range prefix-sum cancellation).
+    cuts = np.arange(n_segments + 1, dtype=np.int64) * n
+    points = cuts // n_segments
+    replicas = (cuts - points * n_segments).astype(np.float64)
+    i0, r0 = points[:-1], replicas[:-1]
+    i1, r1 = points[1:], replicas[1:]
+    runs = np.add.reduceat(series, i0)
+    # reduceat quirk: an empty run (i0 == next i0) yields series[i0], not 0.
+    runs = np.where(i1 > i0, runs, 0.0)
+    first_correction = r0 * series[i0]
+    last_part = np.where(r1 > 0.0, series[np.minimum(i1, n - 1)], 0.0)
+    return (n_segments * runs - first_correction + r1 * last_part) / n
 
 
 def multiscale_approximations(

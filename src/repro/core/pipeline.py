@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.features import FeatureExtractor
+from repro.core.batch import BatchFeatureExtractor
 from repro.ml.base import BaseEstimator, clone
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.model_selection import GridSearchCV
@@ -108,8 +108,13 @@ class MVGClassifier(BaseEstimator):
 
     # -- API ------------------------------------------------------------------
     def extract(self, X: np.ndarray) -> np.ndarray:
-        """MVG features of raw series ``X`` (also records feature names)."""
-        extractor = FeatureExtractor(self.config or FeatureConfig())
+        """MVG features of raw series ``X`` (also records feature names).
+
+        Extraction is batched: the ``REPRO_JOBS`` env knob (the CLI's
+        ``--jobs``) fans it over worker processes and vectors are served
+        from / persisted to the on-disk feature cache.
+        """
+        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
         features = extractor.transform(X)
         self.feature_names_ = extractor.feature_names_
         return features
@@ -131,7 +136,7 @@ class MVGClassifier(BaseEstimator):
         return self
 
     def _prepare(self, X: np.ndarray) -> np.ndarray:
-        extractor = FeatureExtractor(self.config or FeatureConfig())
+        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
         features = extractor.transform(np.asarray(X, dtype=np.float64))
         if self._scaler is not None:
             features = self._scaler.transform(features)

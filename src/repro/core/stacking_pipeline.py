@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.features import FeatureExtractor
+from repro.core.batch import BatchFeatureExtractor
 from repro.ml.base import BaseEstimator
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
@@ -72,7 +72,7 @@ class MVGStackingClassifier(BaseEstimator):
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MVGStackingClassifier":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
-        extractor = FeatureExtractor(self.config or FeatureConfig())
+        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
         features = extractor.transform(X)
         self.feature_names_ = extractor.feature_names_
         self.classes_ = np.unique(y)
@@ -91,7 +91,7 @@ class MVGStackingClassifier(BaseEstimator):
         return self
 
     def _prepare(self, X: np.ndarray) -> np.ndarray:
-        extractor = FeatureExtractor(self.config or FeatureConfig())
+        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
         return self._scaler.transform(
             extractor.transform(np.asarray(X, dtype=np.float64))
         )

@@ -18,7 +18,7 @@ import sys
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.features import FeatureExtractor
+from repro.core.batch import BatchFeatureExtractor
 from repro.core.pipeline import MVGClassifier
 from repro.data.archive import load_archive_dataset
 from repro.experiments.reporting import format_table
@@ -41,7 +41,8 @@ def run_case_study(
     ranked = clf.feature_importances()[:top_n]
     top_features = [name for name, _ in ranked]
 
-    extractor = FeatureExtractor(FeatureConfig())
+    # Batched extraction: honours REPRO_JOBS and the on-disk feature cache.
+    extractor = BatchFeatureExtractor(FeatureConfig())
     test_features = extractor.transform(split.test.X)
     names = extractor.feature_names_
     index = {name: i for i, name in enumerate(names)}

@@ -17,7 +17,7 @@ import sys
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.features import FeatureExtractor
+from repro.core.batch import BatchFeatureExtractor
 from repro.core.stacking_pipeline import default_families
 from repro.data.archive import load_archive_dataset
 from repro.experiments.harness import cache_load, cache_store, selected_datasets
@@ -36,7 +36,8 @@ FIG7_METHODS: tuple[str, ...] = ("SVM", "RF", "XGBoost", "All")
 
 def _features_for(split, random_state: int):
     """Extract + scale + oversample MVG features once per dataset."""
-    extractor = FeatureExtractor(FeatureConfig())
+    # Batched extraction: honours REPRO_JOBS and the on-disk feature cache.
+    extractor = BatchFeatureExtractor(FeatureConfig())
     train = extractor.transform(split.train.X)
     test = extractor.transform(split.test.X)
     scaler = MinMaxScaler()

@@ -5,11 +5,21 @@ Environment knobs (all optional):
 ``REPRO_DATASETS``
     Comma-separated dataset names; restricts every sweep.
 ``REPRO_MAX_DATASETS``
-    Integer; keep only the first N archive datasets (quick runs).
+    Positive integer; keep only the first N archive datasets (quick
+    runs).  Invalid values fail fast with a clear message.
 ``REPRO_RESULTS_DIR``
-    Where JSON result caches are written (default ``./results``).
+    Where JSON result caches are written (default ``./results``).  The
+    per-series feature cache lives in its ``feature_cache/``
+    subdirectory (see :mod:`repro.core.batch`).
 ``REPRO_FULL_GRID``
     When set (non-empty), use the paper's full XGBoost grid.
+``REPRO_JOBS``
+    Positive integer; worker processes for batched feature extraction
+    (default 1).  The ``--jobs`` CLI flag of ``python -m repro`` sets
+    this for every sweep it dispatches.
+
+Corrupt or truncated JSON result caches are treated as cache misses
+(with a warning) rather than crashing a sweep mid-run.
 """
 
 from __future__ import annotations
@@ -17,14 +27,15 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.batch import BatchFeatureExtractor, env_positive_int
 from repro.core.config import FeatureConfig
-from repro.core.features import FeatureExtractor
 from repro.core.pipeline import default_param_grid
 from repro.data.archive import archive_dataset_names, load_archive_dataset
 from repro.data.dataset import TrainTestSplit
@@ -59,13 +70,17 @@ def selected_datasets() -> tuple[str, ...]:
     env = os.environ.get("REPRO_DATASETS")
     if env:
         requested = [name.strip() for name in env.split(",") if name.strip()]
+        if not requested:
+            raise ValueError(
+                f"REPRO_DATASETS is set but names no datasets: {env!r}"
+            )
         unknown = sorted(set(requested) - set(names))
         if unknown:
             raise ValueError(f"unknown datasets in REPRO_DATASETS: {unknown}")
         names = tuple(name for name in names if name in requested)
-    cap = os.environ.get("REPRO_MAX_DATASETS")
-    if cap:
-        names = names[: int(cap)]
+    cap = env_positive_int("REPRO_MAX_DATASETS")
+    if cap is not None:
+        names = names[:cap]
     return names
 
 
@@ -85,19 +100,47 @@ def active_param_grid(n_classes: int | None = None) -> dict[str, list[Any]]:
 
 
 def results_dir() -> Path:
-    """Directory for JSON result caches (created on demand)."""
-    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    """Directory for JSON result caches (created on demand).
+
+    A set-but-blank ``REPRO_RESULTS_DIR`` counts as unset — otherwise
+    ``Path("")`` would silently resolve to the current directory and
+    caches (including ``feature_cache/``) would be sprayed into the CWD.
+    """
+    raw = os.environ.get("REPRO_RESULTS_DIR")
+    path = Path(raw) if raw and raw.strip() else Path("results")
     path.mkdir(parents=True, exist_ok=True)
     return path
 
 
 def cache_load(name: str) -> dict | None:
-    """Load a cached result blob, or None when absent."""
+    """Load a cached result blob, or None when absent or unreadable.
+
+    A corrupt or truncated cache (interrupted write, disk trouble) is
+    reported as a warning and treated as a miss, so the sweep recomputes
+    instead of crashing; the next :func:`cache_store` overwrites it.
+    """
     path = results_dir() / f"{name}.json"
     if not path.is_file():
         return None
-    with open(path) as handle:
-        return json.load(handle)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        warnings.warn(
+            f"ignoring unreadable result cache {path}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if not isinstance(payload, dict):
+        warnings.warn(
+            f"ignoring result cache {path}: expected a JSON object, "
+            f"got {type(payload).__name__}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return payload
 
 
 def cache_store(name: str, payload: dict) -> Path:
@@ -115,6 +158,8 @@ def evaluate_mvg(
     random_state: int = 0,
     oversample: bool = True,
     precomputed: tuple[np.ndarray, np.ndarray] | None = None,
+    n_jobs: int | None = None,
+    feature_cache: bool = True,
 ) -> EvaluationResult:
     """Evaluate the MVG pipeline on one split, timing the feature
     extraction and classification phases separately (the FE/Clf columns
@@ -123,12 +168,19 @@ def evaluate_mvg(
     ``precomputed`` takes ``(train_features, test_features)`` already
     restricted to ``config``'s columns; sweeps use it to extract the full
     feature matrix once and slice per heuristic column.
+
+    Extraction goes through :class:`~repro.core.batch.BatchFeatureExtractor`:
+    ``n_jobs`` (defaulting to the ``REPRO_JOBS`` env knob) fans the
+    per-series work over worker processes, and ``feature_cache`` controls
+    the on-disk per-series cache under ``REPRO_RESULTS_DIR`` — on a cache
+    hit ``feature_seconds`` reports the (near-zero) load time, which is
+    the real cost the sweep paid.
     """
     if precomputed is not None:
         train_features, test_features = precomputed
         feature_seconds = 0.0
     else:
-        extractor = FeatureExtractor(config)
+        extractor = BatchFeatureExtractor(config, n_jobs=n_jobs, cache=feature_cache)
         t0 = time.perf_counter()
         train_features = extractor.transform(split.train.X)
         test_features = extractor.transform(split.test.X)

@@ -17,8 +17,9 @@ import sys
 import numpy as np
 
 from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
+from repro.core.batch import BatchFeatureExtractor
 from repro.core.config import HEURISTIC_COLUMNS
-from repro.core.features import FeatureExtractor, feature_mask
+from repro.core.features import feature_mask
 from repro.data.archive import load_archive_dataset
 from repro.experiments.harness import (
     active_param_grid,
@@ -71,8 +72,10 @@ def run_table2(force: bool = False, random_state: int = 0) -> dict:
             ).error
         )
         # Extract the full (column G) feature matrix once; every other
-        # heuristic column is a subset of its columns.
-        extractor = FeatureExtractor(full_config)
+        # heuristic column is a subset of its columns.  The batch
+        # extractor honours REPRO_JOBS (``--jobs``) and reuses the
+        # on-disk feature cache across re-runs.
+        extractor = BatchFeatureExtractor(full_config)
         train_full = extractor.transform(split.train.X)
         test_full = extractor.transform(split.test.X)
         names = extractor.feature_names_

@@ -15,6 +15,13 @@ from repro.graph.directed import (
     weighted_visibility_graph,
 )
 from repro.graph.extended_metrics import extended_graph_statistics
+from repro.graph.fast import (
+    CSRGraph,
+    fast_horizontal_visibility_graph,
+    fast_visibility_graph,
+    visibility_graphs,
+    visibility_graphs_batch,
+)
 from repro.graph.metrics import (
     assortativity_coefficient,
     degeneracy,
@@ -40,6 +47,11 @@ from repro.graph.visibility import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "fast_visibility_graph",
+    "fast_horizontal_visibility_graph",
+    "visibility_graphs",
+    "visibility_graphs_batch",
     "visibility_graph",
     "visibility_graph_naive",
     "visibility_graph_dc",

@@ -83,14 +83,19 @@ def eigenvector_centrality_stats(
     n = graph.n_vertices
     if n == 0 or graph.n_edges == 0:
         return (0.0, 0.0, 0.0)
+    # Canonical (sorted) edge order: the accumulation below is a float
+    # reduction and must not depend on adjacency-set iteration order,
+    # which differs between the reference and fast graph builders.
+    edges = graph.edge_array()
+    edges = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+    heads, tails = edges[:, 0], edges[:, 1]
     x = np.full(n, 1.0 / np.sqrt(n))
     for _ in range(max_iter):
         # Iterate on A + I: same eigenvectors, but the spectral shift
         # breaks the +/-lambda oscillation of bipartite graphs.
         nxt = x.copy()
-        for u, v in graph.edges():
-            nxt[u] += x[v]
-            nxt[v] += x[u]
+        np.add.at(nxt, heads, x[tails])
+        np.add.at(nxt, tails, x[heads])
         norm = np.linalg.norm(nxt)
         if norm == 0.0:
             return (0.0, 0.0, 0.0)

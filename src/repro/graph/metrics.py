@@ -85,14 +85,19 @@ def assortativity_coefficient(graph: Graph) -> float:
     m = graph.n_edges
     if m == 0:
         return 0.0
+    # Accumulate in canonical (sorted) edge order so the result is
+    # independent of adjacency-set iteration order: the reference and
+    # fast builders insert edges in different orders, and a float
+    # reduction must not expose that.
+    edges = graph.edge_array()
+    edges = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+    degrees = graph.degrees().astype(np.float64)
+    du = degrees[edges[:, 0]]
+    dv = degrees[edges[:, 1]]
     x = np.empty(2 * m, dtype=np.float64)
     y = np.empty(2 * m, dtype=np.float64)
-    idx = 0
-    for u, v in graph.edges():
-        du, dv = graph.degree(u), graph.degree(v)
-        x[idx], y[idx] = du, dv
-        x[idx + 1], y[idx + 1] = dv, du
-        idx += 2
+    x[0::2], y[0::2] = du, dv
+    x[1::2], y[1::2] = dv, du
     x_mean = x.mean()
     y_mean = y.mean()
     x_std = x.std()

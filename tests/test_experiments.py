@@ -48,6 +48,39 @@ class TestHarness:
         assert cache_load("unit") == payload
         assert cache_load("missing") is None
 
+    def test_corrupt_cache_is_a_warned_miss(self, tiny_archive):
+        (tiny_archive / "broken.json").write_text('{"datasets": ["a"], "err')
+        with pytest.warns(RuntimeWarning, match="unreadable result cache"):
+            assert cache_load("broken") is None
+
+    def test_non_object_cache_is_a_warned_miss(self, tiny_archive):
+        (tiny_archive / "listy.json").write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="expected a JSON object"):
+            assert cache_load("listy") is None
+
+    def test_corrupt_cache_does_not_crash_sweep(self, tiny_archive):
+        # A truncated table2 cache must trigger recomputation, not a crash.
+        (tiny_archive / "fig6.json").write_text('{"datasets"')
+        with pytest.warns(RuntimeWarning):
+            assert cache_load("fig6") is None
+
+    @pytest.mark.parametrize("bad", ["three", "3.5", "-1", "0"])
+    def test_max_datasets_validation(self, monkeypatch, bad):
+        monkeypatch.delenv("REPRO_DATASETS", raising=False)
+        monkeypatch.setenv("REPRO_MAX_DATASETS", bad)
+        with pytest.raises(ValueError, match="REPRO_MAX_DATASETS"):
+            selected_datasets()
+
+    def test_blank_max_datasets_is_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATASETS", raising=False)
+        monkeypatch.setenv("REPRO_MAX_DATASETS", "  ")
+        assert len(selected_datasets()) > 3
+
+    def test_all_blank_dataset_list_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASETS", " , ,")
+        with pytest.raises(ValueError, match="REPRO_DATASETS"):
+            selected_datasets()
+
     def test_adaptive_grid(self, monkeypatch):
         monkeypatch.delenv("REPRO_FULL_GRID", raising=False)
         small = active_param_grid(2)

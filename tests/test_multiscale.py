@@ -114,3 +114,64 @@ class TestMultiscale:
         series = np.zeros(1024)
         rep = multiscale_representation(series, tau=0)
         assert sum(r.size for r in rep[1:]) < series.size
+
+
+def _paa_replicated_reference(series: np.ndarray, n_segments: int) -> np.ndarray:
+    """The pre-rewrite generalised PAA: replicate every point
+    ``n_segments`` times and regroup (O(n * n_segments) memory).  Kept
+    here as the equivalence oracle for the O(n) implementation."""
+    series = np.asarray(series, dtype=np.float64)
+    n = series.size
+    if n % n_segments == 0:
+        return series.reshape(n_segments, n // n_segments).mean(axis=1)
+    indices = np.arange(n * n_segments) // n_segments
+    grouped = series[indices].reshape(n_segments, n)
+    return grouped.mean(axis=1)
+
+
+class TestPAARewriteEquivalence:
+    """The O(n) cumulative implementation must match the replicated
+    reference to within reordering rounding (exact on clean inputs)."""
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_replicated_reference(self, values, data):
+        series = np.asarray(values)
+        n_segments = data.draw(st.integers(1, series.size))
+        expected = _paa_replicated_reference(series, n_segments)
+        actual = paa(series, n_segments)
+        scale = max(1.0, float(np.abs(series).max()))
+        np.testing.assert_allclose(actual, expected, rtol=1e-9, atol=1e-11 * scale)
+
+    def test_exact_on_integer_valued_series(self):
+        # Dyadic inputs make every intermediate exactly representable:
+        # the rewrite must agree bit for bit.
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            n = int(rng.integers(2, 120))
+            m = int(rng.integers(1, n + 1))
+            series = rng.integers(-8, 8, size=n).astype(np.float64)
+            expected = _paa_replicated_reference(series, m)
+            actual = paa(series, m)
+            np.testing.assert_allclose(actual, expected, rtol=0, atol=1e-12)
+
+    def test_linear_memory_at_scale(self):
+        # The old implementation materialised n * n_segments floats
+        # (~40 GB here); the rewrite must stay linear.
+        import tracemalloc
+
+        series = np.linspace(0.0, 1.0, 100_001)
+        tracemalloc.start()
+        out = paa(series, 50_000)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert out.size == 50_000
+        assert peak < 50e6  # a few MB in practice
+        assert np.isclose(out.mean(), series.mean())
