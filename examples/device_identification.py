@@ -13,8 +13,7 @@ Run:  python examples/device_identification.py
 
 import time
 
-from repro import MVGClassifier, load_archive_dataset
-from repro.baselines import FastShapeletsClassifier, SAXVSMClassifier
+from repro import load_archive_dataset, make
 from repro.ml.metrics import error_rate
 
 DATASETS = ("Computers", "SmallKitchenAppliances", "RefrigerationDevices")
@@ -29,10 +28,13 @@ def run(name, factory, split):
 
 
 def main() -> None:
+    # Every method is addressed through the component registry; swap in
+    # any other entry from `python -m repro list-models` to extend the
+    # comparison.
     methods = {
-        "MVG": lambda: MVGClassifier(random_state=0),
-        "SAX-VSM": SAXVSMClassifier,
-        "FastShapelets": lambda: FastShapeletsClassifier(random_state=0),
+        "MVG": lambda: make("mvg", random_state=0),
+        "SAX-VSM": lambda: make("sax-vsm"),
+        "FastShapelets": lambda: make("fs", random_state=0),
     }
     header = f"{'dataset':<26s}" + "".join(f"{m:>22s}" for m in methods)
     print(header)

@@ -1,35 +1,48 @@
 """Quickstart: classify a time-series dataset with MVG in a few lines.
 
-Loads one dataset from the bundled UCR-surrogate archive, fits the
-default MVG pipeline (multiscale VG+HVG features -> XGBoost-style
-booster) and reports the test error plus the most informative graph
-features.
+Everything is addressable by name through the component registry: build
+the default MVG pipeline with ``make("mvg:G")``, any baseline with e.g.
+``make("boss")``, or compose your own mapper -> extractor -> classifier
+chain with ``build_pipeline``.  Run ``python -m repro list-models`` for
+the full catalogue.
 
-Run:  python examples/quickstart.py [DatasetName]
+Run:  python examples/quickstart.py [DatasetName] [ModelSpec]
 """
 
 import sys
 
-from repro import MVGClassifier, load_archive_dataset
+from repro import build_pipeline, load_archive_dataset, make, spec_of
 from repro.ml.metrics import error_rate
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "BeetleFly"
+    spec = sys.argv[2] if len(sys.argv) > 2 else "mvg:G"
     split = load_archive_dataset(name)
     print(f"dataset: {split.name}")
     print(f"  train: {split.train.n_samples} series x {split.train.length} points")
     print(f"  test:  {split.test.n_samples} series, {split.train.n_classes} classes")
 
-    clf = MVGClassifier(random_state=0)
+    clf = make(spec)
+    if "random_state" in clf.get_params():
+        clf.set_params(random_state=0)
     clf.fit(split.train.X, split.train.y)
 
     predictions = clf.predict(split.test.X)
-    print(f"\ntest error rate: {error_rate(split.test.y, predictions):.3f}")
+    print(f"\n{spec_of(clf)} test error rate: "
+          f"{error_rate(split.test.y, predictions):.3f}")
 
-    print("\ntop 5 features by booster importance:")
-    for feature, importance in clf.feature_importances()[:5]:
-        print(f"  {feature:<24s} {importance:.3f}")
+    if hasattr(clf, "feature_importances"):
+        print("\ntop 5 features by booster importance:")
+        for feature, importance in clf.feature_importances()[:5]:
+            print(f"  {feature:<24s} {importance:.3f}")
+
+    # The same representation composes with any feature-space
+    # classifier; pipelines are grid-searchable via step__param keys.
+    pipe = build_pipeline("znorm", "batch-features:G", "minmax", "logreg")
+    pipe.fit(split.train.X, split.train.y)
+    pipe_error = error_rate(split.test.y, pipe.predict(split.test.X))
+    print(f"\nznorm -> MVG features -> minmax -> logreg: error {pipe_error:.3f}")
 
 
 if __name__ == "__main__":

@@ -7,16 +7,33 @@ on (visibility graphs, graphlet counting, generic classifiers, DTW), the
 five comparison baselines, and harnesses regenerating every table and
 figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — every classifier is addressable by name through the
+component registry::
 
-    from repro import MVGClassifier, load_archive_dataset
+    from repro import load_archive_dataset, make
 
     split = load_archive_dataset("BeetleFly")
-    clf = MVGClassifier(random_state=0)
+    clf = make("mvg:G", random_state=0)       # Table 2 column G pipeline
     clf.fit(split.train.X, split.train.y)
     print((clf.predict(split.test.X) != split.test.y).mean())
+
+``make("boss")``, ``make("1nn-dtw")`` … build any baseline the same way
+(``python -m repro list-models`` prints the full catalogue), and
+:func:`repro.api.build_pipeline` composes mapper → extractor →
+estimator chains that :class:`~repro.ml.model_selection.GridSearchCV`
+tunes through with the ``step__param`` syntax::
+
+    from repro.api import RunConfig, build_pipeline
+
+    pipe = build_pipeline("znorm", "batch-features:G", "minmax", "svm")
+
+Experiment sweeps are configured declaratively with
+:class:`repro.api.RunConfig` (datasets, jobs, results dir, grid, seed)
+instead of the deprecated ``REPRO_*`` environment variables.  Direct
+imports (``from repro import MVGClassifier``) remain supported.
 """
 
+from repro.api import Pipeline, RunConfig, build_pipeline
 from repro.core import (
     FeatureConfig,
     FeatureExtractor,
@@ -40,8 +57,9 @@ from repro.graph import (
     horizontal_visibility_graph,
     visibility_graph,
 )
+from repro.registry import available, make, register, spec_of
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -62,4 +80,11 @@ __all__ = [
     "archive_dataset_names",
     "load_archive_dataset",
     "load_ucr_dataset",
+    "Pipeline",
+    "RunConfig",
+    "build_pipeline",
+    "make",
+    "register",
+    "available",
+    "spec_of",
 ]

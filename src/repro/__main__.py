@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m repro <command>``.
 
-Commands map 1:1 onto the paper's artifacts:
+Artifact commands map 1:1 onto the paper's tables and figures; the
+estimator verbs drive the component registry (:mod:`repro.registry`):
 
 =============  ==================================================
 table2         heuristic validation (Table 2 + Wilcoxon footer)
@@ -9,30 +10,152 @@ fig2..fig5     motif boxplots / heuristic scatter panels
 fig6 fig7      critical-difference diagrams
 fig8 fig9      MVG-vs-baseline scatter / runtime comparison
 fig10          FordA feature-importance case study
-datasets       list the surrogate archive with metadata
 all            run every artifact in order
+datasets       list the surrogate archive with metadata
+list-models    list every registered component by name
+run            fit+evaluate any registered model on one dataset
+fit            fit a model and save it (JSON, no pickle)
+predict        load a saved model and evaluate it on a split
 =============  ==================================================
 
-Global flags: ``--force`` ignores JSON caches; ``--jobs N`` fans the
-per-series feature extraction of every sweep over ``N`` worker
-processes (it sets the ``REPRO_JOBS`` env knob consumed by
-:class:`repro.core.batch.BatchFeatureExtractor`).  Restrict datasets
-with the ``REPRO_DATASETS`` / ``REPRO_MAX_DATASETS`` environment
-variables.  Extracted feature vectors are cached per series under
-``REPRO_RESULTS_DIR/feature_cache``, so re-runs (and artifacts sharing
-datasets, e.g. table2 and the figure sweeps) skip re-extraction.
+Examples::
+
+    python -m repro run --model mvg:G --dataset BeetleFly
+    python -m repro fit --model mvg:A --dataset Wine --out wine.json
+    python -m repro predict --model-file wine.json --dataset Wine
+    python -m repro table2 --jobs 4 --datasets BeetleFly,BirdChicken
+
+Every command accepts declarative run flags (``--jobs``, ``--datasets``,
+``--max-datasets``, ``--results-dir``, ``--full-grid``, ``--seed``,
+``--force``) which build a :class:`repro.api.RunConfig` threaded
+explicitly through the sweeps — nothing mutates ``os.environ``.  The
+legacy ``REPRO_*`` environment variables still work as a deprecated
+read-only fallback for flags you do not pass.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
+import time
 
-from repro.data.archive import ARCHIVE_METADATA
+from repro.api.config import RunConfig
+
+#: The paper artifacts, in the order ``all`` regenerates them.
+ALL_COMMANDS = (
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+)
+
+
+def _add_run_options(
+    parser: argparse.ArgumentParser, sweep: bool = True, tuning: bool = True
+) -> None:
+    """Declarative RunConfig flags.
+
+    ``sweep=False`` (the single-dataset verbs ``run``/``fit``/
+    ``predict``) omits the flags that only steer sweeps — ``--force``,
+    ``--datasets`` and ``--max-datasets`` — and ``tuning=False``
+    (``predict``, which never fits) additionally omits ``--full-grid``
+    and ``--seed``, so no accepted flag is ever silently ignored.
+    """
+    group = parser.add_argument_group("run configuration")
+    if sweep:
+        group.add_argument(
+            "--force", action="store_true", help="ignore cached sweep results"
+        )
+        group.add_argument(
+            "--datasets",
+            default=None,
+            metavar="A,B,...",
+            help="comma-separated archive dataset names to restrict sweeps to",
+        )
+        group.add_argument(
+            "--max-datasets",
+            type=int,
+            default=None,
+            metavar="N",
+            help="keep only the first N selected datasets",
+        )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for feature extraction",
+    )
+    group.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for JSON result caches and the feature cache",
+    )
+    if tuning:
+        group.add_argument(
+            "--full-grid",
+            action="store_true",
+            help="use the paper's full XGBoost hyper-parameter grid",
+        )
+        group.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help="random seed (default 0)",
+        )
+
+
+def build_run_config(args: argparse.Namespace) -> RunConfig:
+    """A :class:`RunConfig` from parsed CLI flags.
+
+    Starts from the deprecated ``REPRO_*`` env shim (so partially
+    migrated setups keep working, with a warning) and overrides it with
+    every flag the user actually passed.
+    """
+    try:
+        config = RunConfig.from_env()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    changes: dict[str, object] = {}
+    if getattr(args, "force", False):
+        changes["force"] = True
+    if args.jobs is not None:
+        changes["jobs"] = args.jobs
+    datasets = getattr(args, "datasets", None)
+    if datasets is not None:
+        try:
+            changes["datasets"] = RunConfig.parse_dataset_list(datasets, "--datasets")
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        changes["source"] = "explicit"
+    if getattr(args, "max_datasets", None) is not None:
+        changes["max_datasets"] = args.max_datasets
+    if args.results_dir is not None:
+        changes["results_dir"] = args.results_dir
+    if getattr(args, "full_grid", False):
+        changes["full_grid"] = True
+    if getattr(args, "seed", None) is not None:
+        changes["seed"] = args.seed
+    try:
+        return config.replace(**changes)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+# -- artifact commands ---------------------------------------------------------
 
 
 def _print_datasets() -> None:
+    from repro.data.archive import ARCHIVE_METADATA
     from repro.experiments.reporting import format_table
 
     rows = [
@@ -56,24 +179,25 @@ def _print_datasets() -> None:
     )
 
 
-def _dispatch(command: str, force: bool) -> None:
+def _dispatch(command: str, config: RunConfig) -> None:
+    """Regenerate one paper artifact under the given run config."""
     if command == "datasets":
         _print_datasets()
         return
     if command == "table2":
         from repro.experiments.table2 import render_table2, run_table2
 
-        print(render_table2(run_table2(force=force)))
+        print(render_table2(run_table2(config=config)))
         return
     if command == "table3":
         from repro.experiments.table3 import render_table3, run_table3
 
-        print(render_table3(run_table3(force=force)))
+        print(render_table3(run_table3(config=config)))
         return
     if command in ("fig2", "fig3", "fig4", "fig5", "fig8", "fig9"):
         from repro.experiments.figures import render
 
-        print(render(command, force=force))
+        print(render(command, config=config))
         return
     if command in ("fig6", "fig7"):
         from repro.experiments.cd_diagrams import (
@@ -85,62 +209,274 @@ def _dispatch(command: str, force: bool) -> None:
         )
 
         if command == "fig6":
-            print(render_cd(run_fig6(force=force), FIG6_METHODS, "Figure 6"))
+            print(render_cd(run_fig6(config=config), FIG6_METHODS, "Figure 6"))
         else:
-            print(render_cd(run_fig7(force=force), FIG7_METHODS, "Figure 7"))
+            print(render_cd(run_fig7(config=config), FIG7_METHODS, "Figure 7"))
         return
     if command == "fig10":
         from repro.experiments.case_study import render_case_study, run_case_study
 
-        print(render_case_study(run_case_study()))
+        print(render_case_study(run_case_study(config=config)))
         return
     raise ValueError(f"unknown command {command!r}")
 
 
-ALL_COMMANDS = (
-    "table2",
-    "table3",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-)
+# -- estimator verbs -----------------------------------------------------------
+
+
+def _configure_model(model, split, config: RunConfig, tune: bool):
+    """Wire run-config knobs (seed, jobs, grid) into a registry model.
+
+    Only parameters the model actually declares are set, so the same
+    code path serves MVG pipelines and every baseline.
+    """
+    from repro.experiments.harness import active_param_grid
+
+    if not hasattr(model, "_param_names"):
+        return model
+    params = set(model._param_names())
+    updates: dict[str, object] = {}
+    if "random_state" in params:
+        updates["random_state"] = config.seed
+    if "n_jobs" in params:
+        updates["n_jobs"] = config.jobs
+    if "feature_cache" in params:
+        updates["feature_cache"] = config.feature_cache
+    if "cache_dir" in params:
+        updates["cache_dir"] = str(config.feature_cache_dir())
+    if tune and "param_grid" in params:
+        updates["param_grid"] = active_param_grid(split.train.n_classes, config)
+    if updates:
+        model.set_params(**updates)
+    return model
+
+
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.registry import available
+
+    entries = available(kind=args.kind)
+    rows = [
+        [
+            entry.name,
+            entry.kind,
+            ",".join(entry.variants) if entry.variants else "",
+            entry.description,
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["Name", "Kind", "Variants", "Description"],
+            rows,
+            title="Registered components (make with `python -m repro run --model NAME`)",
+        )
+    )
+    return 0
+
+
+def _load_split(name: str, orientation: str):
+    from repro.data.archive import load_archive_dataset
+
+    try:
+        return load_archive_dataset(name, orientation=orientation)
+    except KeyError as exc:
+        # KeyError str() wraps the message in quotes; unwrap it.
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+
+
+def _make_model(spec: str):
+    from repro.registry import REGISTRY
+
+    try:
+        entry = REGISTRY.entry(spec)
+        if entry.kind != "classifier":
+            raise SystemExit(
+                f"--model must name a classifier; {entry.name!r} is a "
+                f"{entry.kind} (see `python -m repro list-models --kind classifier`)"
+            )
+        if entry.consumes == "features":
+            raise SystemExit(
+                f"{entry.name!r} operates on already-extracted features, not raw "
+                "series; compose it behind an extractor instead, e.g. "
+                f"repro.api.build_pipeline('znorm', 'batch-features:G', {entry.name!r})"
+            )
+        return REGISTRY.make(spec)
+    except (KeyError, ValueError) as exc:
+        # KeyError str() wraps the message in quotes; unwrap it.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(message) from None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Fit a registry model on a dataset's train split, report test error."""
+    from repro.ml.metrics import error_rate
+
+    config = build_run_config(args)
+    split = _load_split(args.dataset, args.orientation)
+    model = _configure_model(_make_model(args.model), split, config, tune=not args.no_tune)
+
+    t0 = time.perf_counter()
+    model.fit(split.train.X, split.train.y)
+    fit_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    predictions = model.predict(split.test.X)
+    predict_seconds = time.perf_counter() - t0
+    error = error_rate(split.test.y, predictions)
+
+    print(f"model:    {args.model}")
+    print(f"dataset:  {split.name} ({args.orientation} orientation)")
+    print(
+        f"          train {split.train.n_samples} x {split.train.length}, "
+        f"test {split.test.n_samples}, {split.train.n_classes} classes"
+    )
+    print(f"error:    {error:.6g}  (accuracy {1.0 - error:.6g})")
+    print(f"runtime:  fit {fit_seconds:.2f}s, predict {predict_seconds:.2f}s")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    """Fit a registry model and persist it as JSON."""
+    from repro.ml.metrics import error_rate
+    from repro.ml.persistence import save_model
+
+    config = build_run_config(args)
+    split = _load_split(args.dataset, args.orientation)
+    model = _configure_model(_make_model(args.model), split, config, tune=not args.no_tune)
+    model.fit(split.train.X, split.train.y)
+    train_error = error_rate(split.train.y, model.predict(split.train.X))
+    try:
+        path = save_model(model, args.out)
+    except TypeError as exc:
+        raise SystemExit(
+            f"{exc}; persistable models include mvg:* and xgboost/rf/tree/logreg "
+            "pipelines (see repro.ml.persistence)"
+        ) from None
+    print(f"fitted {args.model} on {split.name} (train error {train_error:.6g})")
+    print(f"saved to {path}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Load a saved model and evaluate it on a dataset split."""
+    from repro.ml.metrics import error_rate
+    from repro.ml.persistence import load_model
+
+    config = build_run_config(args)
+    split = _load_split(args.dataset, args.orientation)
+    try:
+        model = load_model(args.model_file)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"cannot load model from {args.model_file}: {exc}") from None
+    # Re-wire machine-local extraction knobs (jobs, cache location) —
+    # they are runtime settings, not part of the persisted model.
+    _configure_model(model, split, config, tune=False)
+    part = split.train if args.split == "train" else split.test
+    predictions = model.predict(part.X)
+    if args.show_predictions:
+        print(" ".join(str(p) for p in predictions))
+    error = error_rate(part.y, predictions)
+    print(f"{args.dataset} {args.split} error: {error:.6g} ({part.n_samples} series)")
+    return 0
+
+
+# -- argument parsing ----------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's artifacts and drive registered models.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for command in ALL_COMMANDS + ("all",):
+        sub = subparsers.add_parser(command, help=f"regenerate {command}")
+        _add_run_options(sub)
+
+    # `datasets` is a pure listing — no run-config flag affects it.
+    subparsers.add_parser("datasets", help="list the surrogate archive")
+
+    sub = subparsers.add_parser("list-models", help="list registered components")
+    sub.add_argument(
+        "--kind",
+        choices=("classifier", "extractor", "mapper"),
+        default=None,
+        help="restrict the listing to one component kind",
+    )
+
+    def _add_model_dataset_options(sub: argparse.ArgumentParser, model_flag: bool) -> None:
+        if model_flag:
+            sub.add_argument(
+                "--model",
+                required=True,
+                metavar="SPEC",
+                help="registry spec, e.g. mvg:G or boss (see list-models)",
+            )
+        sub.add_argument(
+            "--dataset", required=True, metavar="NAME", help="archive dataset name"
+        )
+        sub.add_argument(
+            "--orientation",
+            choices=("table2", "table3"),
+            default="table2",
+            help="train/test orientation of the split (default table2)",
+        )
+
+    sub = subparsers.add_parser(
+        "run", help="fit+evaluate a registered model on one dataset"
+    )
+    _add_model_dataset_options(sub, model_flag=True)
+    sub.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="skip grid-search tuning (fixed default hyper-parameters)",
+    )
+    _add_run_options(sub, sweep=False)
+
+    sub = subparsers.add_parser("fit", help="fit a model and save it as JSON")
+    _add_model_dataset_options(sub, model_flag=True)
+    sub.add_argument("--out", required=True, metavar="PATH", help="output JSON path")
+    sub.add_argument(
+        "--no-tune", action="store_true", help="skip grid-search tuning"
+    )
+    _add_run_options(sub, sweep=False)
+
+    sub = subparsers.add_parser("predict", help="evaluate a saved model on a split")
+    _add_model_dataset_options(sub, model_flag=False)
+    sub.add_argument(
+        "--model-file", required=True, metavar="PATH", help="JSON model from `fit`"
+    )
+    sub.add_argument(
+        "--split", choices=("train", "test"), default="test", help="split to evaluate"
+    )
+    sub.add_argument(
+        "--show-predictions",
+        action="store_true",
+        help="print the predicted labels before the error summary",
+    )
+    _add_run_options(sub, sweep=False, tuning=False)
+    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "command",
-        choices=ALL_COMMANDS + ("datasets", "all"),
-        help="artifact to regenerate",
-    )
-    parser.add_argument(
-        "--force", action="store_true", help="ignore cached sweep results"
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for feature extraction (sets REPRO_JOBS)",
-    )
-    args = parser.parse_args(argv)
-    if args.jobs is not None:
-        if args.jobs <= 0:
-            parser.error(f"--jobs must be a positive integer, got {args.jobs}")
-        os.environ["REPRO_JOBS"] = str(args.jobs)
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        _print_datasets()
+        return 0
+    if args.command == "list-models":
+        return _cmd_list_models(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    config = build_run_config(args)
     commands = ALL_COMMANDS if args.command == "all" else (args.command,)
     for command in commands:
-        _dispatch(command, args.force)
+        _dispatch(command, config)
         print()
     return 0
 

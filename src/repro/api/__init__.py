@@ -1,0 +1,41 @@
+"""Registry-driven estimator API: named components, composable pipelines,
+declarative run configuration.
+
+Three pieces make every run describable by data instead of imports:
+
+* :mod:`repro.registry` — ``make("mvg:G")``, ``make("boss")`` … every
+  classifier, feature extractor and mapper under a canonical name;
+* :class:`Pipeline` / :func:`build_pipeline` — composable
+  mapper → extractor → estimator chains with sklearn's ``step__param``
+  nested-parameter syntax (grid-searchable end to end);
+* :class:`RunConfig` — one frozen dataclass carrying datasets, jobs,
+  results dir, grid choice, force and seed through the experiment
+  harness, replacing the deprecated ``REPRO_*`` env-var plumbing.
+
+Quickstart::
+
+    from repro.api import RunConfig, build_pipeline
+    from repro.registry import make
+
+    clf = make("mvg:G", jobs=4)
+    pipe = build_pipeline("znorm", "batch-features:G", "minmax", "svm")
+"""
+
+from repro.api.config import RunConfig, active_run_config
+from repro.api.mappers import IdentityMapper, PAADownsampler, ZNormalizer
+from repro.api.pipeline import Pipeline, build_pipeline
+from repro.registry import available, make, register, spec_of
+
+__all__ = [
+    "RunConfig",
+    "active_run_config",
+    "Pipeline",
+    "build_pipeline",
+    "IdentityMapper",
+    "PAADownsampler",
+    "ZNormalizer",
+    "make",
+    "register",
+    "available",
+    "spec_of",
+]

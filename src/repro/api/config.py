@@ -1,0 +1,186 @@
+"""Declarative run configuration replacing the ``REPRO_*`` env-var plumbing.
+
+A :class:`RunConfig` captures everything a sweep or CLI verb needs to
+know about *how* to run — which datasets, how many worker processes,
+where results go, which hyper-parameter grid, the seed — as one frozen,
+explicit value that is threaded through
+:mod:`repro.experiments.harness` and every sweep.
+
+The historical ``REPRO_*`` environment variables still work as a
+back-compat shim: when no explicit config is supplied,
+:meth:`RunConfig.from_env` builds one from the environment and emits a
+single :class:`DeprecationWarning` per process.  New code should build
+a :class:`RunConfig` directly::
+
+    from repro.api import RunConfig
+    from repro.experiments.table2 import run_table2
+
+    config = RunConfig(datasets=("BeetleFly", "BirdChicken"), jobs=4)
+    payload = run_table2(config=config)
+
+Deprecation policy: the env vars keep working (read-only fallback) for
+at least two more releases; explicit ``RunConfig`` values always win.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Environment knobs the back-compat shim understands.
+ENV_VARS = (
+    "REPRO_DATASETS",
+    "REPRO_MAX_DATASETS",
+    "REPRO_JOBS",
+    "REPRO_RESULTS_DIR",
+    "REPRO_FULL_GRID",
+)
+
+# One deprecation warning per process, not one per harness call — a
+# single sweep consults the config dozens of times.
+_warned_env_deprecated = False
+
+
+def _reset_env_deprecation_warning() -> None:
+    """Re-arm the once-per-process env deprecation warning (test hook)."""
+    global _warned_env_deprecated
+    _warned_env_deprecated = False
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen description of one experiment run.
+
+    Attributes
+    ----------
+    datasets:
+        Restrict sweeps to these archive dataset names (``None`` = all).
+    max_datasets:
+        Keep only the first N selected datasets (quick runs).
+    jobs:
+        Worker processes for batched feature extraction.  ``None``
+        defers to the ``REPRO_JOBS`` env var (read-only fallback),
+        which itself defaults to 1.
+    results_dir:
+        Directory for JSON result caches and the feature cache
+        (``None`` = ``./results``).
+    full_grid:
+        Use the paper's full XGBoost hyper-parameter grid.
+    force:
+        Ignore cached sweep results.
+    seed:
+        Random state threaded into every stochastic component.
+    feature_cache:
+        Whether extraction may read/write the on-disk feature cache.
+    source:
+        Where the config came from (``"explicit"`` or ``"env"``); used
+        only to phrase validation errors, never compared.
+    """
+
+    datasets: tuple[str, ...] | None = None
+    max_datasets: int | None = None
+    jobs: int | None = None
+    results_dir: str | Path | None = None
+    full_grid: bool = False
+    force: bool = False
+    seed: int = 0
+    feature_cache: bool = True
+    source: str = field(default="explicit", compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.datasets is not None:
+            object.__setattr__(self, "datasets", tuple(self.datasets))
+        for name in ("max_datasets", "jobs"):
+            value = getattr(self, name)
+            if value is not None and (value != int(value) or value <= 0):
+                raise ValueError(
+                    f"RunConfig.{name} must be a positive integer, got {value!r}"
+                )
+
+    def replace(self, **changes: object) -> "RunConfig":
+        """A copy with the given fields replaced (the config is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def datasets_label(self) -> str:
+        """How to name the dataset selection in error messages."""
+        return "REPRO_DATASETS" if self.source == "env" else "RunConfig.datasets"
+
+    def resolved_results_dir(self) -> Path:
+        """The results directory as a :class:`Path` (default ``results``)."""
+        raw = self.results_dir
+        if raw is None or not str(raw).strip():
+            return Path("results")
+        return Path(raw)
+
+    def feature_cache_dir(self) -> Path:
+        """Where the per-series feature cache lives under this config."""
+        from repro.core.batch import CACHE_SUBDIR
+
+        return self.resolved_results_dir() / CACHE_SUBDIR
+
+    @staticmethod
+    def parse_dataset_list(raw: str, label: str) -> tuple[str, ...]:
+        """Parse a comma-separated dataset list, rejecting blank input.
+
+        Shared by the ``--datasets`` CLI flag and the ``REPRO_DATASETS``
+        env shim so their parsing can never drift apart; ``label`` names
+        the source in the error message.
+        """
+        names = tuple(name.strip() for name in raw.split(",") if name.strip())
+        if not names:
+            raise ValueError(f"{label} is set but names no datasets: {raw!r}")
+        return names
+
+    @classmethod
+    def from_env(cls, force: bool = False, seed: int = 0, warn: bool = True) -> "RunConfig":
+        """Back-compat shim: build a config from the ``REPRO_*`` env vars.
+
+        Emits one :class:`DeprecationWarning` per process when any of
+        the knobs is actually set (``warn=False`` suppresses it — the
+        harness uses that after the CLI has already warned).
+        """
+        from repro.core.batch import env_positive_int
+
+        set_vars = [name for name in ENV_VARS if os.environ.get(name)]
+        if warn and set_vars:
+            global _warned_env_deprecated
+            if not _warned_env_deprecated:
+                _warned_env_deprecated = True
+                warnings.warn(
+                    f"the {', '.join(sorted(set_vars))} environment variable(s) are "
+                    "deprecated; pass an explicit repro.api.RunConfig (or the "
+                    "matching CLI flags) instead.  Env values remain a read-only "
+                    "fallback for now.",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+
+        datasets: tuple[str, ...] | None = None
+        raw_datasets = os.environ.get("REPRO_DATASETS")
+        if raw_datasets:
+            datasets = cls.parse_dataset_list(raw_datasets, "REPRO_DATASETS")
+
+        raw_dir = os.environ.get("REPRO_RESULTS_DIR")
+        results_dir = raw_dir if raw_dir and raw_dir.strip() else None
+
+        return cls(
+            datasets=datasets,
+            max_datasets=env_positive_int("REPRO_MAX_DATASETS"),
+            jobs=env_positive_int("REPRO_JOBS"),
+            results_dir=results_dir,
+            full_grid=bool(os.environ.get("REPRO_FULL_GRID")),
+            force=force,
+            seed=seed,
+            source="env",
+        )
+
+
+def active_run_config(config: RunConfig | None = None) -> RunConfig:
+    """The explicit config when given, else the env-var back-compat shim."""
+    if config is not None:
+        return config
+    return RunConfig.from_env()

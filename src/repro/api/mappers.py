@@ -1,0 +1,72 @@
+"""Raw-series mappers: stateless transforms preceding feature extraction.
+
+Mappers are the first stage of an :class:`repro.api.Pipeline` — they map
+``(n_samples, length)`` raw-series matrices to raw-series matrices, so
+they compose with the feature extractors and, transitively, with every
+registered classifier.  All of them are stateless (``transform`` only),
+which keeps pipeline cloning trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+
+class IdentityMapper(BaseEstimator):
+    """Pass-through mapper; useful as an explicit pipeline placeholder."""
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Return ``X`` unchanged (as a float64 array)."""
+        return np.asarray(X, dtype=np.float64)
+
+
+class ZNormalizer(BaseEstimator):
+    """Z-normalise each series to zero mean and unit variance.
+
+    Constant series are centred only (their standard deviation is
+    treated as 1 to avoid division by zero).
+    """
+
+    def __init__(self, epsilon: float = 1e-12):
+        self.epsilon = epsilon
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Per-row z-normalised copy of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        one_dim = X.ndim == 1
+        if one_dim:
+            X = X[None, :]
+        mean = X.mean(axis=1, keepdims=True)
+        std = X.std(axis=1, keepdims=True)
+        out = (X - mean) / np.where(std < self.epsilon, 1.0, std)
+        return out[0] if one_dim else out
+
+
+class PAADownsampler(BaseEstimator):
+    """Downsample each series with piecewise aggregate approximation.
+
+    ``n_segments`` is the output length; it must not exceed the input
+    length (checked at transform time).
+    """
+
+    def __init__(self, n_segments: int = 128):
+        self.n_segments = n_segments
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """PAA of each row, ``(n_samples, n_segments)``."""
+        from repro.core.multiscale import paa
+
+        X = np.asarray(X, dtype=np.float64)
+        one_dim = X.ndim == 1
+        if one_dim:
+            X = X[None, :]
+        if self.n_segments <= 0:
+            raise ValueError(f"n_segments must be positive, got {self.n_segments}")
+        if self.n_segments > X.shape[1]:
+            raise ValueError(
+                f"n_segments={self.n_segments} exceeds series length {X.shape[1]}"
+            )
+        out = np.stack([paa(row, self.n_segments) for row in X])
+        return out[0] if one_dim else out

@@ -1,0 +1,245 @@
+"""Composable pipelines: mapper → feature extractor → estimator.
+
+:class:`Pipeline` chains named steps the way sklearn's does: every step
+but the last must offer ``transform`` (optionally ``fit``/
+``fit_transform``); the last must be an estimator with ``fit`` and
+``predict``.  Nested parameters address steps with the sklearn
+``step__param`` syntax, so :class:`~repro.ml.model_selection.GridSearchCV`
+tunes *through* a pipeline::
+
+    from repro.api import Pipeline, build_pipeline
+    from repro.ml import GridSearchCV, MinMaxScaler
+    from repro.registry import make
+
+    pipe = Pipeline([
+        ("znorm", make("znorm")),
+        ("features", make("batch-features:G")),
+        ("scale", MinMaxScaler()),
+        ("clf", make("xgboost")),
+    ])
+    search = GridSearchCV(pipe, {"clf__n_estimators": [25, 50]})
+
+Fitting never mutates the supplied step instances — steps are cloned
+into ``steps_`` at ``fit`` time — so a pipeline prototype is safe to
+share between grid-search candidates and repeated runs.
+:func:`build_pipeline` is the registry-driven shorthand:
+``build_pipeline("znorm", "batch-features:G", "xgboost")``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+
+
+def _clone_component(component: Any) -> Any:
+    """Unfitted copy of a pipeline step.
+
+    :class:`BaseEstimator` steps use :func:`repro.ml.base.clone`; plain
+    objects (scalers, extractors) fall back to a deep copy, which is
+    equivalent for the stateless/unfitted prototypes pipelines hold.
+    """
+    if isinstance(component, BaseEstimator):
+        return clone(component)
+    return copy.deepcopy(component)
+
+
+class Pipeline(BaseEstimator):
+    """Sequentially apply transform steps, then a final estimator.
+
+    Parameters
+    ----------
+    steps:
+        ``(name, component)`` pairs.  Names must be unique, non-empty
+        and free of ``"__"`` (reserved for nested parameter paths).
+    """
+
+    def __init__(self, steps: Iterable[tuple[str, Any]]):
+        self.steps = list(steps)
+        if not self.steps:
+            raise ValueError("Pipeline needs at least one step")
+        seen: set[str] = set()
+        for item in self.steps:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                raise ValueError(f"each step must be a (name, component) pair, got {item!r}")
+            name, component = item
+            if not isinstance(name, str) or not name or "__" in name or name == "steps":
+                raise ValueError(
+                    f"invalid step name {name!r}: names must be non-empty strings "
+                    "without '__' and may not shadow 'steps'"
+                )
+            if name in seen:
+                raise ValueError(f"duplicate step name {name!r}")
+            seen.add(name)
+            if component is None or not hasattr(component, "transform") and not hasattr(component, "fit"):
+                raise ValueError(
+                    f"step {name!r} ({type(component).__name__}) has neither "
+                    "transform nor fit"
+                )
+        for name, component in self.steps[:-1]:
+            if not hasattr(component, "transform"):
+                raise ValueError(
+                    f"non-final step {name!r} ({type(component).__name__}) must "
+                    "offer transform; estimators can only be the final step"
+                )
+        final_name, final = self.steps[-1]
+        if not hasattr(final, "fit"):
+            raise ValueError(
+                f"final step {final_name!r} ({type(final).__name__}) must be an "
+                "estimator with fit/predict, not a transform-only step"
+            )
+
+    # -- parameter plumbing ------------------------------------------------
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        """Step name → (unfitted) component mapping."""
+        return dict(self.steps)
+
+    def get_params(self, deep: bool = False) -> dict[str, Any]:
+        """``{"steps": ...}`` plus, when ``deep``, every step and its
+        parameters under ``name`` / ``name__param`` keys."""
+        params: dict[str, Any] = {"steps": self.steps}
+        if deep:
+            for name, component in self.steps:
+                params[name] = component
+                if hasattr(component, "get_params"):
+                    try:
+                        sub_params = component.get_params(deep=True)
+                    except TypeError:
+                        sub_params = component.get_params()
+                    for key, value in sub_params.items():
+                        params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params: Any) -> "Pipeline":
+        """Update ``steps``, replace whole steps by name, or set nested
+        ``name__param`` values.
+
+        The update is atomic — every key (and the resulting step layout)
+        is validated before anything is assigned, so a bad key never
+        leaves the pipeline half-updated.  Nested updates are
+        copy-on-write: the addressed step is cloned before mutation, so
+        pipelines sharing step instances (e.g. a prototype and its
+        grid-search clones) never contaminate each other.
+        """
+        # Whole-steps replacement applies first, so step-name keys in
+        # the same call resolve against the new layout.
+        if "steps" in params:
+            steps = list(params.pop("steps"))  # materialise iterators
+            type(self)(steps)  # constructor validation, before any use
+        else:
+            steps = list(self.steps)
+        names = [name for name, _ in steps]
+        nested: dict[str, dict[str, Any]] = {}
+        for key, value in params.items():
+            if "__" in key:
+                head, _, rest = key.partition("__")
+                if head not in names:
+                    raise ValueError(
+                        f"invalid parameter {key!r} for Pipeline: no step named "
+                        f"{head!r} (steps: {names})"
+                    )
+                nested.setdefault(head, {})[rest] = value
+            elif key in names:
+                steps[names.index(key)] = (key, value)
+            else:
+                raise ValueError(
+                    f"invalid parameter {key!r} for Pipeline "
+                    f"(expected 'steps', a step name or 'step__param'; steps: {names})"
+                )
+        for head, sub in nested.items():
+            index = names.index(head)
+            component = steps[index][1]
+            if not hasattr(component, "set_params"):
+                raise ValueError(
+                    f"cannot set {sorted(sub)} on step {head!r}: "
+                    f"{type(component).__name__} does not support set_params"
+                )
+            steps[index] = (head, _clone_component(component).set_params(**sub))
+        type(self)(steps)  # validate the final layout before committing
+        self.steps = steps
+        return self
+
+    # -- fitting / inference ----------------------------------------------
+    def _fit_transform_step(self, component: Any, X: np.ndarray) -> np.ndarray:
+        if hasattr(component, "fit_transform"):
+            return component.fit_transform(X)
+        if hasattr(component, "fit") and hasattr(component, "transform"):
+            # Transformer with trainable state but no fit_transform shortcut.
+            component.fit(X)
+            return component.transform(X)
+        return component.transform(X)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "Pipeline":
+        """Fit each step on the running transform of ``X`` (clones the
+        step prototypes into ``steps_``; the originals stay unfitted)."""
+        Xt = np.asarray(X, dtype=np.float64)
+        self.steps_: list[tuple[str, Any]] = []
+        for name, prototype in self.steps[:-1]:
+            component = _clone_component(prototype)
+            Xt = self._fit_transform_step(component, Xt)
+            self.steps_.append((name, component))
+        name, prototype = self.steps[-1]
+        final = _clone_component(prototype)
+        final.fit(Xt, y)
+        self.steps_.append((name, final))
+        if hasattr(final, "classes_"):
+            self.classes_ = final.classes_
+        return self
+
+    @property
+    def fitted_steps(self) -> dict[str, Any]:
+        """Step name → fitted component mapping (after :meth:`fit`)."""
+        self._check_fitted("steps_")
+        return dict(self.steps_)
+
+    def _transform_until_final(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("steps_")
+        Xt = np.asarray(X, dtype=np.float64)
+        for _, component in self.steps_[:-1]:
+            Xt = component.transform(Xt)
+        return Xt
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Run ``X`` through every non-final (fitted) step."""
+        return self._transform_until_final(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Transform ``X`` through the steps and predict with the final
+        estimator."""
+        Xt = self._transform_until_final(X)
+        return self.steps_[-1][1].predict(Xt)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Transform ``X`` and return the final estimator's class
+        probabilities."""
+        Xt = self._transform_until_final(X)
+        return self.steps_[-1][1].predict_proba(Xt)
+
+
+def build_pipeline(*specs: str, **kwargs: Any) -> Pipeline:
+    """Build a :class:`Pipeline` from registry spec strings.
+
+    Step names default to the component name of each spec (sans
+    variant); keyword arguments address steps with the same
+    ``step__param`` syntax ``set_params`` accepts::
+
+        build_pipeline("znorm", "batch-features:G", "xgboost",
+                       xgboost__n_estimators=50)
+    """
+    from repro.registry import REGISTRY, make
+
+    if not specs:
+        raise ValueError("build_pipeline needs at least one component spec")
+    steps = []
+    for spec in specs:
+        name, _ = REGISTRY.parse_spec(spec)
+        steps.append((name, make(spec)))
+    pipeline = Pipeline(steps)
+    if kwargs:
+        pipeline.set_params(**kwargs)
+    return pipeline

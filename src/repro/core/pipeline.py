@@ -62,6 +62,11 @@ class MVGClassifier(BaseEstimator):
         Apply random oversampling of minority classes before fitting.
     scale_features:
         Min-max scale features (forced on automatically for SVMs).
+    n_jobs:
+        Worker processes for batched feature extraction (``None`` defers
+        to the deprecated ``REPRO_JOBS`` env fallback, default 1).
+    feature_cache:
+        Whether extraction may use the on-disk per-series cache.
     """
 
     def __init__(
@@ -73,6 +78,9 @@ class MVGClassifier(BaseEstimator):
         oversample: bool = True,
         scale_features: bool | None = None,
         random_state: int | None = None,
+        n_jobs: int | None = None,
+        feature_cache: bool = True,
+        cache_dir: str | None = None,
     ):
         self.config = config
         self.classifier = classifier
@@ -81,6 +89,17 @@ class MVGClassifier(BaseEstimator):
         self.oversample = oversample
         self.scale_features = scale_features
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.feature_cache = feature_cache
+        self.cache_dir = cache_dir
+
+    def _make_extractor(self) -> BatchFeatureExtractor:
+        return BatchFeatureExtractor(
+            self.config or FeatureConfig(),
+            n_jobs=self.n_jobs,
+            cache=self.feature_cache,
+            cache_dir=self.cache_dir,
+        )
 
     # -- internals -----------------------------------------------------------
     def _make_classifier(self) -> BaseEstimator:
@@ -110,11 +129,12 @@ class MVGClassifier(BaseEstimator):
     def extract(self, X: np.ndarray) -> np.ndarray:
         """MVG features of raw series ``X`` (also records feature names).
 
-        Extraction is batched: the ``REPRO_JOBS`` env knob (the CLI's
-        ``--jobs``) fans it over worker processes and vectors are served
-        from / persisted to the on-disk feature cache.
+        Extraction is batched: ``n_jobs`` (the CLI's ``--jobs``; the
+        deprecated ``REPRO_JOBS`` env knob is a read-only fallback) fans
+        it over worker processes, and vectors are served from /
+        persisted to the on-disk feature cache.
         """
-        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
+        extractor = self._make_extractor()
         features = extractor.transform(X)
         self.feature_names_ = extractor.feature_names_
         return features
@@ -136,7 +156,7 @@ class MVGClassifier(BaseEstimator):
         return self
 
     def _prepare(self, X: np.ndarray) -> np.ndarray:
-        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
+        extractor = self._make_extractor()
         features = extractor.transform(np.asarray(X, dtype=np.float64))
         if self._scaler is not None:
             features = self._scaler.transform(features)

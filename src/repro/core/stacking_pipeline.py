@@ -61,6 +61,9 @@ class MVGStackingClassifier(BaseEstimator):
         cv: int = 3,
         oversample: bool = True,
         random_state: int | None = None,
+        n_jobs: int | None = None,
+        feature_cache: bool = True,
+        cache_dir: str | None = None,
     ):
         self.config = config
         self.families = families
@@ -68,11 +71,22 @@ class MVGStackingClassifier(BaseEstimator):
         self.cv = cv
         self.oversample = oversample
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.feature_cache = feature_cache
+        self.cache_dir = cache_dir
+
+    def _make_extractor(self) -> BatchFeatureExtractor:
+        return BatchFeatureExtractor(
+            self.config or FeatureConfig(),
+            n_jobs=self.n_jobs,
+            cache=self.feature_cache,
+            cache_dir=self.cache_dir,
+        )
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MVGStackingClassifier":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
-        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
+        extractor = self._make_extractor()
         features = extractor.transform(X)
         self.feature_names_ = extractor.feature_names_
         self.classes_ = np.unique(y)
@@ -91,7 +105,7 @@ class MVGStackingClassifier(BaseEstimator):
         return self
 
     def _prepare(self, X: np.ndarray) -> np.ndarray:
-        extractor = BatchFeatureExtractor(self.config or FeatureConfig())
+        extractor = self._make_extractor()
         return self._scaler.transform(
             extractor.transform(np.asarray(X, dtype=np.float64))
         )

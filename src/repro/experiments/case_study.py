@@ -17,23 +17,34 @@ import sys
 
 import numpy as np
 
+from repro.api.config import RunConfig, active_run_config
 from repro.core.config import FeatureConfig
-from repro.core.batch import BatchFeatureExtractor
 from repro.core.pipeline import MVGClassifier
 from repro.data.archive import load_archive_dataset
+from repro.experiments.harness import batch_extractor
 from repro.experiments.reporting import format_table
 
 
 def run_case_study(
-    dataset: str = "FordA", top_n: int = 10, random_state: int = 0
+    dataset: str = "FordA",
+    top_n: int = 10,
+    random_state: int | None = None,
+    config: RunConfig | None = None,
 ) -> dict:
     """Fit MVG on ``dataset`` and collect the top-N feature statistics.
 
     Returns ``{"dataset", "error", "top_features": [...],
     "class_stats": {feature: {class: (mean, std)}}}``.
     """
+    rc = active_run_config(config)
+    random_state = rc.seed if random_state is None else random_state
     split = load_archive_dataset(dataset, orientation="table3")
-    clf = MVGClassifier(random_state=random_state)
+    clf = MVGClassifier(
+        random_state=random_state,
+        n_jobs=rc.jobs,
+        feature_cache=rc.feature_cache,
+        cache_dir=str(rc.feature_cache_dir()),
+    )
     clf.fit(split.train.X, split.train.y)
     predictions = clf.predict(split.test.X)
     error = float(np.mean(predictions != split.test.y))
@@ -41,8 +52,9 @@ def run_case_study(
     ranked = clf.feature_importances()[:top_n]
     top_features = [name for name, _ in ranked]
 
-    # Batched extraction: honours REPRO_JOBS and the on-disk feature cache.
-    extractor = BatchFeatureExtractor(FeatureConfig())
+    # Batched extraction: honours the config's worker count and the
+    # on-disk feature cache.
+    extractor = batch_extractor(FeatureConfig(), rc)
     test_features = extractor.transform(split.test.X)
     names = extractor.feature_names_
     index = {name: i for i, name in enumerate(names)}

@@ -16,11 +16,17 @@ import sys
 
 import numpy as np
 
+from repro.api.config import RunConfig, active_run_config
 from repro.core.config import FeatureConfig
-from repro.core.batch import BatchFeatureExtractor
 from repro.core.stacking_pipeline import default_families
 from repro.data.archive import load_archive_dataset
-from repro.experiments.harness import cache_load, cache_store, selected_datasets
+from repro.experiments.harness import (
+    batch_extractor,
+    cache_load,
+    cache_matches,
+    cache_store,
+    selected_datasets,
+)
 from repro.experiments.reporting import format_cd_diagram
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
@@ -34,10 +40,11 @@ FIG6_METHODS: tuple[str, ...] = ("MVG (SVM)", "MVG (RF)", "MVG (XGBoost)")
 FIG7_METHODS: tuple[str, ...] = ("SVM", "RF", "XGBoost", "All")
 
 
-def _features_for(split, random_state: int):
+def _features_for(split, random_state: int, config: RunConfig | None = None):
     """Extract + scale + oversample MVG features once per dataset."""
-    # Batched extraction: honours REPRO_JOBS and the on-disk feature cache.
-    extractor = BatchFeatureExtractor(FeatureConfig())
+    # Batched extraction: honours the config's worker count and the
+    # on-disk feature cache.
+    extractor = batch_extractor(FeatureConfig(), config)
     train = extractor.transform(split.train.X)
     test = extractor.transform(split.test.X)
     scaler = MinMaxScaler()
@@ -48,16 +55,24 @@ def _features_for(split, random_state: int):
     return train, y_train, test, y_test
 
 
-def run_fig6(force: bool = False, random_state: int = 0) -> dict:
+def run_fig6(
+    force: bool = False,
+    random_state: int | None = None,
+    config: RunConfig | None = None,
+) -> dict:
     """Per-dataset errors of the three classifier families on MVG features."""
-    datasets = selected_datasets()
-    cached = cache_load("fig6")
-    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+    rc = active_run_config(config)
+    force = force or rc.force
+    random_state = rc.seed if random_state is None else random_state
+    datasets = selected_datasets(rc)
+    settings = {"seed": random_state}
+    cached = cache_load("fig6", rc)
+    if not force and cache_matches(cached, datasets, settings):
         return cached
     errors: dict[str, list[float]] = {method: [] for method in FIG6_METHODS}
     for name in datasets:
         split = load_archive_dataset(name, orientation="table2")
-        train, y_train, test, y_test = _features_for(split, random_state)
+        train, y_train, test, y_test = _features_for(split, random_state, rc)
         classifiers = {
             "MVG (SVM)": SVC(C=10.0, random_state=random_state),
             "MVG (RF)": RandomForestClassifier(n_estimators=50, random_state=random_state),
@@ -74,8 +89,8 @@ def run_fig6(force: bool = False, random_state: int = 0) -> dict:
             + " ".join(f"{m}={errors[m][-1]:.3f}" for m in FIG6_METHODS),
             file=sys.stderr,
         )
-    payload = {"datasets": list(datasets), "errors": errors}
-    cache_store("fig6", payload)
+    payload = {"datasets": list(datasets), "errors": errors, "settings": settings}
+    cache_store("fig6", payload, rc)
     return payload
 
 
@@ -99,18 +114,26 @@ def _fig7_families(random_state: int):
     }
 
 
-def run_fig7(force: bool = False, random_state: int = 0) -> dict:
+def run_fig7(
+    force: bool = False,
+    random_state: int | None = None,
+    config: RunConfig | None = None,
+) -> dict:
     """Per-dataset errors of single-family stacks vs the all-family stack."""
-    datasets = selected_datasets()
-    cached = cache_load("fig7")
-    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+    rc = active_run_config(config)
+    force = force or rc.force
+    random_state = rc.seed if random_state is None else random_state
+    datasets = selected_datasets(rc)
+    settings = {"seed": random_state}
+    cached = cache_load("fig7", rc)
+    if not force and cache_matches(cached, datasets, settings):
         return cached
     errors: dict[str, list[float]] = {method: [] for method in FIG7_METHODS}
     all_families = _fig7_families(random_state)
     single = {"SVM": "svm", "RF": "rf", "XGBoost": "xgboost"}
     for name in datasets:
         split = load_archive_dataset(name, orientation="table2")
-        train, y_train, test, y_test = _features_for(split, random_state)
+        train, y_train, test, y_test = _features_for(split, random_state, rc)
         for method in FIG7_METHODS:
             if method == "All":
                 families = all_families
@@ -127,8 +150,8 @@ def run_fig7(force: bool = False, random_state: int = 0) -> dict:
             + " ".join(f"{m}={errors[m][-1]:.3f}" for m in FIG7_METHODS),
             file=sys.stderr,
         )
-    payload = {"datasets": list(datasets), "errors": errors}
-    cache_store("fig7", payload)
+    payload = {"datasets": list(datasets), "errors": errors, "settings": settings}
+    cache_store("fig7", payload, rc)
     return payload
 
 

@@ -20,6 +20,7 @@ import sys
 
 import numpy as np
 
+from repro.api.config import RunConfig
 from repro.data.archive import load_archive_dataset
 from repro.experiments.reporting import format_table
 from repro.experiments.table2 import run_table2
@@ -108,9 +109,11 @@ FIGURE_PANELS: dict[str, tuple[tuple[str, str, str], ...]] = {
 }
 
 
-def render_scatter_figure(figure: str, force: bool = False) -> str:
+def render_scatter_figure(
+    figure: str, force: bool = False, config: RunConfig | None = None
+) -> str:
     """Figures 3-5 from the Table 2 sweep."""
-    payload = run_table2(force=force)
+    payload = run_table2(force=force, config=config)
     datasets = payload["datasets"]
     errors = payload["errors"]
     blocks = [
@@ -127,9 +130,9 @@ def render_scatter_figure(figure: str, force: bool = False) -> str:
     return "\n".join(blocks)
 
 
-def render_figure8(force: bool = False) -> str:
+def render_figure8(force: bool = False, config: RunConfig | None = None) -> str:
     """Figure 8: MVG error vs each baseline's error."""
-    payload = run_table3(force=force)
+    payload = run_table3(force=force, config=config)
     datasets = payload["datasets"]
     errors = payload["errors"]
     blocks = [
@@ -141,9 +144,9 @@ def render_figure8(force: bool = False) -> str:
     return "\n".join(blocks)
 
 
-def render_figure9(force: bool = False) -> str:
+def render_figure9(force: bool = False, config: RunConfig | None = None) -> str:
     """Figure 9: log10 runtime FS vs MVG."""
-    payload = run_table3(force=force)
+    payload = run_table3(force=force, config=config)
     datasets = payload["datasets"]
     mvg = np.asarray(payload["mvg_fe"]) + np.asarray(payload["mvg_clf"])
     fs = np.asarray(payload["fs_runtime"])
@@ -163,16 +166,16 @@ def render_figure9(force: bool = False) -> str:
     return table + summary
 
 
-def render(figure: str, force: bool = False) -> str:
+def render(figure: str, force: bool = False, config: RunConfig | None = None) -> str:
     """Render any figure by name (``fig2`` .. ``fig9``)."""
     if figure == "fig2":
         return render_figure2()
     if figure in FIGURE_PANELS:
-        return render_scatter_figure(figure, force=force)
+        return render_scatter_figure(figure, force=force, config=config)
     if figure == "fig8":
-        return render_figure8(force=force)
+        return render_figure8(force=force, config=config)
     if figure == "fig9":
-        return render_figure9(force=force)
+        return render_figure9(force=force, config=config)
     raise ValueError(
         f"unknown figure {figure!r}; expected fig2, fig3, fig4, fig5, fig8 or fig9 "
         "(fig6/fig7 live in repro.experiments.cd_diagrams, fig10 in case_study)"

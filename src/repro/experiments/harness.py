@@ -1,22 +1,16 @@
 """Shared experiment plumbing: timing, dataset selection and result caching.
 
-Environment knobs (all optional):
+Every knob-dependent helper takes an optional
+:class:`~repro.api.config.RunConfig`; when omitted, the deprecated
+``REPRO_*`` environment variables are consulted as a back-compat shim
+(:meth:`RunConfig.from_env`), emitting one :class:`DeprecationWarning`
+per process:
 
-``REPRO_DATASETS``
-    Comma-separated dataset names; restricts every sweep.
-``REPRO_MAX_DATASETS``
-    Positive integer; keep only the first N archive datasets (quick
-    runs).  Invalid values fail fast with a clear message.
-``REPRO_RESULTS_DIR``
-    Where JSON result caches are written (default ``./results``).  The
-    per-series feature cache lives in its ``feature_cache/``
-    subdirectory (see :mod:`repro.core.batch`).
-``REPRO_FULL_GRID``
-    When set (non-empty), use the paper's full XGBoost grid.
-``REPRO_JOBS``
-    Positive integer; worker processes for batched feature extraction
-    (default 1).  The ``--jobs`` CLI flag of ``python -m repro`` sets
-    this for every sweep it dispatches.
+``REPRO_DATASETS``      → ``RunConfig.datasets``
+``REPRO_MAX_DATASETS``  → ``RunConfig.max_datasets``
+``REPRO_RESULTS_DIR``   → ``RunConfig.results_dir``
+``REPRO_FULL_GRID``     → ``RunConfig.full_grid``
+``REPRO_JOBS``          → ``RunConfig.jobs``
 
 Corrupt or truncated JSON result caches are treated as cache misses
 (with a warning) rather than crashing a sweep mid-run.
@@ -25,7 +19,6 @@ Corrupt or truncated JSON result caches are treated as cache misses
 from __future__ import annotations
 
 import json
-import os
 import time
 import warnings
 from dataclasses import asdict, dataclass, field
@@ -34,7 +27,8 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.batch import BatchFeatureExtractor, env_positive_int
+from repro.api.config import RunConfig, active_run_config
+from repro.core.batch import BatchFeatureExtractor
 from repro.core.config import FeatureConfig
 from repro.core.pipeline import default_param_grid
 from repro.data.archive import archive_dataset_names, load_archive_dataset
@@ -64,34 +58,39 @@ class EvaluationResult:
         return self.feature_seconds + self.fit_seconds + self.predict_seconds
 
 
-def selected_datasets() -> tuple[str, ...]:
-    """Archive dataset names honouring the selection env knobs."""
+def selected_datasets(config: RunConfig | None = None) -> tuple[str, ...]:
+    """Archive dataset names honouring the run config's selection
+    (falling back to the ``REPRO_DATASETS`` / ``REPRO_MAX_DATASETS``
+    env shim when no config is given)."""
+    rc = active_run_config(config)
     names = archive_dataset_names()
-    env = os.environ.get("REPRO_DATASETS")
-    if env:
-        requested = [name.strip() for name in env.split(",") if name.strip()]
+    if rc.datasets is not None:
+        requested = [name.strip() for name in rc.datasets if name and name.strip()]
         if not requested:
             raise ValueError(
-                f"REPRO_DATASETS is set but names no datasets: {env!r}"
+                f"{rc.datasets_label} is set but names no datasets: {rc.datasets!r}"
             )
         unknown = sorted(set(requested) - set(names))
         if unknown:
-            raise ValueError(f"unknown datasets in REPRO_DATASETS: {unknown}")
+            raise ValueError(f"unknown datasets in {rc.datasets_label}: {unknown}")
         names = tuple(name for name in names if name in requested)
-    cap = env_positive_int("REPRO_MAX_DATASETS")
-    if cap is not None:
-        names = names[:cap]
+    if rc.max_datasets is not None:
+        names = names[: rc.max_datasets]
     return names
 
 
-def active_param_grid(n_classes: int | None = None) -> dict[str, list[Any]]:
-    """The XGBoost grid for sweeps (paper grid iff REPRO_FULL_GRID set).
+def active_param_grid(
+    n_classes: int | None = None, config: RunConfig | None = None
+) -> dict[str, list[Any]]:
+    """The XGBoost grid for sweeps (paper grid iff ``full_grid`` is set
+    on the run config, or ``REPRO_FULL_GRID`` under the env shim).
 
     Many-class problems fit ``n_classes`` trees per boosting round, so
     their grid is trimmed to keep sweep runtime bounded (documented
-    deviation; set REPRO_FULL_GRID to override).
+    deviation; set ``full_grid`` to override).
     """
-    if os.environ.get("REPRO_FULL_GRID"):
+    rc = active_run_config(config)
+    if rc.full_grid:
         return default_param_grid(full=True)
     grid = default_param_grid()
     if n_classes is not None and n_classes > 10:
@@ -99,27 +98,27 @@ def active_param_grid(n_classes: int | None = None) -> dict[str, list[Any]]:
     return grid
 
 
-def results_dir() -> Path:
+def results_dir(config: RunConfig | None = None) -> Path:
     """Directory for JSON result caches (created on demand).
 
-    A set-but-blank ``REPRO_RESULTS_DIR`` counts as unset — otherwise
-    ``Path("")`` would silently resolve to the current directory and
-    caches (including ``feature_cache/``) would be sprayed into the CWD.
+    A set-but-blank ``results_dir`` / ``REPRO_RESULTS_DIR`` counts as
+    unset — otherwise ``Path("")`` would silently resolve to the current
+    directory and caches (including ``feature_cache/``) would be sprayed
+    into the CWD.
     """
-    raw = os.environ.get("REPRO_RESULTS_DIR")
-    path = Path(raw) if raw and raw.strip() else Path("results")
+    path = active_run_config(config).resolved_results_dir()
     path.mkdir(parents=True, exist_ok=True)
     return path
 
 
-def cache_load(name: str) -> dict | None:
+def cache_load(name: str, config: RunConfig | None = None) -> dict | None:
     """Load a cached result blob, or None when absent or unreadable.
 
     A corrupt or truncated cache (interrupted write, disk trouble) is
     reported as a warning and treated as a miss, so the sweep recomputes
     instead of crashing; the next :func:`cache_store` overwrites it.
     """
-    path = results_dir() / f"{name}.json"
+    path = results_dir(config) / f"{name}.json"
     if not path.is_file():
         return None
     try:
@@ -143,12 +142,56 @@ def cache_load(name: str) -> dict | None:
     return payload
 
 
-def cache_store(name: str, payload: dict) -> Path:
+def cache_matches(
+    cached: dict | None, datasets: tuple[str, ...], settings: dict[str, Any]
+) -> bool:
+    """Whether a cached sweep payload covers the requested run.
+
+    Compares the dataset list and the sweep settings (seed, grid
+    choice…) so a cache computed under ``--seed 0`` is never served for
+    a ``--seed 7`` run.  Legacy caches predating the ``settings`` key
+    are treated as having been produced under the historical defaults
+    (seed 0, trimmed grid).
+    """
+    if cached is None or tuple(cached.get("datasets", ())) != datasets:
+        return False
+    defaults = {"seed": 0, "full_grid": False}
+    stored = cached.get("settings") or {}
+    return all(
+        stored.get(key, defaults.get(key)) == value
+        for key, value in settings.items()
+    )
+
+
+def cache_store(name: str, payload: dict, config: RunConfig | None = None) -> Path:
     """Persist a result blob; returns the written path."""
-    path = results_dir() / f"{name}.json"
+    path = results_dir(config) / f"{name}.json"
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
     return path
+
+
+def batch_extractor(
+    config: FeatureConfig,
+    run_config: RunConfig | None = None,
+    n_jobs: int | None = None,
+    cache: bool = True,
+) -> BatchFeatureExtractor:
+    """A :class:`BatchFeatureExtractor` wired to the run config.
+
+    ``run_config`` supplies the worker count (unless ``n_jobs`` is
+    explicit), whether the feature cache may be used, and the cache
+    directory; with no config the extractor falls back to the
+    ``REPRO_JOBS`` / ``REPRO_RESULTS_DIR`` env shim it always supported.
+    """
+    if run_config is None:
+        return BatchFeatureExtractor(config, n_jobs=n_jobs, cache=cache)
+    return BatchFeatureExtractor(
+        config,
+        n_jobs=run_config.jobs if n_jobs is None else n_jobs,
+        cache=cache and run_config.feature_cache,
+        cache_dir=run_config.feature_cache_dir(),
+    )
 
 
 def evaluate_mvg(
@@ -160,6 +203,7 @@ def evaluate_mvg(
     precomputed: tuple[np.ndarray, np.ndarray] | None = None,
     n_jobs: int | None = None,
     feature_cache: bool = True,
+    run_config: RunConfig | None = None,
 ) -> EvaluationResult:
     """Evaluate the MVG pipeline on one split, timing the feature
     extraction and classification phases separately (the FE/Clf columns
@@ -180,7 +224,9 @@ def evaluate_mvg(
         train_features, test_features = precomputed
         feature_seconds = 0.0
     else:
-        extractor = BatchFeatureExtractor(config, n_jobs=n_jobs, cache=feature_cache)
+        extractor = batch_extractor(
+            config, run_config, n_jobs=n_jobs, cache=feature_cache
+        )
         t0 = time.perf_counter()
         train_features = extractor.transform(split.train.X)
         test_features = extractor.transform(split.test.X)

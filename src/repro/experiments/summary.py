@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api.config import RunConfig
 from repro.experiments.harness import cache_load
 from repro.stats.comparison import pairwise_comparison
 from repro.stats.friedman import friedman_test
@@ -50,9 +51,9 @@ def _verdict(matches: bool) -> str:
     return "reproduced" if matches else "DEVIATION"
 
 
-def table2_section() -> list[str]:
+def table2_section(config: RunConfig | None = None) -> list[str]:
     """Markdown lines for the Table 2 paper-vs-measured block."""
-    payload = cache_load("table2")
+    payload = cache_load("table2", config)
     if payload is None:
         return ["*(run `python -m repro table2` first)*"]
     errors = {k: np.asarray(v) for k, v in payload["errors"].items()}
@@ -85,9 +86,9 @@ def table2_section() -> list[str]:
     return lines
 
 
-def table3_section() -> list[str]:
+def table3_section(config: RunConfig | None = None) -> list[str]:
     """Markdown lines for the Table 3 paper-vs-measured block."""
-    payload = cache_load("table3")
+    payload = cache_load("table3", config)
     if payload is None:
         return ["*(run `python -m repro table3` first)*"]
     errors = {k: np.asarray(v) for k, v in payload["errors"].items()}
@@ -127,9 +128,11 @@ def table3_section() -> list[str]:
     return lines
 
 
-def cd_section(name: str, paper_order: str) -> list[str]:
+def cd_section(
+    name: str, paper_order: str, config: RunConfig | None = None
+) -> list[str]:
     """Markdown lines for one critical-difference figure."""
-    payload = cache_load(name)
+    payload = cache_load(name, config)
     if payload is None:
         return [f"*(run `python -m repro {name}` first)*"]
     methods = list(payload["errors"])
@@ -204,25 +207,25 @@ KNOWN_DEVIATIONS = """## Known deviations
 """
 
 
-def build() -> str:
+def build(config: RunConfig | None = None) -> str:
     """The complete EXPERIMENTS.md content."""
     sections = [HEADER]
     sections.append("## Table 2 — heuristic validation (E1)\n")
-    sections.append("\n".join(table2_section()))
+    sections.append("\n".join(table2_section(config)))
     sections.append("\n## Table 3 — accuracy & runtime benchmark (E8)\n")
-    sections.append("\n".join(table3_section()))
+    sections.append("\n".join(table3_section(config)))
     sections.append("\n## Figure 6 — classifier families (E6)\n")
     sections.append(
         "\n".join(
             cd_section("fig6", "MVG (XGBoost) < MVG (RF) < MVG (SVM), XGBoost/RF "
-                       "both significantly better than SVM, CD = 0.5307")
+                       "both significantly better than SVM, CD = 0.5307", config)
         )
     )
     sections.append("\n## Figure 7 — stacked generalization (E7)\n")
     sections.append(
         "\n".join(
             cd_section("fig7", "All < XGBoost ≈ SVM ≈ RF, stacking all families "
-                       "significantly best, CD = 0.7511")
+                       "significantly best, CD = 0.7511", config)
         )
     )
     sections.append(

@@ -16,14 +16,16 @@ import sys
 
 import numpy as np
 
+from repro.api.config import RunConfig, active_run_config
 from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
-from repro.core.batch import BatchFeatureExtractor
 from repro.core.config import HEURISTIC_COLUMNS
 from repro.core.features import feature_mask
 from repro.data.archive import load_archive_dataset
 from repro.experiments.harness import (
     active_param_grid,
+    batch_extractor,
     cache_load,
+    cache_matches,
     cache_store,
     evaluate_baseline,
     evaluate_mvg,
@@ -48,21 +50,33 @@ COMPARISON_PAIRS: tuple[tuple[str, str], ...] = (
 METHODS: tuple[str, ...] = ("1NN-ED", "1NN-DTW") + tuple(HEURISTIC_COLUMNS)
 
 
-def run_table2(force: bool = False, random_state: int = 0) -> dict:
+def run_table2(
+    force: bool = False,
+    random_state: int | None = None,
+    config: RunConfig | None = None,
+) -> dict:
     """Run (or load from cache) the full Table 2 sweep.
+
+    ``config`` carries dataset selection, worker count, results dir and
+    grid choice (env shim when omitted); ``force``/``random_state``
+    default to the config's ``force``/``seed``.
 
     Returns ``{"datasets": [...], "errors": {method: [per-dataset error]}}``.
     """
-    datasets = selected_datasets()
-    cached = cache_load("table2")
-    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+    rc = active_run_config(config)
+    force = force or rc.force
+    random_state = rc.seed if random_state is None else random_state
+    datasets = selected_datasets(rc)
+    settings = {"seed": random_state, "full_grid": rc.full_grid}
+    cached = cache_load("table2", rc)
+    if not force and cache_matches(cached, datasets, settings):
         return cached
 
     errors: dict[str, list[float]] = {method: [] for method in METHODS}
     full_config = HEURISTIC_COLUMNS["G"]
     for name in datasets:
         split = load_archive_dataset(name, orientation="table2")
-        grid = active_param_grid(split.train.n_classes)
+        grid = active_param_grid(split.train.n_classes, rc)
         errors["1NN-ED"].append(
             evaluate_baseline(split, "1NN-ED", NearestNeighborEuclidean).error
         )
@@ -73,17 +87,17 @@ def run_table2(force: bool = False, random_state: int = 0) -> dict:
         )
         # Extract the full (column G) feature matrix once; every other
         # heuristic column is a subset of its columns.  The batch
-        # extractor honours REPRO_JOBS (``--jobs``) and reuses the
-        # on-disk feature cache across re-runs.
-        extractor = BatchFeatureExtractor(full_config)
+        # extractor honours the config's worker count (``--jobs``) and
+        # reuses the on-disk feature cache across re-runs.
+        extractor = batch_extractor(full_config, rc)
         train_full = extractor.transform(split.train.X)
         test_full = extractor.transform(split.test.X)
         names = extractor.feature_names_
-        for column, config in HEURISTIC_COLUMNS.items():
-            mask = feature_mask(names, config)
+        for column, column_config in HEURISTIC_COLUMNS.items():
+            mask = feature_mask(names, column_config)
             result = evaluate_mvg(
                 split,
-                config,
+                column_config,
                 param_grid=grid,
                 random_state=random_state,
                 precomputed=(train_full[:, mask], test_full[:, mask]),
@@ -95,8 +109,8 @@ def run_table2(force: bool = False, random_state: int = 0) -> dict:
             file=sys.stderr,
         )
 
-    payload = {"datasets": list(datasets), "errors": errors}
-    cache_store("table2", payload)
+    payload = {"datasets": list(datasets), "errors": errors, "settings": settings}
+    cache_store("table2", payload, rc)
     return payload
 
 

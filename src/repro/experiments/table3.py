@@ -16,21 +16,20 @@ import sys
 
 import numpy as np
 
-from repro.baselines.fast_shapelets import FastShapeletsClassifier
-from repro.baselines.learning_shapelets import LearningShapeletsClassifier
-from repro.baselines.nn import NearestNeighborDTW, NearestNeighborEuclidean
-from repro.baselines.saxvsm import SAXVSMClassifier
+from repro.api.config import RunConfig, active_run_config
 from repro.core.config import FeatureConfig
 from repro.data.archive import load_archive_dataset
 from repro.experiments.harness import (
     active_param_grid,
     cache_load,
+    cache_matches,
     cache_store,
     evaluate_baseline,
     evaluate_mvg,
     selected_datasets,
 )
 from repro.experiments.reporting import format_table
+from repro.registry import TABLE3_BASELINE_NAMES, make
 from repro.stats.comparison import pairwise_comparison
 
 BASELINES: tuple[str, ...] = ("1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM")
@@ -38,30 +37,42 @@ METHODS: tuple[str, ...] = BASELINES + ("MVG",)
 
 
 def _baseline_factory(method: str, random_state: int):
-    if method == "1NN-ED":
-        return NearestNeighborEuclidean
-    if method == "1NN-DTW":
-        return lambda: NearestNeighborDTW(window=0.1)
-    if method == "LS":
-        return lambda: LearningShapeletsClassifier(
-            n_epochs=200, random_state=random_state
-        )
-    if method == "FS":
-        return lambda: FastShapeletsClassifier(random_state=random_state)
-    if method == "SAX-VSM":
-        return SAXVSMClassifier
-    raise ValueError(f"unknown baseline {method!r}")
+    """Registry-backed factory for one Table 3 baseline method."""
+    try:
+        spec = TABLE3_BASELINE_NAMES[method]
+    except KeyError:
+        raise ValueError(f"unknown baseline {method!r}") from None
+
+    def build():
+        model = make(spec)
+        if "random_state" in model._param_names():
+            model.set_params(random_state=random_state)
+        return model
+
+    return build
 
 
-def run_table3(force: bool = False, random_state: int = 0) -> dict:
+def run_table3(
+    force: bool = False,
+    random_state: int | None = None,
+    config: RunConfig | None = None,
+) -> dict:
     """Run (or load) the Table 3 sweep.
+
+    ``config`` carries dataset selection, worker count, results dir and
+    grid choice (env shim when omitted); ``force``/``random_state``
+    default to the config's ``force``/``seed``.
 
     Returns ``{"datasets": [...], "errors": {method: [...]},
     "mvg_fe": [...], "mvg_clf": [...], "fs_runtime": [...]}``.
     """
-    datasets = selected_datasets()
-    cached = cache_load("table3")
-    if cached is not None and not force and tuple(cached["datasets"]) == datasets:
+    rc = active_run_config(config)
+    force = force or rc.force
+    random_state = rc.seed if random_state is None else random_state
+    datasets = selected_datasets(rc)
+    settings = {"seed": random_state, "full_grid": rc.full_grid}
+    cached = cache_load("table3", rc)
+    if not force and cache_matches(cached, datasets, settings):
         return cached
 
     errors: dict[str, list[float]] = {method: [] for method in METHODS}
@@ -70,7 +81,7 @@ def run_table3(force: bool = False, random_state: int = 0) -> dict:
     fs_runtime: list[float] = []
     for name in datasets:
         split = load_archive_dataset(name, orientation="table3")
-        grid = active_param_grid(split.train.n_classes)
+        grid = active_param_grid(split.train.n_classes, rc)
         for method in BASELINES:
             result = evaluate_baseline(
                 split, method, _baseline_factory(method, random_state)
@@ -89,6 +100,7 @@ def run_table3(force: bool = False, random_state: int = 0) -> dict:
             param_grid=grid,
             random_state=random_state,
             feature_cache=False,
+            run_config=rc,
         )
         errors["MVG"].append(mvg.error)
         mvg_fe.append(mvg.feature_seconds)
@@ -106,8 +118,9 @@ def run_table3(force: bool = False, random_state: int = 0) -> dict:
         "mvg_fe": mvg_fe,
         "mvg_clf": mvg_clf,
         "fs_runtime": fs_runtime,
+        "settings": settings,
     }
-    cache_store("table3", payload)
+    cache_store("table3", payload, rc)
     return payload
 
 

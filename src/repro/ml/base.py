@@ -27,19 +27,67 @@ class BaseEstimator:
             not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
         ]
 
-    def get_params(self) -> dict[str, Any]:
-        """Constructor parameters and their current values."""
-        return {name: getattr(self, name) for name in self._param_names()}
+    def get_params(self, deep: bool = False) -> dict[str, Any]:
+        """Constructor parameters and their current values.
+
+        ``deep=True`` additionally flattens every parameter that is
+        itself an estimator into ``param__subparam`` entries (sklearn's
+        nested-parameter convention).
+        """
+        params = {name: getattr(self, name) for name in self._param_names()}
+        if deep:
+            for name, value in list(params.items()):
+                if hasattr(value, "get_params"):
+                    try:
+                        sub_params = value.get_params(deep=True)
+                    except TypeError:
+                        sub_params = value.get_params()
+                    for key, sub in sub_params.items():
+                        params[f"{name}__{key}"] = sub
+        return params
 
     def set_params(self, **params: Any) -> "BaseEstimator":
-        """Update constructor parameters in place; returns ``self``."""
+        """Update constructor parameters in place; returns ``self``.
+
+        Nested ``component__param`` keys (sklearn's convention) are
+        routed to the estimator stored under ``component``, recursively;
+        unknown flat or nested targets raise a ``ValueError`` naming the
+        offending key.
+
+        Nested updates are copy-on-write: the addressed sub-estimator is
+        cloned before mutation, so estimators sharing component
+        instances (e.g. a prototype and its :func:`clone`\\ s, which
+        share nested objects) never contaminate each other.
+        """
         valid = set(self._param_names())
+        nested: dict[str, dict[str, Any]] = {}
         for name, value in params.items():
-            if name not in valid:
+            if "__" in name:
+                head, _, rest = name.partition("__")
+                if head not in valid:
+                    raise ValueError(
+                        f"invalid parameter {name!r} for {type(self).__name__}: "
+                        f"unknown component {head!r} "
+                        f"(valid components: {sorted(valid)})"
+                    )
+                nested.setdefault(head, {})[rest] = value
+            elif name not in valid:
                 raise ValueError(
                     f"invalid parameter {name!r} for {type(self).__name__}"
                 )
-            setattr(self, name, value)
+            else:
+                setattr(self, name, value)
+        for head, sub in nested.items():
+            target = getattr(self, head)
+            if not hasattr(target, "set_params"):
+                raise ValueError(
+                    f"cannot set nested parameters {sorted(sub)} on "
+                    f"{type(self).__name__}.{head}: "
+                    f"{type(target).__name__} does not support set_params"
+                )
+            if isinstance(target, BaseEstimator):
+                target = clone(target)
+            setattr(self, head, target.set_params(**sub))
         return self
 
     # -- common helpers ----------------------------------------------------

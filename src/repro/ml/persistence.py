@@ -3,9 +3,16 @@
 A deployment-oriented extra: trained MVG pipelines can be saved and
 reloaded without pickle (human-readable, versionable, safe to share).
 Supported estimators: decision trees, random forests, the gradient
-booster, logistic regression, the min-max scaler and the end-to-end
-:class:`~repro.core.pipeline.MVGClassifier` (grid-searched pipelines
-persist their refit best estimator).
+booster, logistic regression, the min-max/standard scalers, the MVG
+feature extractors and series mappers, the end-to-end
+:class:`~repro.core.pipeline.MVGClassifier` and composable
+:class:`~repro.api.pipeline.Pipeline` chains whose steps are themselves
+supported (grid-searched pipelines persist their refit best estimator).
+
+This is what the CLI verbs round-trip::
+
+    python -m repro fit --model mvg:A --dataset Wine --out wine.json
+    python -m repro predict --model-file wine.json --dataset Wine
 
 Usage::
 
@@ -173,20 +180,100 @@ def _scaler_from_dict(blob: dict[str, Any]) -> MinMaxScaler:
     return model
 
 
+def _standard_scaler_to_dict(model: Any) -> dict[str, Any]:
+    return {"mean": model.mean_.tolist(), "scale": model.scale_.tolist()}
+
+
+def _standard_scaler_from_dict(blob: dict[str, Any]) -> Any:
+    from repro.ml.preprocessing import StandardScaler
+
+    model = StandardScaler()
+    model.mean_ = np.asarray(blob["mean"])
+    model.scale_ = np.asarray(blob["scale"])
+    return model
+
+
+def _params_only_to_dict(model: Any) -> dict[str, Any]:
+    """Encoder for stateless components fully described by get_params."""
+    return {"params": model.get_params()}
+
+
+def _params_only_from_dict(cls: type) -> Any:
+    def decode(blob: dict[str, Any]) -> Any:
+        return cls(**blob["params"])
+
+    return decode
+
+
+def _feature_extractor_to_dict(model: Any) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    return {"config": asdict(model.config), "fast": model.fast}
+
+
+def _feature_extractor_from_dict(blob: dict[str, Any]) -> Any:
+    from repro.core.config import FeatureConfig
+    from repro.core.features import FeatureExtractor
+
+    return FeatureExtractor(FeatureConfig(**blob["config"]), fast=blob["fast"])
+
+
+def _batch_extractor_to_dict(model: Any) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    # n_jobs and the cache directory are machine-local runtime knobs;
+    # reloaded extractors fall back to their defaults.
+    return {"config": asdict(model.config), "cache": model.cache}
+
+
+def _batch_extractor_from_dict(blob: dict[str, Any]) -> Any:
+    from repro.core.batch import BatchFeatureExtractor
+    from repro.core.config import FeatureConfig
+
+    return BatchFeatureExtractor(FeatureConfig(**blob["config"]), cache=blob["cache"])
+
+
+def _mapper_encoders() -> dict[str, tuple]:
+    from repro.api.mappers import IdentityMapper, PAADownsampler, ZNormalizer
+
+    return {
+        "IdentityMapper": (_params_only_to_dict, _params_only_from_dict(IdentityMapper)),
+        "ZNormalizer": (_params_only_to_dict, _params_only_from_dict(ZNormalizer)),
+        "PAADownsampler": (_params_only_to_dict, _params_only_from_dict(PAADownsampler)),
+    }
+
+
 _ENCODERS = {
     "DecisionTreeClassifier": (_tree_to_dict, _tree_from_dict),
     "RandomForestClassifier": (_forest_to_dict, _forest_from_dict),
     "GradientBoostingClassifier": (_boosting_to_dict, _boosting_from_dict),
     "LogisticRegression": (_logistic_to_dict, _logistic_from_dict),
     "MinMaxScaler": (_scaler_to_dict, _scaler_from_dict),
+    "StandardScaler": (_standard_scaler_to_dict, _standard_scaler_from_dict),
+    "FeatureExtractor": (_feature_extractor_to_dict, _feature_extractor_from_dict),
+    "BatchFeatureExtractor": (_batch_extractor_to_dict, _batch_extractor_from_dict),
 }
+_ENCODERS.update(_mapper_encoders())
 
 
 def model_to_dict(model: Any) -> dict[str, Any]:
     """Serialisable representation of a supported fitted model."""
-    # MVGClassifier is handled structurally to avoid an import cycle.
+    # MVGClassifier and Pipeline are handled structurally to avoid
+    # import cycles.
+    from repro.api.pipeline import Pipeline
     from repro.core.pipeline import MVGClassifier
 
+    if isinstance(model, Pipeline):
+        if not hasattr(model, "steps_"):
+            raise TypeError("cannot persist an unfitted Pipeline")
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "Pipeline",
+            "steps": [
+                {"name": name, "component": model_to_dict(component)}
+                for name, component in model.steps_
+            ],
+        }
     if isinstance(model, MVGClassifier):
         from dataclasses import asdict
 
@@ -216,6 +303,19 @@ def model_from_dict(blob: dict[str, Any]) -> Any:
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported persistence format version {version!r}")
     kind = blob["kind"]
+    if kind == "Pipeline":
+        from repro.api.pipeline import Pipeline
+
+        steps = [
+            (step["name"], model_from_dict(step["component"]))
+            for step in blob["steps"]
+        ]
+        pipeline = Pipeline(steps)
+        pipeline.steps_ = list(steps)
+        final = steps[-1][1]
+        if hasattr(final, "classes_"):
+            pipeline.classes_ = final.classes_
+        return pipeline
     if kind == "MVGClassifier":
         from repro.core.config import FeatureConfig
         from repro.core.pipeline import MVGClassifier

@@ -1,0 +1,504 @@
+"""String-addressable component registry: classifiers, extractors, mappers.
+
+Every classifier the experiments use — the :class:`MVGClassifier`
+heuristic variants A–G, the stacking ensemble, all Table 3 baselines
+and the generic feature-space classifiers — plus the feature extractors
+and raw-series mappers register here under canonical names, so runs can
+be described by *data* (a spec string in a config file or CLI flag)
+instead of hand-written imports::
+
+    from repro.registry import make, available, spec_of
+
+    clf = make("mvg:G", jobs=4)      # MVGClassifier, Table 2 column G
+    boss = make("boss")              # BOSS ensemble baseline
+    spec_of(clf)                     # -> "mvg:G" (round-trips)
+
+Spec strings are ``name`` or ``name:variant`` (case-insensitive); extra
+keyword arguments are forwarded to the component's constructor.  Third
+parties extend the registry with :func:`register`::
+
+    @register("my-clf", kind="classifier", description="...")
+    def _build(**kwargs):
+        return MyClassifier(**kwargs)
+
+Factories import their components lazily, so importing this module (or
+``python -m repro list-models``) stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Component kinds the registry distinguishes.
+KINDS = ("classifier", "extractor", "mapper")
+
+#: The Table 3 baseline methods and their canonical registry names.
+TABLE3_BASELINE_NAMES = {
+    "1NN-ED": "1nn-ed",
+    "1NN-DTW": "1nn-dtw",
+    "LS": "ls",
+    "FS": "fs",
+    "SAX-VSM": "sax-vsm",
+}
+
+#: The Table 2 heuristic columns, usable as ``mvg:<column>`` variants.
+MVG_VARIANTS = ("A", "B", "C", "D", "E", "F", "G")
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """One registered component.
+
+    ``factory`` is called as ``factory(**kwargs)`` — or, when the entry
+    declares ``variants``, as ``factory(variant, **kwargs)`` with the
+    (canonicalised) variant string, ``None`` when the spec named no
+    variant.  ``consumes`` records what the component's ``fit``/
+    ``transform`` expects: raw ``"series"`` matrices or already
+    extracted ``"features"`` (the CLI verbs refuse to fit a
+    features-consuming classifier directly on raw series).
+    """
+
+    name: str
+    kind: str
+    factory: Callable[..., Any]
+    description: str = ""
+    variants: tuple[str, ...] = ()
+    kwargs_doc: dict[str, str] = field(default_factory=dict)
+    consumes: str = "series"
+
+
+class Registry:
+    """Name → component-factory mapping with spec-string addressing."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ComponentEntry] = {}
+        # name -> concrete type the factory builds, probed lazily once
+        # (spec_of would otherwise re-construct every component per call).
+        self._type_cache: dict[str, type | None] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        kind: str,
+        description: str = "",
+        variants: tuple[str, ...] = (),
+        factory: Callable[..., Any] | None = None,
+        kwargs_doc: dict[str, str] | None = None,
+        consumes: str = "series",
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        ``name`` must be lowercase and free of ``:`` (the variant
+        separator).  Re-registering an existing name raises — use a new
+        name or build a fresh :class:`Registry` for experiments.
+        """
+        key = name.lower()
+        if key != name or ":" in name or not name:
+            raise ValueError(
+                f"component name must be lowercase and ':'-free, got {name!r}"
+            )
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        if key in self._entries:
+            raise ValueError(f"component {name!r} is already registered")
+
+        def _store(fn: Callable[..., Any]) -> Callable[..., Any]:
+            self._entries[key] = ComponentEntry(
+                name=key,
+                kind=kind,
+                factory=fn,
+                description=description,
+                variants=tuple(variants),
+                kwargs_doc=dict(kwargs_doc or {}),
+                consumes=consumes,
+            )
+            return fn
+
+        if factory is not None:
+            return _store(factory)
+        return _store
+
+    # -- lookup ------------------------------------------------------------
+    @staticmethod
+    def parse_spec(spec: str) -> tuple[str, str | None]:
+        """Split ``"name"`` / ``"name:variant"`` into its parts."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise ValueError(f"component spec must be a non-empty string, got {spec!r}")
+        name, sep, variant = spec.strip().partition(":")
+        return name.lower(), (variant if sep else None)
+
+    def entry(self, spec: str) -> ComponentEntry:
+        """The :class:`ComponentEntry` a spec string addresses."""
+        name, _ = self.parse_spec(spec)
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(
+                f"unknown component {name!r}; registered names: {known}"
+            ) from None
+
+    def make(self, spec: str, **kwargs: Any) -> Any:
+        """Construct the component a spec string addresses.
+
+        ``make("mvg:G", jobs=4)`` — the variant (``G``) selects the
+        Table 2 column, remaining kwargs go to the constructor.
+        """
+        name, variant = self.parse_spec(spec)
+        entry = self.entry(name)
+        if entry.variants:
+            if variant is not None:
+                canonical = {v.lower(): v for v in entry.variants}
+                if variant.lower() not in canonical:
+                    raise ValueError(
+                        f"unknown variant {variant!r} for component {name!r}; "
+                        f"expected one of {list(entry.variants)}"
+                    )
+                variant = canonical[variant.lower()]
+            return entry.factory(variant, **kwargs)
+        if variant is not None:
+            raise ValueError(f"component {name!r} takes no variant, got {spec!r}")
+        return entry.factory(**kwargs)
+
+    def available(self, kind: str | None = None) -> tuple[ComponentEntry, ...]:
+        """All entries (of one ``kind`` when given), sorted by name."""
+        if kind is not None and kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        entries = (
+            entry
+            for entry in self._entries.values()
+            if kind is None or entry.kind == kind
+        )
+        return tuple(sorted(entries, key=lambda entry: entry.name))
+
+    def spec_of(self, component: Any) -> str:
+        """The spec string that reconstructs ``component`` (inverse of
+        :meth:`make` for registry-built components).
+
+        Resolution is structural: MVG classifiers map back to their
+        heuristic column, every other component to the registered name
+        of its type.  Unregistered types raise ``KeyError``.
+        """
+        from repro.core.batch import BatchFeatureExtractor
+        from repro.core.config import HEURISTIC_COLUMNS
+        from repro.core.features import FeatureExtractor
+        from repro.core.pipeline import MVGClassifier
+
+        if isinstance(component, MVGClassifier):
+            if component.config is None:
+                return "mvg"  # default config (== column G)
+            for column, candidate in HEURISTIC_COLUMNS.items():
+                if component.config == candidate:
+                    return f"mvg:{column}"
+            return "mvg"
+        if isinstance(component, (FeatureExtractor, BatchFeatureExtractor)):
+            base = (
+                "batch-features"
+                if isinstance(component, BatchFeatureExtractor)
+                else "features"
+            )
+            for column, candidate in HEURISTIC_COLUMNS.items():
+                if component.config == candidate:
+                    return f"{base}:{column}"
+            return base
+        for entry in self._entries.values():
+            if type(component) is self._entry_type(entry):
+                return entry.name
+        raise KeyError(
+            f"no registered component matches {type(component).__name__}"
+        )
+
+    def _entry_type(self, entry: ComponentEntry) -> type | None:
+        """The concrete type an entry builds (cached default build).
+
+        Entries whose factory cannot build with defaults probe to
+        ``None`` and simply never match in :meth:`spec_of`.
+        """
+        if entry.name not in self._type_cache:
+            try:
+                probe = entry.factory(None) if entry.variants else entry.factory()
+                self._type_cache[entry.name] = type(probe)
+            except Exception:
+                self._type_cache[entry.name] = None
+        return self._type_cache[entry.name]
+
+
+#: The process-wide default registry used by :func:`make` and the CLI.
+REGISTRY = Registry()
+
+
+def register(
+    name: str,
+    kind: str,
+    description: str = "",
+    variants: tuple[str, ...] = (),
+    factory: Callable[..., Any] | None = None,
+    kwargs_doc: dict[str, str] | None = None,
+    consumes: str = "series",
+):
+    """Register a component in the default registry (see
+    :meth:`Registry.register`)."""
+    return REGISTRY.register(
+        name, kind, description, variants, factory, kwargs_doc, consumes
+    )
+
+
+def make(spec: str, **kwargs: Any) -> Any:
+    """Construct a component from the default registry by spec string."""
+    return REGISTRY.make(spec, **kwargs)
+
+
+def available(kind: str | None = None) -> tuple[ComponentEntry, ...]:
+    """Entries of the default registry, optionally filtered by kind."""
+    return REGISTRY.available(kind)
+
+
+def spec_of(component: Any) -> str:
+    """Spec string reconstructing a default-registry component."""
+    return REGISTRY.spec_of(component)
+
+
+# -- built-in components ------------------------------------------------------
+#
+# Factories lazily import their modules so `import repro.registry` (and
+# `python -m repro list-models`) does not pull in the whole library.
+
+
+def _alias_jobs(kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Accept the friendlier ``jobs=`` alias for ``n_jobs=``."""
+    if "jobs" in kwargs:
+        if "n_jobs" in kwargs:
+            raise TypeError("pass either jobs= or n_jobs=, not both")
+        kwargs = dict(kwargs)
+        kwargs["n_jobs"] = kwargs.pop("jobs")
+    return kwargs
+
+
+def _make_mvg(variant: str | None, **kwargs: Any):
+    from repro.core.config import heuristic_config
+    from repro.core.pipeline import MVGClassifier
+
+    kwargs = _alias_jobs(kwargs)
+    if variant is not None and "config" in kwargs:
+        raise TypeError(f"pass either a variant (mvg:{variant}) or config=, not both")
+    if variant is not None:
+        kwargs["config"] = heuristic_config(variant)
+    return MVGClassifier(**kwargs)
+
+
+register(
+    "mvg",
+    kind="classifier",
+    description="MVG features + tuned XGBoost-style booster (Table 2 column as variant; default G)",
+    variants=MVG_VARIANTS,
+    factory=_make_mvg,
+    kwargs_doc={"jobs": "worker processes for feature extraction"},
+)
+
+
+def _make_mvg_stacking(**kwargs: Any):
+    from repro.core.stacking_pipeline import MVGStackingClassifier
+
+    return MVGStackingClassifier(**_alias_jobs(kwargs))
+
+
+register(
+    "mvg-stacking",
+    kind="classifier",
+    description="MVG features + stacked generalization over XGBoost/RF/SVM (Section 4.3)",
+    factory=_make_mvg_stacking,
+)
+
+
+def _make_wl_kernel(**kwargs: Any):
+    from repro.core.graph_kernel import WLVisibilityKernelClassifier
+
+    return WLVisibilityKernelClassifier(**kwargs)
+
+
+register(
+    "wl-kernel",
+    kind="classifier",
+    description="Weisfeiler-Lehman visibility-graph kernel SVM",
+    factory=_make_wl_kernel,
+)
+
+
+def _register_baselines() -> None:
+    """The Table 3 baselines (paper-benchmark defaults) plus extras."""
+
+    def _nn_ed(**kwargs: Any):
+        from repro.baselines.nn import NearestNeighborEuclidean
+
+        return NearestNeighborEuclidean(**kwargs)
+
+    def _nn_dtw(**kwargs: Any):
+        from repro.baselines.nn import NearestNeighborDTW
+
+        kwargs.setdefault("window", 0.1)
+        return NearestNeighborDTW(**kwargs)
+
+    def _ls(**kwargs: Any):
+        from repro.baselines.learning_shapelets import LearningShapeletsClassifier
+
+        kwargs.setdefault("n_epochs", 200)
+        return LearningShapeletsClassifier(**kwargs)
+
+    def _fs(**kwargs: Any):
+        from repro.baselines.fast_shapelets import FastShapeletsClassifier
+
+        return FastShapeletsClassifier(**kwargs)
+
+    def _saxvsm(**kwargs: Any):
+        from repro.baselines.saxvsm import SAXVSMClassifier
+
+        return SAXVSMClassifier(**kwargs)
+
+    def _bop(**kwargs: Any):
+        from repro.baselines.bop import BagOfPatternsClassifier
+
+        return BagOfPatternsClassifier(**kwargs)
+
+    def _boss(**kwargs: Any):
+        from repro.baselines.boss import BOSSEnsembleClassifier
+
+        return BOSSEnsembleClassifier(**kwargs)
+
+    register("1nn-ed", "classifier", "1-nearest-neighbour, Euclidean distance", factory=_nn_ed)
+    register("1nn-dtw", "classifier", "1-nearest-neighbour, DTW (10% warping window)", factory=_nn_dtw)
+    register("ls", "classifier", "Learning Shapelets (Grabocka et al., KDD 2014)", factory=_ls)
+    register("fs", "classifier", "Fast Shapelets (Rakthanmanon & Keogh, SDM 2013)", factory=_fs)
+    register("sax-vsm", "classifier", "SAX-VSM (Senin & Malinchik, ICDM 2013)", factory=_saxvsm)
+    register("bop", "classifier", "Bag-of-Patterns (Lin et al., 2012)", factory=_bop)
+    register("boss", "classifier", "BOSS ensemble (Schaefer, DMKD 2015)", factory=_boss)
+
+
+_register_baselines()
+
+
+def _register_feature_space_classifiers() -> None:
+    """Generic classifiers operating on already-extracted features."""
+
+    def _xgboost(**kwargs: Any):
+        from repro.ml.boosting import GradientBoostingClassifier
+
+        kwargs.setdefault("subsample", 0.5)
+        kwargs.setdefault("colsample_bytree", 0.5)
+        return GradientBoostingClassifier(**kwargs)
+
+    def _rf(**kwargs: Any):
+        from repro.ml.forest import RandomForestClassifier
+
+        return RandomForestClassifier(**kwargs)
+
+    def _svm(**kwargs: Any):
+        from repro.ml.svm import SVC
+
+        return SVC(**kwargs)
+
+    def _knn(**kwargs: Any):
+        from repro.ml.knn import KNeighborsClassifier
+
+        return KNeighborsClassifier(**kwargs)
+
+    def _logreg(**kwargs: Any):
+        from repro.ml.linear import LogisticRegression
+
+        return LogisticRegression(**kwargs)
+
+    def _tree(**kwargs: Any):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        return DecisionTreeClassifier(**kwargs)
+
+    register("xgboost", "classifier", "XGBoost-style Newton booster (paper's 0.5 subsampling)", factory=_xgboost, consumes="features")
+    register("rf", "classifier", "Random forest", factory=_rf, consumes="features")
+    register("svm", "classifier", "SMO kernel SVM with Platt scaling", factory=_svm, consumes="features")
+    register("knn", "classifier", "k-nearest neighbours on feature vectors", factory=_knn, consumes="features")
+    register("logreg", "classifier", "Multinomial logistic regression", factory=_logreg, consumes="features")
+    register("tree", "classifier", "CART decision tree", factory=_tree, consumes="features")
+
+
+_register_feature_space_classifiers()
+
+
+def _make_features(variant: str | None, **kwargs: Any):
+    from repro.core.config import heuristic_config
+    from repro.core.features import FeatureExtractor
+
+    if variant is not None:
+        if "config" in kwargs:
+            raise TypeError("pass either a variant or config=, not both")
+        kwargs["config"] = heuristic_config(variant)
+    return FeatureExtractor(**kwargs)
+
+
+register(
+    "features",
+    kind="extractor",
+    description="Serial MVG feature extractor (Table 2 column as variant; default G)",
+    variants=MVG_VARIANTS,
+    factory=_make_features,
+)
+
+
+def _make_batch_features(variant: str | None, **kwargs: Any):
+    from repro.core.batch import BatchFeatureExtractor
+    from repro.core.config import heuristic_config
+
+    kwargs = _alias_jobs(kwargs)
+    if variant is not None:
+        if "config" in kwargs:
+            raise TypeError("pass either a variant or config=, not both")
+        kwargs["config"] = heuristic_config(variant)
+    return BatchFeatureExtractor(**kwargs)
+
+
+register(
+    "batch-features",
+    kind="extractor",
+    description="Batched MVG extractor: worker fan-out + on-disk feature cache",
+    variants=MVG_VARIANTS,
+    factory=_make_batch_features,
+    kwargs_doc={"jobs": "worker processes", "cache": "use the on-disk feature cache"},
+)
+
+
+def _register_mappers() -> None:
+    """Raw-series and feature-space transformation steps."""
+
+    def _znorm(**kwargs: Any):
+        from repro.api.mappers import ZNormalizer
+
+        return ZNormalizer(**kwargs)
+
+    def _paa(**kwargs: Any):
+        from repro.api.mappers import PAADownsampler
+
+        return PAADownsampler(**kwargs)
+
+    def _identity(**kwargs: Any):
+        from repro.api.mappers import IdentityMapper
+
+        return IdentityMapper(**kwargs)
+
+    def _minmax(**kwargs: Any):
+        from repro.ml.preprocessing import MinMaxScaler
+
+        return MinMaxScaler(**kwargs)
+
+    def _standard(**kwargs: Any):
+        from repro.ml.preprocessing import StandardScaler
+
+        return StandardScaler(**kwargs)
+
+    register("znorm", "mapper", "Per-series z-normalisation of raw series", factory=_znorm)
+    register("paa", "mapper", "Piecewise aggregate approximation downsampling", factory=_paa)
+    register("identity", "mapper", "Pass-through mapper (pipeline placeholder)", factory=_identity)
+    register("minmax", "mapper", "Min-max feature scaling to [0, 1]", factory=_minmax, consumes="features")
+    register("standard", "mapper", "Zero-mean/unit-variance feature scaling", factory=_standard, consumes="features")
+
+
+_register_mappers()

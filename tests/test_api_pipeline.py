@@ -1,0 +1,247 @@
+"""Composable Pipeline: nested params, grid search through steps, mappers."""
+
+import numpy as np
+import pytest
+
+from repro.api import IdentityMapper, PAADownsampler, Pipeline, ZNormalizer, build_pipeline
+from repro.ml.base import clone
+from repro.ml.linear import LogisticRegression
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.preprocessing import MinMaxScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _simple_pipeline() -> Pipeline:
+    return Pipeline([("scale", MinMaxScaler()), ("clf", LogisticRegression())])
+
+
+class TestPipelineBasics:
+    def test_fit_predict(self, blobs):
+        X, y = blobs
+        pipe = _simple_pipeline().fit(X, y)
+        assert pipe.predict(X).shape == y.shape
+        assert pipe.score(X, y) > 0.9
+        assert set(pipe.classes_) == set(y)
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        pipe = _simple_pipeline().fit(X, y)
+        proba = pipe.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_transform_applies_non_final_steps(self, blobs):
+        X, y = blobs
+        pipe = _simple_pipeline().fit(X, y)
+        transformed = pipe.transform(X)
+        assert transformed.min() >= 0.0 and transformed.max() <= 1.0
+
+    def test_fit_does_not_mutate_prototypes(self, blobs):
+        X, y = blobs
+        scaler, estimator = MinMaxScaler(), LogisticRegression()
+        pipe = Pipeline([("scale", scaler), ("clf", estimator)]).fit(X, y)
+        assert not hasattr(scaler, "min_")
+        assert not hasattr(estimator, "coef_")
+        assert hasattr(pipe.fitted_steps["clf"], "coef_")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            Pipeline([])
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline([("a", MinMaxScaler()), ("a", LogisticRegression())])
+        with pytest.raises(ValueError, match="invalid step name"):
+            Pipeline([("bad__name", LogisticRegression())])
+        with pytest.raises(ValueError, match="neither"):
+            Pipeline([("clf", 42)])
+        with pytest.raises(ValueError, match="must be an estimator"):
+            Pipeline([("znorm", ZNormalizer())])  # transform-only final step
+        with pytest.raises(ValueError, match="only be the final step"):
+            Pipeline([("clf1", DecisionTreeClassifier()), ("clf2", LogisticRegression())])
+
+    def test_unfitted_predict_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _simple_pipeline().predict(X)
+
+
+class TestNestedParams:
+    def test_get_params_deep(self):
+        pipe = _simple_pipeline()
+        deep = pipe.get_params(deep=True)
+        assert deep["clf__C"] == 1.0
+        assert deep["clf"] is pipe.named_steps["clf"]
+        assert "steps" in pipe.get_params()
+
+    def test_set_params_nested_is_copy_on_write(self):
+        estimator = LogisticRegression()
+        pipe = Pipeline([("scale", MinMaxScaler()), ("clf", estimator)])
+        pipe.set_params(clf__C=9.0)
+        assert pipe.named_steps["clf"].C == 9.0
+        assert estimator.C == 1.0  # the supplied instance is untouched
+
+    def test_set_params_replaces_whole_step(self):
+        pipe = _simple_pipeline()
+        tree = DecisionTreeClassifier(max_depth=2)
+        pipe.set_params(clf=tree)
+        assert pipe.named_steps["clf"] is tree
+
+    def test_set_params_steps_then_nested_in_one_call(self):
+        pipe = _simple_pipeline()
+        pipe.set_params(
+            steps=[("norm", MinMaxScaler()), ("tree", DecisionTreeClassifier())],
+            tree__max_depth=3,
+        )
+        assert [name for name, _ in pipe.steps] == ["norm", "tree"]
+        assert pipe.named_steps["tree"].max_depth == 3
+
+    def test_set_params_steps_accepts_iterators(self):
+        pipe = _simple_pipeline()
+        pipe.set_params(
+            steps=iter([("scale", MinMaxScaler()), ("clf", LogisticRegression())])
+        )
+        assert len(pipe.steps) == 2
+
+    def test_set_params_is_atomic_on_error(self):
+        pipe = _simple_pipeline()
+        before = list(pipe.steps)
+        with pytest.raises(ValueError):
+            pipe.set_params(
+                steps=[("norm", MinMaxScaler()), ("tree", DecisionTreeClassifier())],
+                bogus__x=1,
+            )
+        assert pipe.steps == before  # nothing half-applied
+
+    def test_step_replacement_is_validated(self):
+        pipe = _simple_pipeline()
+        with pytest.raises(ValueError, match="neither"):
+            pipe.set_params(clf=42)
+        assert isinstance(pipe.named_steps["clf"], LogisticRegression)
+
+    def test_set_params_errors(self):
+        pipe = _simple_pipeline()
+        with pytest.raises(ValueError, match="no step named 'boost'"):
+            pipe.set_params(boost__C=1.0)
+        with pytest.raises(ValueError, match="invalid parameter"):
+            pipe.set_params(bogus=1)
+        with pytest.raises(ValueError, match="invalid parameter"):
+            # Nested error propagated from the step itself.
+            pipe.set_params(clf__bogus=1)
+
+    def test_grid_search_tunes_through_pipeline(self, blobs):
+        X, y = blobs
+        pipe = _simple_pipeline()
+        search = GridSearchCV(
+            pipe,
+            {"clf__C": [0.1, 10.0]},
+            cv=2,
+            scoring="accuracy",
+            random_state=0,
+        )
+        search.fit(X, y)
+        assert set(search.best_params_) == {"clf__C"}
+        assert search.score(X, y) > 0.9
+        # The prototype pipeline is left untouched by the search.
+        assert pipe.named_steps["clf"].C == 1.0
+
+
+class TestBuildPipeline:
+    def test_registry_specs_become_steps(self):
+        pipe = build_pipeline("znorm", "features:A", "xgboost")
+        assert [name for name, _ in pipe.steps] == ["znorm", "features", "xgboost"]
+
+    def test_step_kwargs(self):
+        pipe = build_pipeline("minmax", "xgboost", xgboost__n_estimators=7)
+        assert pipe.named_steps["xgboost"].n_estimators == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_pipeline()
+
+    def test_end_to_end_on_series(self, tiny_series_dataset):
+        X_train, y_train, X_test, y_test = tiny_series_dataset
+        pipe = build_pipeline("znorm", "features:A", "minmax", "logreg")
+        pipe.fit(X_train, y_train)
+        assert pipe.score(X_test, y_test) >= 0.5
+
+
+class TestMappers:
+    def test_znorm(self, rng):
+        X = rng.normal(3.0, 2.0, size=(5, 50))
+        out = ZNormalizer().transform(X)
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-9)
+
+    def test_znorm_constant_series(self):
+        out = ZNormalizer().transform(np.full((2, 8), 5.0))
+        assert np.allclose(out, 0.0)
+
+    def test_znorm_one_dim(self, rng):
+        series = rng.normal(size=30)
+        assert ZNormalizer().transform(series).shape == (30,)
+
+    def test_paa_shape_and_mean(self, rng):
+        X = rng.normal(size=(4, 60))
+        out = PAADownsampler(n_segments=15).transform(X)
+        assert out.shape == (4, 15)
+        assert np.allclose(out.mean(axis=1), X.mean(axis=1))
+
+    def test_paa_validation(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            PAADownsampler(n_segments=100).transform(rng.normal(size=(2, 10)))
+        with pytest.raises(ValueError, match="positive"):
+            PAADownsampler(n_segments=0).transform(rng.normal(size=(2, 10)))
+
+    def test_identity(self, rng):
+        X = rng.normal(size=(3, 9))
+        assert np.array_equal(IdentityMapper().transform(X), X)
+
+    def test_mappers_are_cloneable(self):
+        mapper = PAADownsampler(n_segments=32)
+        assert clone(mapper).n_segments == 32
+
+
+class TestNestedBaseEstimatorParams:
+    def test_nested_set_params_reaches_sub_estimator(self):
+        from repro.core.pipeline import MVGClassifier
+        from repro.ml.boosting import GradientBoostingClassifier
+
+        clf = MVGClassifier(classifier=GradientBoostingClassifier())
+        clf.set_params(classifier__n_estimators=13)
+        assert clf.classifier.n_estimators == 13
+
+    def test_nested_unknown_component(self):
+        from repro.core.pipeline import MVGClassifier
+
+        with pytest.raises(ValueError, match="unknown component 'booster'"):
+            MVGClassifier().set_params(booster__n_estimators=10)
+
+    def test_nested_non_estimator_target(self):
+        from repro.core.pipeline import MVGClassifier
+
+        with pytest.raises(ValueError, match="does not support set_params"):
+            MVGClassifier().set_params(cv__folds=5)
+
+    def test_deep_get_params_flattens_sub_estimators(self):
+        from repro.core.pipeline import MVGClassifier
+        from repro.ml.boosting import GradientBoostingClassifier
+
+        clf = MVGClassifier(classifier=GradientBoostingClassifier(max_depth=7))
+        deep = clf.get_params(deep=True)
+        assert deep["classifier__max_depth"] == 7
+        assert "classifier__max_depth" not in clf.get_params()
+
+    def test_deep_get_params_recurses_multiple_levels(self):
+        from repro.core.pipeline import MVGClassifier
+        from repro.ml.svm import SVC
+
+        pipe = Pipeline([("clf", MVGClassifier(classifier=SVC(C=5.0)))])
+        pipe.set_params(clf__classifier__C=9.0)
+        deep = pipe.get_params(deep=True)
+        assert deep["clf__classifier__C"] == 9.0
+
+    def test_nested_set_params_does_not_mutate_shared_components(self):
+        from repro.core.pipeline import MVGClassifier
+        from repro.ml.svm import SVC
+
+        prototype = MVGClassifier(classifier=SVC(C=1.0))
+        clone(prototype).set_params(classifier__C=99.0)
+        assert prototype.classifier.C == 1.0

@@ -1,0 +1,227 @@
+"""Registry-driven CLI verbs: list-models, run, fit, predict."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def sandbox(monkeypatch, tmp_path):
+    """Isolated results dir; no REPRO_* leakage either way."""
+    for name in (
+        "REPRO_DATASETS",
+        "REPRO_MAX_DATASETS",
+        "REPRO_JOBS",
+        "REPRO_RESULTS_DIR",
+        "REPRO_FULL_GRID",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    return tmp_path
+
+
+class TestListModels:
+    def test_lists_every_registered_component(self, capsys, sandbox):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mvg", "mvg-stacking", "boss", "sax-vsm", "1nn-dtw", "znorm"):
+            assert name in out
+        assert "A,B,C,D,E,F,G" in out  # the heuristic-column variants
+
+    def test_kind_filter(self, capsys, sandbox):
+        assert main(["list-models", "--kind", "mapper"]) == 0
+        out = capsys.readouterr().out
+        assert "znorm" in out
+        assert "boss" not in out
+
+
+class TestRunVerb:
+    def test_run_baseline(self, capsys, sandbox):
+        code = main(
+            [
+                "run",
+                "--model",
+                "1nn-ed",
+                "--dataset",
+                "BeetleFly",
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model:    1nn-ed" in out
+        assert "error:" in out
+
+    def test_run_does_not_mutate_environ(self, capsys, sandbox):
+        before = dict(os.environ)
+        main(
+            [
+                "run",
+                "--model",
+                "1nn-ed",
+                "--dataset",
+                "BeetleFly",
+                "--jobs",
+                "2",
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert dict(os.environ) == before
+
+    def test_unknown_model_is_a_clean_error(self, sandbox):
+        with pytest.raises(SystemExit, match="unknown component"):
+            main(["run", "--model", "nope", "--dataset", "BeetleFly"])
+
+    def test_feature_space_classifier_rejected_on_raw_series(self, sandbox):
+        with pytest.raises(SystemExit, match="already-extracted features"):
+            main(["run", "--model", "logreg", "--dataset", "BeetleFly"])
+
+    def test_unknown_dataset_is_a_clean_error(self, sandbox):
+        with pytest.raises(SystemExit, match="[Uu]nknown"):
+            main(["run", "--model", "1nn-ed", "--dataset", "NotReal"])
+
+    def test_sweep_only_flags_rejected_on_run(self, sandbox, capsys):
+        # --datasets/--max-datasets/--force steer sweeps, not the
+        # single-dataset verbs; accepting-and-ignoring them would lie.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--model",
+                    "1nn-ed",
+                    "--dataset",
+                    "BeetleFly",
+                    "--datasets",
+                    "Wine",
+                ]
+            )
+
+    def test_bad_jobs_rejected(self, sandbox):
+        with pytest.raises(SystemExit, match="positive"):
+            main(
+                [
+                    "run",
+                    "--model",
+                    "1nn-ed",
+                    "--dataset",
+                    "BeetleFly",
+                    "--jobs",
+                    "0",
+                ]
+            )
+
+    def test_run_mvg_matches_table2_cache(self, capsys, sandbox):
+        """`run --model mvg:<col>` reproduces the committed sweep exactly."""
+        with open(os.path.join("results", "table2.json")) as handle:
+            cached = json.load(handle)
+        index = cached["datasets"].index("BeetleFly")
+        expected = cached["errors"]["G"][index]
+        code = main(
+            [
+                "run",
+                "--model",
+                "mvg:G",
+                "--dataset",
+                "BeetleFly",
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"error:    {expected:.6g}" in out
+
+
+class TestFitPredictRoundTrip:
+    def test_fit_then_predict(self, capsys, sandbox):
+        model_path = sandbox / "model.json"
+        code = main(
+            [
+                "fit",
+                "--model",
+                "mvg:A",
+                "--dataset",
+                "BeetleFly",
+                "--no-tune",
+                "--out",
+                str(model_path),
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert code == 0
+        assert model_path.is_file()
+        out = capsys.readouterr().out
+        assert "saved to" in out
+
+        code = main(
+            [
+                "predict",
+                "--model-file",
+                str(model_path),
+                "--dataset",
+                "BeetleFly",
+                "--split",
+                "test",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test error:" in out
+
+    def test_fit_unpersistable_model_is_a_clean_error(self, sandbox):
+        with pytest.raises(SystemExit, match="persist"):
+            main(
+                [
+                    "fit",
+                    "--model",
+                    "sax-vsm",
+                    "--dataset",
+                    "BeetleFly",
+                    "--out",
+                    str(sandbox / "m.json"),
+                    "--results-dir",
+                    str(sandbox),
+                ]
+            )
+
+    def test_predict_rejects_tuning_flags(self, sandbox):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "predict",
+                    "--model-file",
+                    str(sandbox / "m.json"),
+                    "--dataset",
+                    "BeetleFly",
+                    "--full-grid",
+                ]
+            )
+
+    def test_predict_missing_file_is_a_clean_error(self, sandbox):
+        with pytest.raises(SystemExit, match="cannot load model"):
+            main(
+                [
+                    "predict",
+                    "--model-file",
+                    str(sandbox / "missing.json"),
+                    "--dataset",
+                    "BeetleFly",
+                ]
+            )
+
+
+class TestLegacyCommandsStillWork:
+    def test_artifact_commands_enumerated(self):
+        from repro.__main__ import ALL_COMMANDS
+
+        assert len(ALL_COMMANDS) == 11
+
+    def test_fig2_with_explicit_flags(self, capsys, sandbox):
+        code = main(["fig2", "--results-dir", str(sandbox)])
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Component registry: completeness, spec round-trips, clone safety."""
+
+import pytest
+
+from repro.core.config import HEURISTIC_COLUMNS, heuristic_config
+from repro.core.pipeline import MVGClassifier
+from repro.ml.base import clone
+from repro.registry import (
+    MVG_VARIANTS,
+    REGISTRY,
+    Registry,
+    TABLE3_BASELINE_NAMES,
+    available,
+    make,
+    spec_of,
+)
+
+
+class TestCompleteness:
+    """Every classifier the sweeps use resolves by name."""
+
+    @pytest.mark.parametrize("method,spec", sorted(TABLE3_BASELINE_NAMES.items()))
+    def test_every_table3_baseline_resolves(self, method, spec):
+        model = make(spec)
+        assert hasattr(model, "fit") and hasattr(model, "predict")
+
+    @pytest.mark.parametrize("column", sorted(HEURISTIC_COLUMNS))
+    def test_every_heuristic_column_resolves(self, column):
+        model = make(f"mvg:{column}")
+        assert isinstance(model, MVGClassifier)
+        assert model.config == heuristic_config(column)
+
+    def test_mvg_variants_cover_table2(self):
+        assert set(MVG_VARIANTS) == set(HEURISTIC_COLUMNS)
+
+    def test_stacking_and_kernel_resolve(self):
+        from repro.core.graph_kernel import WLVisibilityKernelClassifier
+        from repro.core.stacking_pipeline import MVGStackingClassifier
+
+        assert isinstance(make("mvg-stacking"), MVGStackingClassifier)
+        assert isinstance(make("wl-kernel"), WLVisibilityKernelClassifier)
+
+    def test_table3_defaults_match_the_benchmark(self):
+        # The registry bakes the Table 3 benchmark settings in.
+        assert make("1nn-dtw").window == 0.1
+        assert make("ls").n_epochs == 200
+
+    def test_listing_covers_all_kinds(self):
+        kinds = {entry.kind for entry in available()}
+        assert kinds == {"classifier", "extractor", "mapper"}
+        classifiers = available(kind="classifier")
+        assert all(entry.kind == "classifier" for entry in classifiers)
+        assert len(classifiers) < len(available())
+
+
+class TestSpecAddressing:
+    def test_case_insensitive(self):
+        assert isinstance(make("MVG:g"), MVGClassifier)
+
+    def test_kwargs_reach_the_constructor(self):
+        model = make("mvg:G", jobs=3, random_state=7)
+        assert model.n_jobs == 3
+        assert model.random_state == 7
+
+    def test_jobs_alias_conflict_rejected(self):
+        with pytest.raises(TypeError, match="jobs"):
+            make("mvg:G", jobs=2, n_jobs=3)
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError, match="unknown component"):
+            make("flux-capacitor")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            make("mvg:Z")
+
+    def test_variant_on_variantless_component(self):
+        with pytest.raises(ValueError, match="takes no variant"):
+            make("boss:X")
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["mvg"]
+        + [f"mvg:{c}" for c in sorted(HEURISTIC_COLUMNS)]
+        + sorted(TABLE3_BASELINE_NAMES.values())
+        + ["boss", "bop", "xgboost", "rf", "svm", "mvg-stacking"],
+    )
+    def test_spec_round_trip(self, spec):
+        model = make(spec)
+        assert spec_of(model) == spec
+        rebuilt = make(spec_of(model))
+        assert rebuilt.get_params() == model.get_params()
+
+    def test_spec_of_unregistered_type(self):
+        with pytest.raises(KeyError, match="no registered component"):
+            spec_of(object())
+
+    @pytest.mark.parametrize("base", ["features", "batch-features"])
+    @pytest.mark.parametrize("column", ["A", "D", "G"])
+    def test_spec_of_preserves_extractor_variant(self, base, column):
+        extractor = make(f"{base}:{column}")
+        assert spec_of(extractor) == f"{base}:{column}"
+        assert make(spec_of(extractor)).config == extractor.config
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        registry = Registry()
+        registry.register("thing", "classifier", factory=lambda: object())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("thing", "classifier", factory=lambda: object())
+
+    def test_bad_names_rejected(self):
+        registry = Registry()
+        for bad in ("", "Upper", "with:colon"):
+            with pytest.raises(ValueError):
+                registry.register(bad, "classifier", factory=lambda: object())
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Registry().register("thing", "gizmo", factory=lambda: object())
+
+    def test_decorator_form(self):
+        registry = Registry()
+
+        @registry.register("decorated", "mapper", description="d")
+        def build(**kwargs):
+            return ("built", kwargs)
+
+        assert registry.make("decorated", x=1) == ("built", {"x": 1})
+        assert registry.entry("decorated").description == "d"
+
+    def test_default_registry_is_extensible(self):
+        # Use a private name so repeated test runs in one process fail
+        # loudly if cleanup is broken.
+        name = "test-only-component"
+        assert all(entry.name != name for entry in available())
+        REGISTRY.register(name, "mapper", factory=lambda: "ok")
+        try:
+            assert make(name) == "ok"
+        finally:
+            del REGISTRY._entries[name]
+
+
+class TestCloneSafety:
+    def test_registry_models_clone(self):
+        model = make("mvg:F", random_state=3)
+        copy = clone(model)
+        assert copy is not model
+        assert copy.get_params() == model.get_params()
+
+    def test_registry_pipeline_clone_is_independent(self, binary_blobs):
+        from repro.api import build_pipeline
+
+        X, y = binary_blobs
+        pipe = build_pipeline("minmax", "logreg")
+        twin = clone(pipe)
+        pipe.fit(X, y)
+        # Fitting the original never fits the clone or the prototypes.
+        assert not hasattr(twin, "steps_")
+        assert not hasattr(pipe.named_steps["logreg"], "coef_")
+        twin.set_params(logreg__C=123.0)
+        assert pipe.named_steps["logreg"].C != 123.0

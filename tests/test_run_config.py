@@ -1,0 +1,168 @@
+"""RunConfig: explicit threading, env shim back-compat, deprecation."""
+
+import dataclasses
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import (
+    RunConfig,
+    _reset_env_deprecation_warning,
+    active_run_config,
+)
+from repro.experiments.harness import (
+    active_param_grid,
+    cache_load,
+    cache_store,
+    results_dir,
+    selected_datasets,
+)
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """No REPRO_* vars; deprecation warning re-armed."""
+    for name in (
+        "REPRO_DATASETS",
+        "REPRO_MAX_DATASETS",
+        "REPRO_JOBS",
+        "REPRO_RESULTS_DIR",
+        "REPRO_FULL_GRID",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    _reset_env_deprecation_warning()
+    return monkeypatch
+
+
+class TestRunConfig:
+    def test_frozen(self):
+        config = RunConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.jobs = 4
+
+    def test_replace(self):
+        config = RunConfig(jobs=2).replace(seed=9)
+        assert (config.jobs, config.seed) == (2, 9)
+
+    def test_datasets_normalised_to_tuple(self):
+        assert RunConfig(datasets=["a", "b"]).datasets == ("a", "b")
+
+    @pytest.mark.parametrize("field", ["jobs", "max_datasets"])
+    @pytest.mark.parametrize("bad", [0, -3, 2.5])
+    def test_positive_int_validation(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            RunConfig(**{field: bad})
+
+    def test_resolved_results_dir_default_and_blank(self):
+        assert RunConfig().resolved_results_dir() == Path("results")
+        assert RunConfig(results_dir="  ").resolved_results_dir() == Path("results")
+        assert RunConfig(results_dir="/tmp/x").resolved_results_dir() == Path("/tmp/x")
+
+
+class TestEnvShim:
+    def test_from_env_reads_all_knobs(self, clean_env, tmp_path):
+        clean_env.setenv("REPRO_DATASETS", "BeetleFly, Wine")
+        clean_env.setenv("REPRO_MAX_DATASETS", "5")
+        clean_env.setenv("REPRO_JOBS", "3")
+        clean_env.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        clean_env.setenv("REPRO_FULL_GRID", "1")
+        with pytest.warns(DeprecationWarning, match="REPRO_"):
+            config = RunConfig.from_env()
+        assert config.datasets == ("BeetleFly", "Wine")
+        assert config.max_datasets == 5
+        assert config.jobs == 3
+        assert config.resolved_results_dir() == tmp_path
+        assert config.full_grid
+        assert config.source == "env"
+
+    def test_warns_once_per_process(self, clean_env):
+        clean_env.setenv("REPRO_JOBS", "2")
+        with pytest.warns(DeprecationWarning):
+            RunConfig.from_env()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            RunConfig.from_env()  # second call stays silent
+
+    def test_no_env_no_warning(self, clean_env):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = RunConfig.from_env()
+        assert config == RunConfig(source="env")
+
+    def test_blank_dataset_list_rejected(self, clean_env):
+        clean_env.setenv("REPRO_DATASETS", " , ,")
+        with pytest.raises(ValueError, match="REPRO_DATASETS"):
+            RunConfig.from_env()
+
+    def test_active_run_config_prefers_explicit(self, clean_env):
+        clean_env.setenv("REPRO_JOBS", "7")
+        explicit = RunConfig(jobs=2)
+        assert active_run_config(explicit) is explicit
+        with pytest.warns(DeprecationWarning):
+            assert active_run_config(None).jobs == 7
+
+
+class TestHarnessThreading:
+    """Explicit configs win over whatever the environment says."""
+
+    def test_selected_datasets_explicit(self, clean_env):
+        clean_env.setenv("REPRO_DATASETS", "Wine")
+        config = RunConfig(datasets=("BeetleFly", "BirdChicken"))
+        assert selected_datasets(config) == ("BeetleFly", "BirdChicken")
+
+    def test_selected_datasets_unknown_name_labels_source(self):
+        with pytest.raises(ValueError, match="RunConfig.datasets"):
+            selected_datasets(RunConfig(datasets=("NotReal",)))
+
+    @pytest.mark.parametrize("empty", [(), ("",), ("  ", "")])
+    def test_selected_datasets_blank_explicit_selection_rejected(self, empty):
+        with pytest.raises(ValueError, match="names no datasets"):
+            selected_datasets(RunConfig(datasets=empty))
+
+    def test_max_datasets_cap(self, clean_env):
+        assert len(selected_datasets(RunConfig(max_datasets=3))) == 3
+
+    def test_active_param_grid_full(self, clean_env):
+        grid = active_param_grid(30, RunConfig(full_grid=True))
+        assert len(grid["n_estimators"]) == 10
+
+    def test_results_dir_and_cache_explicit(self, clean_env, tmp_path):
+        clean_env.setenv("REPRO_RESULTS_DIR", str(tmp_path / "env-side"))
+        config = RunConfig(results_dir=tmp_path / "explicit")
+        assert results_dir(config) == tmp_path / "explicit"
+        cache_store("unit", {"k": [1]}, config)
+        assert (tmp_path / "explicit" / "unit.json").is_file()
+        assert cache_load("unit", config) == {"k": [1]}
+        assert not (tmp_path / "env-side").exists()
+
+    def test_evaluate_mvg_accepts_run_config(self, clean_env, tmp_path):
+        from repro.core.config import FeatureConfig
+        from repro.data.archive import load_archive_dataset
+        from repro.experiments.harness import evaluate_mvg
+
+        split = load_archive_dataset("BeetleFly")
+        config = RunConfig(results_dir=tmp_path, jobs=1)
+        result = evaluate_mvg(
+            split, FeatureConfig(scales="uvg"), random_state=0, run_config=config
+        )
+        assert 0.0 <= result.error <= 1.0
+        # The feature cache landed in the config's results dir.
+        assert (tmp_path / "feature_cache").is_dir()
+
+
+class TestJobsThreading:
+    def test_mvg_classifier_n_jobs_param(self):
+        from repro.core.pipeline import MVGClassifier
+
+        clf = MVGClassifier(n_jobs=2)
+        assert clf._make_extractor().n_jobs == 2
+
+    def test_env_jobs_is_read_only_fallback(self, clean_env):
+        from repro.core.pipeline import MVGClassifier
+
+        clean_env.setenv("REPRO_JOBS", "4")
+        clf = MVGClassifier()  # no explicit n_jobs
+        assert clf._make_extractor().n_jobs == 4
+        clf = MVGClassifier(n_jobs=1)  # explicit wins
+        assert clf._make_extractor().n_jobs == 1
