@@ -1,0 +1,201 @@
+"""Serving-tier benchmark: micro-batching vs sequential single-request
+handling, recorded as ``results/BENCH_serving.json``.
+
+The workload models online classification traffic: concurrent client
+threads, mostly *hot* series (monitoring endpoints re-classifying the
+same recent windows) with a cold unique tail.  Two configurations
+handle the identical request sequence:
+
+* **sequential** — single-request handling, PR 2 style: every request
+  independently pays feature extraction + predict
+  (``MicroBatcher(max_batch_size=1)``, per-series feature LRU off);
+* **microbatch** — the serving engine as deployed: requests coalesced
+  into batches of up to 32, duplicate in-flight series extracted once,
+  per-series feature LRU on.
+
+Throughput (completed requests / wall second) is the headline; the
+speedup floor asserts the acceptance criterion.  A cold-only section
+isolates pure batching on unique series (modest on one core — the
+extraction itself is per-series; ``--jobs`` plus the engine's
+persistent worker pool add the multicore lever on real hardware).
+
+Run with ``pytest benchmarks/test_serving.py -m bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from _bench_utils import emit
+
+from repro.core.pipeline import MVGClassifier
+from repro.experiments.harness import results_dir
+from repro.serve import InferenceEngine, MicroBatcher
+
+pytestmark = pytest.mark.bench
+
+#: Acceptance floor (ISSUE 3): micro-batched serving must beat
+#: sequential single-request handling on throughput.
+SERVING_SPEEDUP_FLOOR = 1.3
+
+SERIES_LENGTH = 200
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+HOT_POOL = 12
+HOT_FRACTION = 0.75
+
+
+def _make_series(rng: np.random.Generator, label: int) -> np.ndarray:
+    t = np.linspace(0, 1, SERIES_LENGTH, endpoint=False)
+    base = np.sin(2 * np.pi * 3 * t + rng.uniform(0, 2 * np.pi))
+    if label:
+        base = base + 0.6 * np.sin(2 * np.pi * 17 * t + rng.uniform(0, 2 * np.pi))
+    return base + rng.normal(0, 0.15, t.size)
+
+
+def _fit_model() -> MVGClassifier:
+    rng = np.random.default_rng(7)
+    X_train = np.stack([_make_series(rng, i % 2) for i in range(24)])
+    y_train = np.arange(24) % 2
+    return MVGClassifier(random_state=0, feature_cache=False).fit(X_train, y_train)
+
+
+def _request_schedule(hot_fraction: float) -> list[list[np.ndarray]]:
+    """Per-client request lists, identical across the serving modes."""
+    rng = np.random.default_rng(21)
+    hot = [_make_series(rng, i % 2) for i in range(HOT_POOL)]
+    schedule = []
+    for _ in range(N_CLIENTS):
+        requests = []
+        for _ in range(REQUESTS_PER_CLIENT):
+            if rng.uniform() < hot_fraction:
+                requests.append(hot[rng.integers(len(hot))])
+            else:
+                requests.append(_make_series(rng, int(rng.integers(2))))
+        schedule.append(requests)
+    return schedule
+
+
+def _drive(
+    model: MVGClassifier,
+    schedule: list[list[np.ndarray]],
+    max_batch_size: int,
+    max_wait_ms: float,
+    feature_cache_size: int,
+) -> dict:
+    """Run the whole schedule through one serving configuration."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    errors: list[Exception] = []
+
+    with InferenceEngine(model, feature_cache_size=feature_cache_size) as engine:
+        with MicroBatcher(
+            engine, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        ) as batcher:
+
+            def client(requests: list[np.ndarray]) -> None:
+                own: list[float] = []
+                try:
+                    for series in requests:
+                        t0 = time.perf_counter()
+                        batcher.classify(series, timeout=120.0)
+                        own.append(time.perf_counter() - t0)
+                except Exception as exc:  # pragma: no cover — reported below
+                    errors.append(exc)
+                with lock:
+                    latencies.extend(own)
+
+            threads = [
+                threading.Thread(target=client, args=(requests,))
+                for requests in schedule
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - t0
+            engine_stats = engine.stats()
+            batcher_stats = batcher.stats()
+
+    assert not errors, errors
+    n = len(latencies)
+    latencies_ms = sorted(lat * 1e3 for lat in latencies)
+    return {
+        "requests": n,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(n / wall, 2),
+        "latency_ms": {
+            "p50": round(latencies_ms[n // 2], 2),
+            "p95": round(latencies_ms[int(n * 0.95)], 2),
+            "mean": round(sum(latencies_ms) / n, 2),
+        },
+        "engine": {
+            key: engine_stats[key]
+            for key in (
+                "feature_cache_hits",
+                "feature_cache_misses",
+                "requests_coalesced",
+            )
+        },
+        "batcher": {
+            key: batcher_stats[key]
+            for key in ("batches_dispatched", "largest_batch", "mean_batch_size")
+        },
+    }
+
+
+def test_serving_microbatch_vs_sequential():
+    model = _fit_model()
+    payload: dict = {
+        "series_length": SERIES_LENGTH,
+        "clients": N_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "floor": SERVING_SPEEDUP_FLOOR,
+    }
+
+    # --- online traffic (hot/cold mix) ----------------------------------
+    schedule = _request_schedule(HOT_FRACTION)
+    sequential = _drive(
+        model, schedule, max_batch_size=1, max_wait_ms=0.0, feature_cache_size=0
+    )
+    microbatch = _drive(
+        model, schedule, max_batch_size=32, max_wait_ms=25.0, feature_cache_size=1024
+    )
+    speedup = microbatch["throughput_rps"] / sequential["throughput_rps"]
+    payload["online_traffic"] = {
+        "hot_fraction": HOT_FRACTION,
+        "hot_pool": HOT_POOL,
+        "sequential": sequential,
+        "microbatch": microbatch,
+        "throughput_speedup": round(speedup, 2),
+    }
+
+    # --- cold unique series (pure coalescing, no cache reuse) -----------
+    cold_schedule = _request_schedule(hot_fraction=0.0)
+    cold_sequential = _drive(
+        model, cold_schedule, max_batch_size=1, max_wait_ms=0.0, feature_cache_size=0
+    )
+    cold_microbatch = _drive(
+        model, cold_schedule, max_batch_size=32, max_wait_ms=25.0, feature_cache_size=0
+    )
+    payload["cold_unique"] = {
+        "sequential": cold_sequential,
+        "microbatch": cold_microbatch,
+        "throughput_speedup": round(
+            cold_microbatch["throughput_rps"] / cold_sequential["throughput_rps"], 2
+        ),
+    }
+
+    rendered = json.dumps(payload, indent=1, sort_keys=True)
+    (results_dir() / "BENCH_serving.json").write_text(rendered + "\n")
+    emit("BENCH_serving", rendered)
+
+    # Micro-batching coalesced concurrent requests into real batches...
+    assert microbatch["batcher"]["largest_batch"] > 1
+    # ...and beats sequential single-request handling on throughput.
+    assert speedup >= SERVING_SPEEDUP_FLOOR, payload["online_traffic"]

@@ -31,6 +31,10 @@ Experiment sweeps are configured declaratively with
 :class:`repro.api.RunConfig` (datasets, jobs, results dir, grid, seed)
 instead of the deprecated ``REPRO_*`` environment variables.  Direct
 imports (``from repro import MVGClassifier``) remain supported.
+
+Fitted models deploy through :mod:`repro.serve`: a versioned
+:class:`~repro.serve.ModelStore` plus a micro-batching HTTP inference
+server (``python -m repro serve --store models/``).
 """
 
 from repro.api import Pipeline, RunConfig, build_pipeline

@@ -14,8 +14,10 @@ all            run every artifact in order
 datasets       list the surrogate archive with metadata
 list-models    list every registered component by name
 run            fit+evaluate any registered model on one dataset
-fit            fit a model and save it (JSON, no pickle)
+fit            fit a model and save it (JSON file or model store)
 predict        load a saved model and evaluate it on a split
+serve          HTTP inference server over a model store
+models         list / delete model-store entries
 =============  ==================================================
 
 Examples::
@@ -23,6 +25,9 @@ Examples::
     python -m repro run --model mvg:G --dataset BeetleFly
     python -m repro fit --model mvg:A --dataset Wine --out wine.json
     python -m repro predict --model-file wine.json --dataset Wine
+    python -m repro fit --model mvg:A --dataset Wine --store models/ --name wine
+    python -m repro serve --store models/ --port 8765
+    python -m repro models --store models/
     python -m repro table2 --jobs 4 --datasets BeetleFly,BirdChicken
 
 Every command accepts declarative run flags (``--jobs``, ``--datasets``,
@@ -336,24 +341,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    """Fit a registry model and persist it as JSON."""
+    """Fit a registry model and persist it (JSON file and/or model store)."""
     from repro.ml.metrics import error_rate
     from repro.ml.persistence import save_model
+
+    if not args.out and not args.store:
+        raise SystemExit("fit needs a destination: --out PATH and/or --store DIR --name NAME")
+    if args.store and not args.name:
+        raise SystemExit("--store needs --name to label the stored model")
+    if args.name and not args.store:
+        raise SystemExit("--name only makes sense together with --store")
+    if args.name:
+        # Validate before the (possibly minutes-long) fit, not after.
+        from repro.serve.store import validate_model_name
+
+        try:
+            validate_model_name(args.name)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
 
     config = build_run_config(args)
     split = _load_split(args.dataset, args.orientation)
     model = _configure_model(_make_model(args.model), split, config, tune=not args.no_tune)
     model.fit(split.train.X, split.train.y)
     train_error = error_rate(split.train.y, model.predict(split.train.X))
+    print(f"fitted {args.model} on {split.name} (train error {train_error:.6g})")
     try:
-        path = save_model(model, args.out)
-    except TypeError as exc:
+        if args.out:
+            print(f"saved to {save_model(model, args.out)}")
+        if args.store:
+            from repro.serve import ModelStore
+
+            record = ModelStore(args.store).save(
+                model,
+                args.name,
+                metadata={
+                    "spec": args.model,
+                    "dataset": split.name,
+                    "orientation": args.orientation,
+                    "train_error": round(train_error, 6),
+                },
+            )
+            print(
+                f"stored as {record.name} v{record.version} in {args.store} "
+                f"(sha256 {record.sha256[:12]}…)"
+            )
+    except (TypeError, ValueError) as exc:
         raise SystemExit(
             f"{exc}; persistable models include mvg:* and xgboost/rf/tree/logreg "
             "pipelines (see repro.ml.persistence)"
         ) from None
-    print(f"fitted {args.model} on {split.name} (train error {train_error:.6g})")
-    print(f"saved to {path}")
     return 0
 
 
@@ -377,6 +414,93 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print(" ".join(str(p) for p in predictions))
     error = error_rate(part.y, predictions)
     print(f"{args.dataset} {args.split} error: {error:.6g} ({part.n_samples} series)")
+    return 0
+
+
+# -- serving verbs -------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP inference server over a model store."""
+    from repro.serve import ModelStore, create_server, serve_forever
+    from repro.serve.store import ModelStoreError
+
+    store = ModelStore(args.store)
+    try:
+        names = store.names()
+    except ModelStoreError as exc:
+        raise SystemExit(str(exc)) from None
+    if not names:
+        raise SystemExit(
+            f"model store {args.store} is empty; save a model first, e.g. "
+            "`python -m repro fit --model mvg:A --dataset BeetleFly "
+            f"--store {args.store} --name beetlefly`"
+        )
+    if args.model is not None and args.model not in names:
+        raise SystemExit(
+            f"no model named {args.model!r} in {args.store} "
+            f"(known: {', '.join(names)})"
+        )
+    try:
+        server = create_server(
+            store,
+            host=args.host,
+            port=args.port,
+            default_model=args.model,
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            feature_cache_size=args.feature_cache_size,
+            jobs=args.jobs,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    host, port = server.server_address[:2]
+    print(f"serving {len(names)} model(s) from {args.store} on http://{host}:{port}")
+    print(f"  POST /v1/classify   POST /v1/batch   GET /v1/models   GET /healthz")
+    print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
+    serve_forever(server)
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    """List (or delete from) a model store."""
+    from repro.experiments.reporting import format_table
+    from repro.serve import ModelStore
+    from repro.serve.store import ModelStoreError
+
+    store = ModelStore(args.store)
+    try:
+        if args.delete:
+            name, _, version = args.delete.partition("@")
+            store.delete(name, version or None)
+            print(f"deleted {args.delete} from {args.store}")
+            return 0
+        records = store.list_models()
+    except ModelStoreError as exc:
+        raise SystemExit(str(exc)) from None
+    if not records:
+        print(f"model store {args.store} is empty")
+        return 0
+    latest = {r.name: r.version for r in records}
+    rows = [
+        [
+            record.name,
+            f"v{record.version}" + (" (latest)" if latest[record.name] == record.version else ""),
+            record.kind,
+            f"{record.size_bytes / 1024:.1f} KiB",
+            record.created_at,
+            record.sha256[:12],
+            record.metadata.get("dataset", ""),
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["Name", "Version", "Kind", "Size", "Created", "SHA-256", "Dataset"],
+            rows,
+            title=f"Model store {args.store}",
+        )
+    )
     return 0
 
 
@@ -434,9 +558,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sub, sweep=False)
 
-    sub = subparsers.add_parser("fit", help="fit a model and save it as JSON")
+    sub = subparsers.add_parser("fit", help="fit a model and save it (file or store)")
     _add_model_dataset_options(sub, model_flag=True)
-    sub.add_argument("--out", required=True, metavar="PATH", help="output JSON path")
+    sub.add_argument("--out", default=None, metavar="PATH", help="output JSON path")
+    sub.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="model-store directory to publish the fitted model into",
+    )
+    sub.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="model name in the store (with --store)",
+    )
     sub.add_argument(
         "--no-tune", action="store_true", help="skip grid-search tuning"
     )
@@ -456,6 +592,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the predicted labels before the error summary",
     )
     _add_run_options(sub, sweep=False, tuning=False)
+
+    sub = subparsers.add_parser("serve", help="HTTP inference server over a model store")
+    sub.add_argument(
+        "--store", required=True, metavar="DIR", help="model-store directory"
+    )
+    sub.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    sub.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765; 0 = any free port)"
+    )
+    sub.add_argument(
+        "--model",
+        default=None,
+        metavar="NAME",
+        help="default model for requests that name none (default: the only stored model)",
+    )
+    sub.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="micro-batch size cap (default 32)",
+    )
+    sub.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="micro-batch coalescing window in milliseconds (default 5)",
+    )
+    sub.add_argument(
+        "--feature-cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-memory per-series feature LRU entries (default 1024; 0 disables)",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for batched feature extraction",
+    )
+
+    sub = subparsers.add_parser("models", help="list / delete model-store entries")
+    sub.add_argument(
+        "--store", required=True, metavar="DIR", help="model-store directory"
+    )
+    sub.add_argument(
+        "--delete",
+        default=None,
+        metavar="NAME[@VERSION]",
+        help="delete one version (NAME@v2) or every version (NAME) of a model",
+    )
     return parser
 
 
@@ -473,6 +663,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fit(args)
     if args.command == "predict":
         return _cmd_predict(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "models":
+        return _cmd_models(args)
     config = build_run_config(args)
     commands = ALL_COMMANDS if args.command == "all" else (args.command,)
     for command in commands:

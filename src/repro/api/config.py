@@ -50,6 +50,38 @@ def _reset_env_deprecation_warning() -> None:
     _warned_env_deprecated = False
 
 
+def _warn_env_deprecated(set_vars: list[str]) -> None:
+    """Emit the once-per-process ``REPRO_*`` deprecation warning."""
+    global _warned_env_deprecated
+    if _warned_env_deprecated or not set_vars:
+        return
+    _warned_env_deprecated = True
+    warnings.warn(
+        f"the {', '.join(sorted(set_vars))} environment variable(s) are "
+        "deprecated; pass an explicit repro.api.RunConfig (or the "
+        "matching CLI flags) instead.  Env values remain a read-only "
+        "fallback for now.",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def env_jobs_fallback() -> int | None:
+    """Deprecated ``REPRO_JOBS`` fallback for code given no explicit jobs.
+
+    Shares :meth:`RunConfig.from_env`'s warn-once machinery, so the
+    policy (one :class:`DeprecationWarning` per process, env values are
+    read-only) holds on every path that still honours the variable —
+    including :func:`repro.core.batch.resolve_n_jobs`.
+    """
+    from repro.core.batch import env_positive_int
+
+    value = env_positive_int("REPRO_JOBS")
+    if value is not None:
+        _warn_env_deprecated(["REPRO_JOBS"])
+    return value
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """Frozen description of one experiment run.
@@ -146,18 +178,8 @@ class RunConfig:
         from repro.core.batch import env_positive_int
 
         set_vars = [name for name in ENV_VARS if os.environ.get(name)]
-        if warn and set_vars:
-            global _warned_env_deprecated
-            if not _warned_env_deprecated:
-                _warned_env_deprecated = True
-                warnings.warn(
-                    f"the {', '.join(sorted(set_vars))} environment variable(s) are "
-                    "deprecated; pass an explicit repro.api.RunConfig (or the "
-                    "matching CLI flags) instead.  Env values remain a read-only "
-                    "fallback for now.",
-                    DeprecationWarning,
-                    stacklevel=3,
-                )
+        if warn:
+            _warn_env_deprecated(set_vars)
 
         datasets: tuple[str, ...] | None = None
         raw_datasets = os.environ.get("REPRO_DATASETS")

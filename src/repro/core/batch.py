@@ -27,7 +27,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from multiprocessing import Pool
 from pathlib import Path
 
@@ -35,6 +34,7 @@ import numpy as np
 
 from repro.core.config import FeatureConfig
 from repro.core.features import extract_feature_vector
+from repro.ioutil import atomic_write_bytes, atomic_write_npy
 
 #: Subdirectory of ``REPRO_RESULTS_DIR`` holding cached feature vectors.
 CACHE_SUBDIR = "feature_cache"
@@ -79,9 +79,17 @@ def env_positive_int(name: str) -> int | None:
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
-    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    The env read goes through the :meth:`RunConfig.from_env
+    <repro.api.config.RunConfig.from_env>` deprecation machinery, so
+    relying on ``REPRO_JOBS`` here warns once per process exactly like
+    every other deprecated knob.
+    """
     if n_jobs is None:
-        return env_positive_int("REPRO_JOBS") or 1
+        from repro.api.config import env_jobs_fallback
+
+        return env_jobs_fallback() or 1
     if n_jobs != int(n_jobs) or n_jobs <= 0:
         raise ValueError(f"n_jobs must be a positive integer, got {n_jobs!r}")
     return int(n_jobs)
@@ -127,6 +135,13 @@ class BatchFeatureExtractor:
     cache_dir:
         Cache directory override; defaults to
         ``REPRO_RESULTS_DIR/feature_cache``.
+    keep_pool:
+        Keep the worker pool alive between ``transform`` calls.  Sweeps
+        extract in a few huge calls, so they amortise the pool spawn
+        naturally; a long-lived inference server extracts in many small
+        micro-batches, where respawning workers per call would cost more
+        than the extraction itself.  Call :meth:`close` (or use the
+        extractor as a context manager) to release the workers.
 
     ``transform`` output is bit-for-bit identical to the serial
     extractor for every ``(n_jobs, cache)`` combination; only wall-clock
@@ -139,15 +154,38 @@ class BatchFeatureExtractor:
         n_jobs: int | None = None,
         cache: bool = True,
         cache_dir: str | Path | None = None,
+        keep_pool: bool = False,
     ):
         self.config = config or FeatureConfig()
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.cache = cache
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.keep_pool = keep_pool
+        self._pool: Pool | None = None
         self.feature_names_: list[str] | None = None
         #: Cache statistics of the most recent ``transform`` call.
         self.last_cache_hits_ = 0
         self.last_cache_misses_ = 0
+
+    # The live pool never travels through pickling (workers) or the
+    # deep copies pipeline cloning performs; copies re-spawn on demand.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def close(self) -> None:
+        """Release a persistent worker pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchFeatureExtractor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- cache plumbing ---------------------------------------------------
     def cache_dir(self) -> Path:
@@ -185,7 +223,7 @@ class BatchFeatureExtractor:
             "series_length": length,
             "feature_names": names,
         }
-        _atomic_write_bytes(
+        atomic_write_bytes(
             self._layout_path(directory, length),
             json.dumps(payload, indent=1).encode(),
         )
@@ -251,7 +289,7 @@ class BatchFeatureExtractor:
                 if keys is None:
                     keys = [series_cache_key(row, self.config) for row in X]
                 for i in miss_indices:
-                    _atomic_write_npy(directory / f"{keys[i]}.npy", rows[i])
+                    atomic_write_npy(directory / f"{keys[i]}.npy", rows[i])
 
         self.feature_names_ = names
         return np.stack(rows)
@@ -263,6 +301,12 @@ class BatchFeatureExtractor:
         if n_jobs <= 1:
             return [extract_feature_vector(s, self.config) for s in series_list]
         chunksize = max(1, len(series_list) // (n_jobs * 4))
+        if self.keep_pool:
+            if self._pool is None:
+                self._pool = Pool(
+                    self.n_jobs, initializer=_init_worker, initargs=(self.config,)
+                )
+            return self._pool.map(_extract_one, series_list, chunksize=chunksize)
         with Pool(n_jobs, initializer=_init_worker, initargs=(self.config,)) as pool:
             return pool.map(_extract_one, series_list, chunksize=chunksize)
 
@@ -273,31 +317,3 @@ class BatchFeatureExtractor:
         return vector.size
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (tmp file + rename)."""
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-def _atomic_write_npy(path: Path, vector: np.ndarray) -> None:
-    """Persist one feature vector atomically as ``.npy``."""
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.save(handle, vector, allow_pickle=False)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise

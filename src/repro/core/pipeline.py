@@ -172,6 +172,28 @@ class MVGClassifier(BaseEstimator):
         self._check_fitted("_model")
         return self._model.predict_proba(self._prepare(X))
 
+    def predict_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Predict from already-extracted (unscaled) MVG features.
+
+        The serving tier extracts features itself — batched across
+        concurrent requests, with its own per-series cache — and hands
+        the matrix here; scaling is applied exactly as :meth:`predict`
+        would.
+        """
+        self._check_fitted("_model")
+        features = np.asarray(features, dtype=np.float64)
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        return self._model.predict(features)
+
+    def predict_proba_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities from already-extracted MVG features."""
+        self._check_fitted("_model")
+        features = np.asarray(features, dtype=np.float64)
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        return self._model.predict_proba(features)
+
     @property
     def fitted_classifier_(self) -> BaseEstimator:
         """The underlying fitted classifier (after grid search, the refit

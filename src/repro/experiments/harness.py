@@ -33,6 +33,7 @@ from repro.core.config import FeatureConfig
 from repro.core.pipeline import default_param_grid
 from repro.data.archive import archive_dataset_names, load_archive_dataset
 from repro.data.dataset import TrainTestSplit
+from repro.ioutil import atomic_write_json
 from repro.ml.base import BaseEstimator
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.metrics import error_rate
@@ -164,11 +165,14 @@ def cache_matches(
 
 
 def cache_store(name: str, payload: dict, config: RunConfig | None = None) -> Path:
-    """Persist a result blob; returns the written path."""
+    """Persist a result blob (atomically); returns the written path.
+
+    Concurrent sweeps sharing a results directory can therefore never
+    observe each other's half-written caches — they see the old blob or
+    the new one, nothing in between.
+    """
     path = results_dir(config) / f"{name}.json"
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-    return path
+    return atomic_write_json(path, payload, indent=1, sort_keys=True)
 
 
 def batch_extractor(

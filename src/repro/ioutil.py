@@ -1,0 +1,61 @@
+"""Atomic file-write helpers shared across the caches, persistence and
+the model store.
+
+Every durable artifact this library writes — feature-cache vectors,
+sweep result caches, persisted models, model-store blobs and manifests —
+goes through these helpers: the payload lands in a temp file in the
+destination directory and is published with ``os.replace``, so a killed
+worker, a full disk or two concurrent server threads can never leave a
+truncated file that a later reader mistakes for real data.  Readers
+still defend against files written by older code or other tools, but
+within this codebase a partially written artifact is impossible.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    return atomic_write_bytes(path, text.encode())
+
+
+def atomic_write_json(path: str | Path, payload: Any, **dump_kwargs: Any) -> Path:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    The JSON is rendered to a string first, so a serialisation error
+    never leaves a half-written file either.
+    """
+    return atomic_write_text(path, json.dumps(payload, **dump_kwargs))
+
+
+def atomic_write_npy(path: str | Path, array: np.ndarray) -> Path:
+    """Persist one array atomically in ``.npy`` format."""
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return atomic_write_bytes(path, buffer.getvalue())

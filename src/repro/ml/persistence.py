@@ -3,7 +3,9 @@
 A deployment-oriented extra: trained MVG pipelines can be saved and
 reloaded without pickle (human-readable, versionable, safe to share).
 Supported estimators: decision trees, random forests, the gradient
-booster, logistic regression, the min-max/standard scalers, the MVG
+booster, logistic regression, the nearest-neighbour family (1NN-ED,
+1NN-DTW, k-NN — their fitted state is the training set),
+the min-max/standard scalers, the MVG
 feature extractors and series mappers, the end-to-end
 :class:`~repro.core.pipeline.MVGClassifier` and composable
 :class:`~repro.api.pipeline.Pipeline` chains whose steps are themselves
@@ -30,6 +32,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.ioutil import atomic_write_json
 from repro.ml.boosting import GradientBoostingClassifier, _BoostTree
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.linear import LogisticRegression
@@ -233,6 +236,47 @@ def _batch_extractor_from_dict(blob: dict[str, Any]) -> Any:
     return BatchFeatureExtractor(FeatureConfig(**blob["config"]), cache=blob["cache"])
 
 
+def _memorizer_to_dict(model: Any) -> dict[str, Any]:
+    """Encoder for instance-based models whose fitted state is the
+    training set itself (1-NN baselines, k-NN)."""
+    return {
+        "params": model.get_params(),
+        "classes": _classes_to_json(model.classes_),
+        "X": model._X.tolist(),
+        "y": _classes_to_json(model._y),
+    }
+
+
+def _memorizer_from_dict(import_path: tuple[str, str]):
+    module_name, class_name = import_path
+
+    def decode(blob: dict[str, Any]) -> Any:
+        import importlib
+
+        cls = getattr(importlib.import_module(module_name), class_name)
+        model = cls(**blob["params"])
+        model._X = np.asarray(blob["X"], dtype=np.float64)
+        model._y = _classes_from_json(blob["y"])
+        model.classes_ = _classes_from_json(blob["classes"])
+        return model
+
+    return decode
+
+
+def _memorizer_encoders() -> dict[str, tuple]:
+    return {
+        class_name: (
+            _memorizer_to_dict,
+            _memorizer_from_dict((module_name, class_name)),
+        )
+        for module_name, class_name in (
+            ("repro.baselines.nn", "NearestNeighborEuclidean"),
+            ("repro.baselines.nn", "NearestNeighborDTW"),
+            ("repro.ml.knn", "KNeighborsClassifier"),
+        )
+    }
+
+
 def _mapper_encoders() -> dict[str, tuple]:
     from repro.api.mappers import IdentityMapper, PAADownsampler, ZNormalizer
 
@@ -254,6 +298,7 @@ _ENCODERS = {
     "BatchFeatureExtractor": (_batch_extractor_to_dict, _batch_extractor_from_dict),
 }
 _ENCODERS.update(_mapper_encoders())
+_ENCODERS.update(_memorizer_encoders())
 
 
 def model_to_dict(model: Any) -> dict[str, Any]:
@@ -335,11 +380,8 @@ def model_from_dict(blob: dict[str, Any]) -> Any:
 
 
 def save_model(model: Any, path: str | Path) -> Path:
-    """Serialise ``model`` to JSON at ``path``."""
-    path = Path(path)
-    with open(path, "w") as handle:
-        json.dump(model_to_dict(model), handle)
-    return path
+    """Serialise ``model`` to JSON at ``path`` (written atomically)."""
+    return atomic_write_json(Path(path), model_to_dict(model))
 
 
 def load_model(path: str | Path) -> Any:

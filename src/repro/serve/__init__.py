@@ -1,0 +1,47 @@
+"""repro.serve — online model serving.
+
+The serving tier that turns offline ``fit``/``predict`` artifacts into
+a long-lived classification service:
+
+* :class:`~repro.serve.store.ModelStore` — named, versioned, hash-
+  verified persistence of fitted models (JSON blobs + manifest);
+* :class:`~repro.serve.engine.InferenceEngine` /
+  :class:`~repro.serve.engine.MicroBatcher` — per-series feature LRU
+  and coalescing of concurrent requests into batched extraction;
+* :func:`~repro.serve.http.create_server` — the stdlib HTTP front end
+  behind ``python -m repro serve``.
+
+Quickstart::
+
+    from repro.serve import ModelStore, InferenceEngine, MicroBatcher
+
+    store = ModelStore("models/")
+    store.save(fitted_clf, "beetlefly")
+    engine = InferenceEngine(store.load("beetlefly"), name="beetlefly")
+    with MicroBatcher(engine) as batcher:
+        label, scores = batcher.classify(series)
+"""
+
+from repro.serve.engine import ClassifyResult, InferenceEngine, MicroBatcher
+from repro.serve.http import InferenceServer, create_server, serve_forever
+from repro.serve.store import (
+    IntegrityError,
+    ModelNotFoundError,
+    ModelRecord,
+    ModelStore,
+    ModelStoreError,
+)
+
+__all__ = [
+    "ClassifyResult",
+    "InferenceEngine",
+    "MicroBatcher",
+    "InferenceServer",
+    "create_server",
+    "serve_forever",
+    "IntegrityError",
+    "ModelNotFoundError",
+    "ModelRecord",
+    "ModelStore",
+    "ModelStoreError",
+]

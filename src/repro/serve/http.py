@@ -1,0 +1,394 @@
+"""Stdlib HTTP front end for the inference engine.
+
+``python -m repro serve --store models/`` exposes a
+:class:`~repro.serve.store.ModelStore` over four JSON endpoints on a
+:class:`http.server.ThreadingHTTPServer` (no dependencies beyond the
+standard library):
+
+``POST /v1/classify``
+    ``{"series": [..], "model": "name"?, "version": "latest"?}`` →
+    ``{"model", "version", "label", "scores", "latency_ms"}``.
+``POST /v1/batch``
+    ``{"series": [[..], ..]}`` (same optional model selector) →
+    ``{"results": [{"label", "scores"}, ..], "count"}``.
+``GET /v1/models``
+    The store manifest: every stored version with hash and metadata.
+``GET /healthz``
+    Liveness plus engine/batcher counters.
+
+Errors are JSON too: 400 for malformed payloads, 404 for unknown
+models/routes, 405 for wrong methods, 413 for oversized bodies and 500
+(with the exception class named) for genuine server faults.  Handler
+threads submit into a shared :class:`~repro.serve.engine.MicroBatcher`,
+so concurrent classify requests are coalesced into batched feature
+extraction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serve.engine import InferenceEngine, MicroBatcher
+from repro.serve.store import ModelNotFoundError, ModelStore, ModelStoreError
+
+#: Largest accepted request body (a 1M-point float series in JSON).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Largest accepted ``/v1/batch`` request.
+MAX_BATCH_SERIES = 1024
+
+
+class ServerState:
+    """Shared state behind the handler threads.
+
+    Owns the store, lazily constructs one ``(engine, batcher)`` pair per
+    loaded model version, and resolves which model a request addresses.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        default_model: str | None = None,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 5.0,
+        feature_cache_size: int = 1024,
+        jobs: int | None = None,
+    ):
+        self.store = store
+        self.default_model = default_model
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.feature_cache_size = feature_cache_size
+        self.jobs = jobs
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._loaded: dict[tuple[str, int], tuple[InferenceEngine, MicroBatcher]] = {}
+        #: How long the manifest snapshot below may serve the hot path
+        #: before a fresh read notices new versions.
+        self.catalog_ttl_seconds = 1.0
+        self._catalog: dict | None = None
+        self._catalog_read_at = 0.0
+
+    # -- model resolution --------------------------------------------------
+    def _catalog_snapshot(self, refresh: bool = False) -> dict:
+        """The store catalog, re-read from disk at most once per TTL.
+
+        Every classify request resolves its model name/version here;
+        without the snapshot each request would re-read and re-parse
+        ``manifest.json``.
+        """
+        now = time.monotonic()
+        with self._lock:
+            if (
+                refresh
+                or self._catalog is None
+                or now - self._catalog_read_at > self.catalog_ttl_seconds
+            ):
+                self._catalog = self.store.catalog()
+                self._catalog_read_at = now
+            return self._catalog
+
+    def _resolve_name(self, requested: str | None, catalog: dict) -> str:
+        if requested:
+            return requested
+        if self.default_model:
+            return self.default_model
+        names = sorted(catalog)
+        if len(names) == 1:
+            return names[0]
+        if not names:
+            raise ModelNotFoundError(
+                f"model store {self.store.root} is empty; save one with "
+                "`python -m repro fit ... --store DIR --name NAME`"
+            )
+        raise ApiError(
+            400,
+            f"multiple models in store ({', '.join(names)}); "
+            'pick one with "model" in the request body',
+        )
+
+    def _resolve(self, requested: str | None, version: str | int | None) -> tuple[str, int]:
+        selector = ModelStore.parse_selector(version if version is not None else "latest")
+        catalog = self._catalog_snapshot()
+        for attempt in range(2):
+            name = self._resolve_name(requested, catalog)
+            entry = catalog.get(name)
+            if entry is not None:
+                resolved = entry["latest"] if selector is None else selector
+                if resolved in entry["versions"]:
+                    return name, resolved
+            if attempt == 0:
+                # Maybe saved moments ago — one forced re-read before 404.
+                catalog = self._catalog_snapshot(refresh=True)
+        if entry is None:
+            known = ", ".join(sorted(catalog)) or "<store is empty>"
+            raise ModelNotFoundError(
+                f"no model named {name!r} in store {self.store.root} (known: {known})"
+            )
+        raise ModelNotFoundError(
+            f"model {name!r} has no version {selector} "
+            f"(available: {sorted(entry['versions'])})"
+        )
+
+    def engine_for(
+        self, requested: str | None, version: str | int | None
+    ) -> tuple[InferenceEngine, MicroBatcher]:
+        name, resolved = self._resolve(requested, version)
+        key = (name, resolved)
+        with self._lock:
+            pair = self._loaded.get(key)
+            if pair is None:
+                model = self.store.load(name, resolved)
+                if self.jobs is not None and hasattr(model, "set_params"):
+                    try:
+                        if "n_jobs" in model.get_params():
+                            model.set_params(n_jobs=self.jobs)
+                    except TypeError:
+                        pass
+                engine = InferenceEngine(
+                    model,
+                    name=name,
+                    version=resolved,
+                    feature_cache_size=self.feature_cache_size,
+                )
+                batcher = MicroBatcher(
+                    engine,
+                    max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms,
+                )
+                pair = (engine, batcher)
+                self._loaded[key] = pair
+        return pair
+
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            loaded = [
+                {"model": name, "version": version, **engine.stats(), **batcher.stats()}
+                for (name, version), (engine, batcher) in self._loaded.items()
+            ]
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "store": str(self.store.root),
+            "models_stored": len(self.store.names()),
+            "engines_loaded": loaded,
+        }
+
+    def close(self) -> None:
+        """Shut down every batcher worker thread and engine pool."""
+        with self._lock:
+            pairs = list(self._loaded.values())
+        for engine, batcher in pairs:
+            batcher.close()
+            engine.close()
+
+
+class ApiError(Exception):
+    """An error with a deliberate HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class InferenceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the shared :class:`ServerState`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; keep the serving
+    # hot path quiet (the CLI announces the endpoint once at startup).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if not self._body_consumed:
+            # An unread request body would be parsed as the start of the
+            # next request on this keep-alive connection; drop the
+            # connection instead of serving corrupted requests.
+            self.close_connection = True
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", "") or 0)
+        except ValueError:
+            raise ApiError(400, "invalid Content-Length header") from None
+        if length <= 0:
+            raise ApiError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        self._body_consumed = True
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            announced = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            announced = -1  # unparseable: never consider it consumed
+        self._body_consumed = announced == 0
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        routes: dict[tuple[str, str], Any] = {
+            ("POST", "/v1/classify"): self._handle_classify,
+            ("POST", "/v1/batch"): self._handle_batch,
+            ("GET", "/v1/models"): self._handle_models,
+            ("GET", "/healthz"): self._handle_health,
+        }
+        try:
+            handler = routes.get((method, path))
+            if handler is None:
+                if any(route_path == path for _, route_path in routes):
+                    raise ApiError(405, f"method {method} not allowed for {path}")
+                raise ApiError(404, f"no such endpoint: {path}")
+            handler()
+        except ApiError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except ModelNotFoundError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except ModelStoreError as exc:
+            # Corrupt manifest / failed integrity check: a server-side
+            # data problem, not a bad request.
+            self._send_json(500, {"error": str(exc)})
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            self._send_json(
+                500, {"error": f"internal server error ({type(exc).__name__}: {exc})"}
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # -- endpoints ---------------------------------------------------------
+    def _handle_classify(self) -> None:
+        payload = self._read_json_body()
+        if "series" not in payload:
+            raise ApiError(400, 'request body needs a "series" array')
+        engine, batcher = self.state.engine_for(
+            payload.get("model"), payload.get("version")
+        )
+        t0 = time.perf_counter()
+        label, scores = batcher.classify(payload["series"])
+        self._send_json(
+            200,
+            {
+                "model": engine.name,
+                "version": engine.version,
+                "label": label,
+                "scores": scores,
+                "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+            },
+        )
+
+    def _handle_batch(self) -> None:
+        payload = self._read_json_body()
+        series_list = payload.get("series")
+        if not isinstance(series_list, list) or not series_list:
+            raise ApiError(400, 'request body needs a non-empty "series" array of arrays')
+        if len(series_list) > MAX_BATCH_SERIES:
+            raise ApiError(413, f"at most {MAX_BATCH_SERIES} series per batch request")
+        engine, _ = self.state.engine_for(payload.get("model"), payload.get("version"))
+        t0 = time.perf_counter()
+        results = engine.classify_batch(series_list)
+        self._send_json(
+            200,
+            {
+                "model": engine.name,
+                "version": engine.version,
+                "count": len(results),
+                "results": [
+                    {"label": label, "scores": scores} for label, scores in results
+                ],
+                "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+            },
+        )
+
+    def _handle_models(self) -> None:
+        records = self.state.store.list_models()
+        self._send_json(
+            200,
+            {
+                "store": str(self.state.store.root),
+                "models": [{"name": r.name, **r.to_json()} for r in records],
+            },
+        )
+
+    def _handle_health(self) -> None:
+        self._send_json(200, self.state.health())
+
+
+class InferenceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`ServerState`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], state: ServerState):
+        super().__init__(address, InferenceHandler)
+        self.state = state
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.state.close()
+
+
+def create_server(
+    store: ModelStore | str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    default_model: str | None = None,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 5.0,
+    feature_cache_size: int = 1024,
+    jobs: int | None = None,
+) -> InferenceServer:
+    """A ready-to-run :class:`InferenceServer` (``port=0`` picks a free
+    port; the bound one is in ``server.server_address``)."""
+    if not isinstance(store, ModelStore):
+        store = ModelStore(store)
+    state = ServerState(
+        store,
+        default_model=default_model,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        feature_cache_size=feature_cache_size,
+        jobs=jobs,
+    )
+    return InferenceServer((host, port), state)
+
+
+def serve_forever(server: InferenceServer) -> None:
+    """Run ``server`` until interrupted, then shut down cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

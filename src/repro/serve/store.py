@@ -1,0 +1,319 @@
+"""Versioned on-disk store for fitted models.
+
+A :class:`ModelStore` turns the JSON persistence layer
+(:mod:`repro.ml.persistence`) into a small model registry a long-lived
+inference server can load from: every ``save`` publishes a new
+immutable *version* of a named model, a manifest records metadata and a
+SHA-256 content hash per version, and ``load`` verifies that hash so a
+corrupted or tampered blob is rejected instead of silently served.
+
+Layout under the store directory::
+
+    manifest.json                 name -> {latest, versions{...}}
+    blobs/<name>/v<version>.json  model_to_dict payloads, one per version
+
+All writes are atomic (:mod:`repro.ioutil`), versions are append-only
+integers and ``"latest"`` is an alias resolved through the manifest, so
+concurrent readers (server worker threads, a CLI listing models) always
+observe a consistent store.
+
+Usage::
+
+    from repro.serve import ModelStore
+
+    store = ModelStore("models/")
+    record = store.save(fitted, "beetlefly", metadata={"dataset": "BeetleFly"})
+    clf = store.load("beetlefly")             # latest version
+    clf = store.load("beetlefly", version=1)  # pinned version
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.ioutil import atomic_write_bytes, atomic_write_json
+from repro.ml.persistence import model_from_dict, model_to_dict
+
+#: Schema version of ``manifest.json``.
+MANIFEST_VERSION = 1
+
+#: Model names must be shell-, URL- and filesystem-safe.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+
+class ModelStoreError(Exception):
+    """Base class for model-store failures."""
+
+
+class ModelNotFoundError(ModelStoreError, KeyError):
+    """The requested model name/version is not in the store."""
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0] if self.args else ""
+
+
+class IntegrityError(ModelStoreError):
+    """A blob's content hash does not match its manifest record."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Manifest metadata of one stored model version."""
+
+    name: str
+    version: int
+    kind: str
+    sha256: str
+    size_bytes: int
+    created_at: str
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "kind": self.kind,
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "created_at": self.created_at,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_json(cls, name: str, blob: dict[str, Any]) -> "ModelRecord":
+        return cls(
+            name=name,
+            version=int(blob["version"]),
+            kind=str(blob.get("kind", "")),
+            sha256=str(blob["sha256"]),
+            size_bytes=int(blob.get("size_bytes", 0)),
+            created_at=str(blob.get("created_at", "")),
+            metadata=dict(blob.get("metadata") or {}),
+        )
+
+
+def validate_model_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name or ""):
+        raise ValueError(
+            f"invalid model name {name!r}: use lowercase letters, digits, "
+            "'.', '_' or '-' (starting with a letter or digit)"
+        )
+    return name
+
+
+class ModelStore:
+    """Named, versioned persistence of fitted models (see module docs).
+
+    The store is safe for concurrent use from multiple threads of one
+    process (an internal lock serialises manifest updates) and for
+    concurrent *readers* across processes; concurrent multi-process
+    writers are outside its contract.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._lock = threading.Lock()
+
+    # -- manifest plumbing -------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def _blob_path(self, name: str, version: int) -> Path:
+        return self.root / "blobs" / name / f"v{version}.json"
+
+    def _read_manifest(self) -> dict[str, Any]:
+        try:
+            with open(self.manifest_path) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return {"format": MANIFEST_VERSION, "models": {}}
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ModelStoreError(
+                f"unreadable store manifest {self.manifest_path}: {exc}"
+            ) from None
+        if not isinstance(manifest, dict) or "models" not in manifest:
+            raise ModelStoreError(
+                f"malformed store manifest {self.manifest_path}"
+            )
+        if manifest.get("format") != MANIFEST_VERSION:
+            raise ModelStoreError(
+                f"unsupported store manifest format {manifest.get('format')!r} "
+                f"in {self.manifest_path}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(self.manifest_path, manifest, indent=1, sort_keys=True)
+
+    # -- public API --------------------------------------------------------
+    def save(
+        self,
+        model: Any,
+        name: str,
+        metadata: dict[str, Any] | None = None,
+    ) -> ModelRecord:
+        """Publish ``model`` as the next version of ``name``.
+
+        The blob is written before the manifest references it, so a
+        crash between the two leaves at worst an orphaned blob, never a
+        dangling manifest entry.
+        """
+        validate_model_name(name)
+        blob = model_to_dict(model)  # raises TypeError for unsupported models
+        payload = json.dumps(blob, sort_keys=True).encode()
+        digest = hashlib.sha256(payload).hexdigest()
+
+        with self._lock:
+            manifest = self._read_manifest()
+            entry = manifest["models"].setdefault(
+                name, {"latest": 0, "last_version": 0, "versions": {}}
+            )
+            # Version numbers are append-only — even after deletions a
+            # number is never reissued for different content.
+            version = int(entry.get("last_version", entry["latest"])) + 1
+            record = ModelRecord(
+                name=name,
+                version=version,
+                kind=str(blob.get("kind", type(model).__name__)),
+                sha256=digest,
+                size_bytes=len(payload),
+                created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                metadata=dict(metadata or {}),
+            )
+            path = self._blob_path(name, version)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, payload)
+            entry["versions"][str(version)] = record.to_json()
+            entry["latest"] = version
+            entry["last_version"] = version
+            self._write_manifest(manifest)
+        return record
+
+    @staticmethod
+    def parse_selector(version: int | str) -> int | None:
+        """Normalise a version selector: an integer, a numeric string or
+        ``"v<N>"`` give the version number, ``"latest"``/blank give
+        ``None`` (meaning: whatever is latest)."""
+        if isinstance(version, str):
+            token = version.strip().lower()
+            if token in ("", "latest"):
+                return None
+            token = token[1:] if token.startswith("v") else token
+            if not token.isdigit():
+                raise ValueError(f"invalid version selector {version!r}")
+            return int(token)
+        return int(version)
+
+    def resolve_version(self, name: str, version: int | str = "latest") -> int:
+        """Concrete version number for a ``version`` selector."""
+        entry = self._entry(name)
+        try:
+            selector = self.parse_selector(version)
+        except ValueError:
+            raise ValueError(
+                f"invalid version selector {version!r} for model {name!r}"
+            ) from None
+        if selector is None:
+            return int(entry["latest"])
+        if str(selector) not in entry["versions"]:
+            raise ModelNotFoundError(
+                f"model {name!r} has no version {selector} "
+                f"(available: {sorted(int(v) for v in entry['versions'])})"
+            )
+        return selector
+
+    def _entry(self, name: str) -> dict[str, Any]:
+        manifest = self._read_manifest()
+        try:
+            return manifest["models"][name]
+        except KeyError:
+            known = ", ".join(sorted(manifest["models"])) or "<store is empty>"
+            raise ModelNotFoundError(
+                f"no model named {name!r} in store {self.root} (known: {known})"
+            ) from None
+
+    def record(self, name: str, version: int | str = "latest") -> ModelRecord:
+        """The :class:`ModelRecord` of one stored version."""
+        resolved = self.resolve_version(name, version)
+        entry = self._entry(name)
+        return ModelRecord.from_json(name, entry["versions"][str(resolved)])
+
+    def load(self, name: str, version: int | str = "latest") -> Any:
+        """Rebuild a stored model, verifying its content hash."""
+        record = self.record(name, version)
+        path = self._blob_path(name, record.version)
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise ModelStoreError(f"cannot read model blob {path}: {exc}") from None
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != record.sha256:
+            raise IntegrityError(
+                f"content hash mismatch for {name} v{record.version}: "
+                f"manifest says {record.sha256[:12]}…, blob is {digest[:12]}… "
+                f"({path})"
+            )
+        return model_from_dict(json.loads(payload))
+
+    def list_models(self) -> list[ModelRecord]:
+        """Every stored version, sorted by (name, version)."""
+        manifest = self._read_manifest()
+        records = [
+            ModelRecord.from_json(name, blob)
+            for name, entry in manifest["models"].items()
+            for blob in entry["versions"].values()
+        ]
+        return sorted(records, key=lambda r: (r.name, r.version))
+
+    def names(self) -> list[str]:
+        """Stored model names, sorted."""
+        return sorted(self._read_manifest()["models"])
+
+    def catalog(self) -> dict[str, dict[str, Any]]:
+        """``{name: {"latest": int, "versions": set[int]}}`` in one
+        manifest read — the server's hot path resolves against a cached
+        snapshot of this instead of re-reading the manifest per request."""
+        manifest = self._read_manifest()
+        return {
+            name: {
+                "latest": int(entry["latest"]),
+                "versions": {int(v) for v in entry["versions"]},
+            }
+            for name, entry in manifest["models"].items()
+        }
+
+    def delete(self, name: str, version: int | str | None = None) -> None:
+        """Remove one version (or, with ``version=None``, every version)
+        of ``name``; ``latest`` re-points to the highest survivor."""
+        with self._lock:
+            manifest = self._read_manifest()
+            if name not in manifest["models"]:
+                known = ", ".join(sorted(manifest["models"])) or "<store is empty>"
+                raise ModelNotFoundError(
+                    f"no model named {name!r} in store {self.root} (known: {known})"
+                )
+            entry = manifest["models"][name]
+            if version is None:
+                doomed = [int(v) for v in entry["versions"]]
+            else:
+                doomed = [self.resolve_version(name, version)]
+            for v in doomed:
+                entry["versions"].pop(str(v), None)
+            if entry["versions"]:
+                entry["latest"] = max(int(v) for v in entry["versions"])
+            else:
+                del manifest["models"][name]
+            self._write_manifest(manifest)
+        for v in doomed:
+            try:
+                self._blob_path(name, v).unlink()
+            except OSError:
+                pass  # manifest no longer references it; orphan is harmless

@@ -215,6 +215,142 @@ class TestFitPredictRoundTrip:
             )
 
 
+class TestModelStoreVerbs:
+    def _fit_into_store(self, sandbox, name="beetle"):
+        return main(
+            [
+                "fit",
+                "--model",
+                "mvg:A",
+                "--dataset",
+                "BeetleFly",
+                "--no-tune",
+                "--store",
+                str(sandbox / "store"),
+                "--name",
+                name,
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+
+    def test_fit_into_store_then_list(self, capsys, sandbox):
+        assert self._fit_into_store(sandbox) == 0
+        out = capsys.readouterr().out
+        assert "stored as beetle v1" in out
+
+        assert main(["models", "--store", str(sandbox / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "beetle" in out
+        assert "v1 (latest)" in out
+        assert "BeetleFly" in out  # metadata column
+
+    def test_fit_needs_a_destination(self, sandbox):
+        with pytest.raises(SystemExit, match="destination"):
+            main(["fit", "--model", "mvg:A", "--dataset", "BeetleFly", "--no-tune"])
+
+    def test_fit_rejects_bad_store_name_before_fitting(self, sandbox):
+        # Name validation must preflight — a grid-searched fit can take
+        # minutes and would otherwise be discarded.
+        with pytest.raises(SystemExit, match="invalid model name"):
+            main(
+                [
+                    "fit",
+                    "--model",
+                    "mvg:A",
+                    "--dataset",
+                    "BeetleFly",
+                    "--store",
+                    str(sandbox / "store"),
+                    "--name",
+                    "Bad Name",
+                    "--results-dir",
+                    str(sandbox),
+                ]
+            )
+        assert not (sandbox / "store").exists()
+
+    def test_fit_store_needs_name(self, sandbox):
+        with pytest.raises(SystemExit, match="--name"):
+            main(
+                [
+                    "fit",
+                    "--model",
+                    "mvg:A",
+                    "--dataset",
+                    "BeetleFly",
+                    "--no-tune",
+                    "--store",
+                    str(sandbox / "store"),
+                ]
+            )
+
+    def test_models_delete(self, capsys, sandbox):
+        self._fit_into_store(sandbox)
+        capsys.readouterr()
+        assert main(["models", "--store", str(sandbox / "store"), "--delete", "beetle"]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert main(["models", "--store", str(sandbox / "store")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_models_delete_unknown_is_clean_error(self, sandbox):
+        self._fit_into_store(sandbox)
+        with pytest.raises(SystemExit, match="no model named"):
+            main(["models", "--store", str(sandbox / "store"), "--delete", "ghost"])
+
+    def test_serve_refuses_empty_store(self, sandbox):
+        with pytest.raises(SystemExit, match="empty"):
+            main(["serve", "--store", str(sandbox / "nothing")])
+
+    def test_serve_refuses_unknown_default_model(self, sandbox):
+        self._fit_into_store(sandbox)
+        with pytest.raises(SystemExit, match="no model named"):
+            main(
+                [
+                    "serve",
+                    "--store",
+                    str(sandbox / "store"),
+                    "--model",
+                    "ghost",
+                    "--port",
+                    "0",
+                ]
+            )
+
+    def test_predict_from_store_saved_file_matches(self, capsys, sandbox):
+        """fit --out and fit --store persist the same model."""
+        model_path = sandbox / "model.json"
+        code = main(
+            [
+                "fit",
+                "--model",
+                "mvg:A",
+                "--dataset",
+                "BeetleFly",
+                "--no-tune",
+                "--out",
+                str(model_path),
+                "--store",
+                str(sandbox / "store"),
+                "--name",
+                "beetle",
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.data.archive import load_archive_dataset
+        from repro.ml.persistence import load_model
+        from repro.serve import ModelStore
+
+        split = load_archive_dataset("BeetleFly")
+        from_file = load_model(model_path).predict(split.test.X)
+        from_store = ModelStore(sandbox / "store").load("beetle").predict(split.test.X)
+        assert list(from_file) == list(from_store)
+
+
 class TestLegacyCommandsStillWork:
     def test_artifact_commands_enumerated(self):
         from repro.__main__ import ALL_COMMANDS

@@ -1,0 +1,61 @@
+"""Atomic write helpers: publish-or-nothing semantics."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ioutil import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npy,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrites:
+    def test_bytes_roundtrip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "x.bin", b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_text_and_json(self, tmp_path):
+        atomic_write_text(tmp_path / "x.txt", "héllo")
+        assert (tmp_path / "x.txt").read_text() == "héllo"
+        atomic_write_json(tmp_path / "x.json", {"a": [1, 2]}, sort_keys=True)
+        assert json.loads((tmp_path / "x.json").read_text()) == {"a": [1, 2]}
+
+    def test_npy_roundtrip(self, tmp_path):
+        vector = np.arange(5, dtype=np.float64)
+        atomic_write_npy(tmp_path / "v.npy", vector)
+        assert np.array_equal(np.load(tmp_path / "v.npy"), vector)
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "x.txt"
+        atomic_write_text(path, "a much longer original payload")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_unserialisable_json_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"ok": 1}
+
+    def test_no_temp_litter_on_success_or_failure(self, tmp_path):
+        atomic_write_text(tmp_path / "x.txt", "ok")
+        with pytest.raises(TypeError):
+            atomic_write_json(tmp_path / "y.json", object())
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.txt"]
+
+    def test_write_failure_cleans_temp(self, tmp_path, monkeypatch):
+        # Force the publish step to fail after the temp file is written.
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(tmp_path / "x.txt", "doomed")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []

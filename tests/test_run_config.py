@@ -95,6 +95,26 @@ class TestEnvShim:
         with pytest.raises(ValueError, match="REPRO_DATASETS"):
             RunConfig.from_env()
 
+    def test_resolve_n_jobs_env_read_warns_once(self, clean_env):
+        """The REPRO_JOBS fallback in core/batch shares the warn-once shim."""
+        from repro.core.batch import resolve_n_jobs
+
+        clean_env.setenv("REPRO_JOBS", "3")
+        with pytest.warns(DeprecationWarning, match="REPRO_JOBS"):
+            assert resolve_n_jobs() == 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_n_jobs() == 3  # second read stays silent
+            RunConfig.from_env()  # ...and so does the from_env path
+
+    def test_resolve_n_jobs_explicit_value_never_warns(self, clean_env):
+        from repro.core.batch import resolve_n_jobs
+
+        clean_env.setenv("REPRO_JOBS", "3")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_n_jobs(2) == 2
+
     def test_active_run_config_prefers_explicit(self, clean_env):
         clean_env.setenv("REPRO_JOBS", "7")
         explicit = RunConfig(jobs=2)

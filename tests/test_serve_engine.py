@@ -1,0 +1,224 @@
+"""InferenceEngine + MicroBatcher: parity with offline predict, caching,
+coalescing and failure isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import MVGClassifier
+from repro.serve.engine import InferenceEngine, MicroBatcher
+
+
+@pytest.fixture(scope="module")
+def mvg_setup():
+    """One fitted MVG model + its train/test series, fitted once."""
+    rng = np.random.default_rng(12345)
+    t = np.linspace(0, 1, 64, endpoint=False)
+
+    def sample(label):
+        base = np.sin(2 * np.pi * 3 * t + rng.uniform(0, 2 * np.pi))
+        if label:
+            base = base + 0.6 * np.sin(2 * np.pi * 17 * t + rng.uniform(0, 2 * np.pi))
+        return base + rng.normal(0, 0.15, t.size)
+
+    X_train = np.stack([sample(i % 2) for i in range(20)])
+    y_train = np.arange(20) % 2
+    X_test = np.stack([sample(i % 2) for i in range(12)])
+    model = MVGClassifier(random_state=0, feature_cache=False).fit(X_train, y_train)
+    return model, X_test
+
+
+@pytest.fixture
+def engine(mvg_setup):
+    model, _ = mvg_setup
+    with InferenceEngine(model, name="mvg-test") as eng:
+        yield eng
+
+
+class TestInferenceEngine:
+    def test_classify_matches_offline_predict(self, mvg_setup, engine):
+        model, X_test = mvg_setup
+        offline = model.predict(X_test)
+        for series, expected in zip(X_test, offline):
+            label, scores = engine.classify(series)
+            assert label == expected
+            assert scores[str(expected)] == max(scores.values())
+
+    def test_scores_are_probabilities(self, mvg_setup, engine):
+        model, X_test = mvg_setup
+        _, scores = engine.classify(X_test[0])
+        assert set(scores) == {str(c) for c in model.classes_}
+        assert abs(sum(scores.values()) - 1.0) < 1e-9
+
+    def test_batch_matches_single(self, mvg_setup, engine):
+        _, X_test = mvg_setup
+        batched = engine.classify_batch(list(X_test[:6]))
+        singles = [engine.classify(s) for s in X_test[:6]]
+        assert [b[0] for b in batched] == [s[0] for s in singles]
+
+    def test_lru_hits_on_repeat(self, mvg_setup):
+        model, X_test = mvg_setup
+        with InferenceEngine(model) as engine:
+            engine.classify(X_test[0])
+            assert engine.stats()["feature_cache_misses"] == 1
+            engine.classify(X_test[0])
+            stats = engine.stats()
+            assert stats["feature_cache_hits"] == 1
+            assert stats["feature_cache_misses"] == 1
+
+    def test_duplicates_in_one_batch_coalesce(self, mvg_setup):
+        model, X_test = mvg_setup
+        with InferenceEngine(model) as engine:
+            results = engine.classify_batch([X_test[0]] * 5 + [X_test[1]])
+            stats = engine.stats()
+            assert stats["feature_cache_misses"] == 2  # unique extractions
+            assert stats["requests_coalesced"] == 4
+            assert len({r[0] for r in results[:5]}) == 1
+
+    def test_lru_bounded(self, mvg_setup):
+        model, X_test = mvg_setup
+        with InferenceEngine(model, feature_cache_size=3) as engine:
+            for series in X_test[:5]:
+                engine.classify(series)
+            assert engine.stats()["feature_cache_entries"] == 3
+
+    def test_lru_disabled(self, mvg_setup):
+        model, X_test = mvg_setup
+        with InferenceEngine(model, feature_cache_size=0) as engine:
+            engine.classify(X_test[0])
+            engine.classify(X_test[0])
+            stats = engine.stats()
+            assert stats["feature_cache_hits"] == 0
+            assert stats["feature_cache_entries"] == 0
+
+    def test_wrong_length_series_rejected(self, mvg_setup, engine):
+        # A different series length changes the multiscale feature
+        # layout; decoding it with the fitted booster would be garbage.
+        _, X_test = mvg_setup
+        with pytest.raises(ValueError, match="training length"):
+            engine.classify(X_test[0][:48])
+
+    def test_wrong_length_does_not_fail_batchmates(self, mvg_setup, engine):
+        _, X_test = mvg_setup
+        with MicroBatcher(engine, max_batch_size=8, max_wait_ms=250) as batcher:
+            good = batcher.submit(X_test[0])
+            bad = batcher.submit(X_test[1][:48])
+            assert good.result(timeout=60)[0] is not None
+            with pytest.raises(ValueError):
+                bad.result(timeout=60)
+
+    @pytest.mark.parametrize(
+        "bad", [[[1.0, 2.0], [3.0, 4.0]], [1.0, 2.0], [1.0, np.nan, 2.0, 3.0], []]
+    )
+    def test_invalid_series_rejected(self, engine, bad):
+        with pytest.raises(ValueError):
+            engine.classify(bad)
+
+    def test_engine_never_writes_the_disk_feature_cache(self, mvg_setup, tmp_path):
+        # Client-sent series must not be persisted one .npy each — the
+        # in-memory LRU is the serving cache (unbounded disk growth
+        # otherwise, even for models saved with feature_cache=True).
+        model, X_test = mvg_setup
+        model.set_params(feature_cache=True, cache_dir=str(tmp_path / "fc"))
+        try:
+            with InferenceEngine(model) as engine:
+                assert engine._extractor.cache is False
+                engine.classify(X_test[0])
+            assert not (tmp_path / "fc").exists()
+        finally:
+            model.set_params(feature_cache=False, cache_dir=None)
+
+    def test_generic_estimator_path(self, mvg_setup):
+        from repro.baselines.nn import NearestNeighborEuclidean
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10, 32))
+        y = np.repeat([0, 1], 5)
+        model = NearestNeighborEuclidean().fit(X, y)
+        with InferenceEngine(model) as engine:
+            offline = model.predict(X)
+            assert [engine.classify(s)[0] for s in X] == list(offline)
+
+    def test_model_without_predict_rejected(self):
+        with pytest.raises(TypeError, match="predict"):
+            InferenceEngine(object())
+
+
+class TestMicroBatcher:
+    def test_results_match_engine(self, mvg_setup, engine):
+        model, X_test = mvg_setup
+        offline = model.predict(X_test)
+        with MicroBatcher(engine, max_batch_size=4, max_wait_ms=5) as batcher:
+            futures = [batcher.submit(s) for s in X_test]
+            labels = [f.result(timeout=60)[0] for f in futures]
+        assert labels == list(offline)
+
+    def test_coalesces_a_burst(self, mvg_setup, engine):
+        _, X_test = mvg_setup
+        with MicroBatcher(engine, max_batch_size=16, max_wait_ms=250) as batcher:
+            futures = [batcher.submit(X_test[i % len(X_test)]) for i in range(8)]
+            for future in futures:
+                future.result(timeout=60)
+            stats = batcher.stats()
+        assert stats["requests_accepted"] == 8
+        assert stats["batches_dispatched"] < 8
+        assert stats["largest_batch"] > 1
+
+    def test_one_bad_series_does_not_fail_batchmates(self, mvg_setup, engine):
+        _, X_test = mvg_setup
+        with MicroBatcher(engine, max_batch_size=8, max_wait_ms=250) as batcher:
+            good = batcher.submit(X_test[0])
+            bad = batcher.submit([1.0, np.nan, 2.0, 3.0])
+            good2 = batcher.submit(X_test[1])
+            assert good.result(timeout=60)[0] is not None
+            assert good2.result(timeout=60)[0] is not None
+            with pytest.raises(ValueError):
+                bad.result(timeout=60)
+
+    def test_submit_after_close_raises(self, engine):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([1.0, 2.0, 3.0, 4.0])
+
+    def test_close_is_idempotent(self, engine):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        batcher.close()
+
+    def test_queued_requests_complete_on_close(self, mvg_setup, engine):
+        _, X_test = mvg_setup
+        batcher = MicroBatcher(engine, max_batch_size=2, max_wait_ms=50)
+        futures = [batcher.submit(s) for s in X_test[:6]]
+        batcher.close()
+        assert all(f.result(timeout=60)[0] is not None for f in futures)
+
+    def test_invalid_parameters(self, engine):
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_wait_ms=-1)
+
+    def test_concurrent_clients(self, mvg_setup, engine):
+        model, X_test = mvg_setup
+        offline = list(model.predict(X_test))
+        errors: list[Exception] = []
+
+        def client(indices):
+            try:
+                with_batcher = [batcher.classify(X_test[i])[0] for i in indices]
+                assert with_batcher == [offline[i] for i in indices]
+            except Exception as exc:  # pragma: no cover — surfaced below
+                errors.append(exc)
+
+        with MicroBatcher(engine, max_batch_size=8, max_wait_ms=10) as batcher:
+            threads = [
+                threading.Thread(target=client, args=([i, (i + 3) % 12, (i + 7) % 12],))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors

@@ -1,0 +1,340 @@
+"""HTTP serving tier: endpoints, schemas and error handling.
+
+The module-scoped server holds two stored models (an MVG pipeline and a
+1-NN baseline) so model selection, defaults and 4xx paths are all
+exercised against a live ThreadingHTTPServer on an ephemeral port.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.baselines.nn import NearestNeighborEuclidean
+from repro.core.pipeline import MVGClassifier
+from repro.serve import ModelStore, create_server
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    rng = np.random.default_rng(54321)
+    t = np.linspace(0, 1, 64, endpoint=False)
+
+    def sample(label):
+        base = np.sin(2 * np.pi * 3 * t + rng.uniform(0, 2 * np.pi))
+        if label:
+            base = base + 0.6 * np.sin(2 * np.pi * 17 * t + rng.uniform(0, 2 * np.pi))
+        return base + rng.normal(0, 0.15, t.size)
+
+    X_train = np.stack([sample(i % 2) for i in range(20)])
+    y_train = np.arange(20) % 2
+    X_test = np.stack([sample(i % 2) for i in range(10)])
+
+    mvg = MVGClassifier(random_state=0, feature_cache=False).fit(X_train, y_train)
+    nn = NearestNeighborEuclidean().fit(X_train, y_train)
+
+    store = ModelStore(tmp_path_factory.mktemp("store"))
+    store.save(mvg, "mvg", metadata={"dataset": "synthetic"})
+    store.save(nn, "nn")
+
+    server = create_server(store, port=0, default_model="mvg", max_wait_ms=2.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        yield {
+            "port": port,
+            "store": store,
+            "mvg": mvg,
+            "nn": nn,
+            "X_test": X_test,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(port, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _error(call):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        call()
+    body = json.loads(info.value.read())
+    return info.value.code, body["error"]
+
+
+class TestHealthz:
+    def test_ok(self, served):
+        status, payload = _get(served["port"], "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["models_stored"] == 2
+        assert payload["uptime_seconds"] >= 0
+
+
+class TestClassify:
+    def test_matches_offline_predict(self, served):
+        offline = served["mvg"].predict(served["X_test"])
+        for series, expected in zip(served["X_test"], offline):
+            status, payload = _post(
+                served["port"], "/v1/classify", {"series": series.tolist()}
+            )
+            assert status == 200
+            assert payload["label"] == expected
+            assert payload["model"] == "mvg"
+            assert payload["version"] == 1
+            assert payload["latency_ms"] >= 0
+            assert abs(sum(payload["scores"].values()) - 1.0) < 1e-9
+
+    def test_model_selection(self, served):
+        offline = served["nn"].predict(served["X_test"][:1])[0]
+        _, payload = _post(
+            served["port"],
+            "/v1/classify",
+            {"series": served["X_test"][0].tolist(), "model": "nn"},
+        )
+        assert payload["model"] == "nn"
+        assert payload["label"] == offline
+
+    def test_version_pinning(self, served):
+        _, payload = _post(
+            served["port"],
+            "/v1/classify",
+            {"series": served["X_test"][0].tolist(), "model": "mvg", "version": "v1"},
+        )
+        assert payload["version"] == 1
+
+    def test_missing_series_is_400(self, served):
+        code, message = _error(
+            lambda: _post(served["port"], "/v1/classify", {"model": "mvg"})
+        )
+        assert code == 400
+        assert "series" in message
+
+    def test_malformed_series_is_400(self, served):
+        code, _ = _error(
+            lambda: _post(served["port"], "/v1/classify", {"series": [1.0, None, 2.0]})
+        )
+        assert code == 400
+
+    def test_wrong_length_series_is_400(self, served):
+        code, message = _error(
+            lambda: _post(
+                served["port"],
+                "/v1/classify",
+                {"series": served["X_test"][0][:32].tolist()},
+            )
+        )
+        assert code == 400
+        assert "length" in message
+
+    def test_unknown_model_is_404(self, served):
+        code, message = _error(
+            lambda: _post(
+                served["port"],
+                "/v1/classify",
+                {"series": served["X_test"][0].tolist(), "model": "ghost"},
+            )
+        )
+        assert code == 404
+        assert "ghost" in message
+
+    def test_unknown_version_is_404(self, served):
+        code, _ = _error(
+            lambda: _post(
+                served["port"],
+                "/v1/classify",
+                {"series": served["X_test"][0].tolist(), "model": "mvg", "version": 99},
+            )
+        )
+        assert code == 404
+
+    def test_invalid_json_is_400(self, served):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{served['port']}/v1/classify",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        code, _ = _error(lambda: urllib.request.urlopen(request))
+        assert code == 400
+
+    def test_empty_body_is_400(self, served):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{served['port']}/v1/classify", data=b""
+        )
+        code, _ = _error(lambda: urllib.request.urlopen(request))
+        assert code == 400
+
+
+class TestBatch:
+    def test_batch_endpoint(self, served):
+        offline = list(served["mvg"].predict(served["X_test"]))
+        status, payload = _post(
+            served["port"],
+            "/v1/batch",
+            {"series": [s.tolist() for s in served["X_test"]]},
+        )
+        assert status == 200
+        assert payload["count"] == len(offline)
+        assert [r["label"] for r in payload["results"]] == offline
+
+    def test_batch_needs_array_of_arrays(self, served):
+        code, _ = _error(
+            lambda: _post(served["port"], "/v1/batch", {"series": []})
+        )
+        assert code == 400
+
+
+class TestModelsEndpoint:
+    def test_lists_store(self, served):
+        status, payload = _get(served["port"], "/v1/models")
+        assert status == 200
+        names = {(m["name"], m["version"]) for m in payload["models"]}
+        assert names == {("mvg", 1), ("nn", 1)}
+        for entry in payload["models"]:
+            assert len(entry["sha256"]) == 64
+
+
+class TestKeepAlive:
+    def test_consumed_body_keeps_connection_alive(self, served):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", served["port"])
+        try:
+            body = json.dumps({"series": served["X_test"][0].tolist()})
+            for _ in range(2):  # second request reuses the socket
+                connection.request("POST", "/v1/classify", body=body)
+                response = connection.getresponse()
+                assert response.status == 200
+                payload = json.loads(response.read())
+            assert payload["model"] == "mvg"
+        finally:
+            connection.close()
+
+    def test_unread_body_closes_connection_cleanly(self, served):
+        # A 405 (or any pre-body-read error) leaves the request body in
+        # the socket; the server must close rather than parse it as the
+        # next request.
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", served["port"])
+        try:
+            connection.request("POST", "/v1/models", body='{"junk": 1}')
+            response = connection.getresponse()
+            assert response.status == 405
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_type_error_payload_is_400_not_500(self, served):
+        code, _ = _error(
+            lambda: _post(served["port"], "/v1/classify", {"series": {"0": 1.0}})
+        )
+        assert code == 400
+
+
+class TestRouting:
+    def test_unknown_route_is_404(self, served):
+        code, _ = _error(lambda: _get(served["port"], "/nope"))
+        assert code == 404
+
+    def test_wrong_method_is_405(self, served):
+        code, message = _error(lambda: _get(served["port"], "/v1/classify"))
+        assert code == 405
+        assert "GET" in message
+
+    def test_post_to_get_route_is_405(self, served):
+        code, _ = _error(lambda: _post(served["port"], "/healthz", {}))
+        assert code == 405
+
+
+class TestConcurrentClients:
+    def test_parallel_requests_all_answered(self, served):
+        offline = list(served["mvg"].predict(served["X_test"]))
+        errors = []
+
+        def client(i):
+            try:
+                _, payload = _post(
+                    served["port"],
+                    "/v1/classify",
+                    {"series": served["X_test"][i % 10].tolist()},
+                )
+                assert payload["label"] == offline[i % 10]
+            except Exception as exc:  # pragma: no cover — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestCorruptStore:
+    def test_tampered_blob_is_500(self, tmp_path):
+        from repro.baselines.nn import NearestNeighborEuclidean
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(8, 16))
+        y = np.repeat([0, 1], 4)
+        store = ModelStore(tmp_path / "store")
+        record = store.save(NearestNeighborEuclidean().fit(X, y), "nn")
+        blob = store.root / "blobs" / "nn" / f"v{record.version}.json"
+        blob.write_bytes(blob.read_bytes()[:-5] + b"]]]]]")
+
+        server = create_server(store, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code, message = _error(
+                lambda: _post(
+                    server.server_address[1],
+                    "/v1/classify",
+                    {"series": X[0].tolist()},
+                )
+            )
+            assert code == 500
+            assert "hash mismatch" in message
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestEmptyStore:
+    def test_classify_against_empty_store_is_404(self, tmp_path):
+        server = create_server(ModelStore(tmp_path / "empty"), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code, message = _error(
+                lambda: _post(
+                    server.server_address[1], "/v1/classify", {"series": [1, 2, 3, 4]}
+                )
+            )
+            assert code == 404
+            assert "empty" in message
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

@@ -1,0 +1,168 @@
+"""ModelStore: versioned persistence, integrity checking, manifest ops."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.serve.store import (
+    IntegrityError,
+    ModelNotFoundError,
+    ModelRecord,
+    ModelStore,
+    ModelStoreError,
+)
+
+
+@pytest.fixture
+def fitted(blobs):
+    X, y = blobs
+    return DecisionTreeClassifier(max_depth=3).fit(X, y), X
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ModelStore(tmp_path / "store")
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions(self, store, fitted):
+        model, X = fitted
+        record = store.save(model, "tree")
+        assert record.version == 1
+        assert record.kind == "DecisionTreeClassifier"
+        restored = store.load("tree")
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_versions_increment_and_latest_alias(self, store, fitted):
+        model, _ = fitted
+        assert store.save(model, "m").version == 1
+        assert store.save(model, "m").version == 2
+        assert store.save(model, "m").version == 3
+        assert store.record("m").version == 3
+        assert store.record("m", "latest").version == 3
+        assert store.record("m", 1).version == 1
+        assert store.record("m", "v2").version == 2
+        assert store.record("m", "2").version == 2
+
+    def test_metadata_persisted(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m", metadata={"dataset": "Wine", "train_error": 0.1})
+        record = store.record("m")
+        assert record.metadata == {"dataset": "Wine", "train_error": 0.1}
+
+    def test_list_models_sorted(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "b")
+        store.save(model, "a")
+        store.save(model, "a")
+        listed = store.list_models()
+        assert [(r.name, r.version) for r in listed] == [("a", 1), ("a", 2), ("b", 1)]
+        assert store.names() == ["a", "b"]
+        assert all(isinstance(r, ModelRecord) for r in listed)
+
+    def test_unsupported_model_raises_type_error(self, store):
+        with pytest.raises(TypeError):
+            store.save(object(), "nope")
+
+    def test_unfitted_model_not_stored(self, store):
+        with pytest.raises((TypeError, AttributeError)):
+            store.save(DecisionTreeClassifier(), "unfitted")
+        assert store.names() == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", ["", "Has Spaces", "UPPER", "a:b", "-lead", 3])
+    def test_bad_names_rejected(self, store, fitted, bad):
+        model, _ = fitted
+        with pytest.raises(ValueError):
+            store.save(model, bad)
+
+    def test_unknown_model(self, store):
+        with pytest.raises(ModelNotFoundError, match="no model named"):
+            store.load("ghost")
+
+    def test_unknown_version(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m")
+        with pytest.raises(ModelNotFoundError, match="no version 9"):
+            store.load("m", 9)
+
+    def test_bad_version_selector(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m")
+        with pytest.raises(ValueError, match="invalid version selector"):
+            store.load("m", "newest")
+
+    def test_empty_store_lists_empty(self, store):
+        assert store.list_models() == []
+        assert store.names() == []
+
+
+class TestIntegrity:
+    def test_tampered_blob_rejected(self, store, fitted):
+        model, _ = fitted
+        record = store.save(model, "m")
+        blob_path = store.root / "blobs" / "m" / f"v{record.version}.json"
+        payload = json.loads(blob_path.read_text())
+        payload["params"]["max_depth"] = 99
+        blob_path.write_text(json.dumps(payload, sort_keys=True))
+        with pytest.raises(IntegrityError, match="hash mismatch"):
+            store.load("m")
+
+    def test_truncated_blob_rejected(self, store, fitted):
+        model, _ = fitted
+        record = store.save(model, "m")
+        blob_path = store.root / "blobs" / "m" / f"v{record.version}.json"
+        blob_path.write_bytes(blob_path.read_bytes()[:-10])
+        with pytest.raises(IntegrityError):
+            store.load("m")
+
+    def test_corrupt_manifest_is_a_clean_error(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m")
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(ModelStoreError, match="unreadable store manifest"):
+            store.load("m")
+
+
+class TestDelete:
+    def test_delete_version_repoints_latest(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m")
+        store.save(model, "m")
+        store.delete("m", 2)
+        assert store.record("m").version == 1
+        with pytest.raises(ModelNotFoundError):
+            store.load("m", 2)
+
+    def test_delete_all_versions_removes_name(self, store, fitted):
+        model, _ = fitted
+        store.save(model, "m")
+        store.save(model, "m")
+        store.delete("m")
+        assert store.names() == []
+        with pytest.raises(ModelNotFoundError):
+            store.record("m")
+
+    def test_delete_removes_blob_files(self, store, fitted):
+        model, _ = fitted
+        record = store.save(model, "m")
+        blob_path = store.root / "blobs" / "m" / f"v{record.version}.json"
+        assert blob_path.is_file()
+        store.delete("m")
+        assert not blob_path.exists()
+
+    def test_delete_unknown_model(self, store):
+        with pytest.raises(ModelNotFoundError):
+            store.delete("ghost")
+
+    def test_version_numbering_continues_after_delete(self, store, fitted):
+        # Versions are append-only: a reader holding "v2" must never see
+        # a different model appear under that version later.
+        model, _ = fitted
+        store.save(model, "m")
+        store.save(model, "m")
+        store.delete("m", 2)
+        assert store.save(model, "m").version == 3
