@@ -422,7 +422,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP inference server over a model store."""
-    from repro.serve import ModelStore, create_server, serve_forever
+    from repro.serve import (
+        ModelStore,
+        create_async_server,
+        create_server,
+        serve_forever,
+    )
     from repro.serve.store import ModelStoreError
 
     store = ModelStore(args.store)
@@ -441,24 +446,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"no model named {args.model!r} in {args.store} "
             f"(known: {', '.join(names)})"
         )
-    try:
-        server = create_server(
-            store,
-            host=args.host,
-            port=args.port,
-            default_model=args.model,
-            max_batch_size=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            feature_cache_size=args.feature_cache_size,
-            jobs=args.jobs,
-        )
-    except OSError as exc:
-        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
-    host, port = server.server_address[:2]
-    print(f"serving {len(names)} model(s) from {args.store} on http://{host}:{port}")
-    print(f"  POST /v1/classify   POST /v1/batch   GET /v1/models   GET /healthz")
+    options = dict(
+        default_model=args.model,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        feature_cache_size=args.feature_cache_size,
+        jobs=args.jobs,
+        reload_interval_seconds=args.reload_interval,
+    )
+    if args.loop == "asyncio":
+        server = create_async_server(store, host=args.host, port=args.port, **options)
+        try:
+            host, port = server.start_background()
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        try:
+            server = create_server(store, host=args.host, port=args.port, **options)
+        except OSError as exc:
+            raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+        host, port = server.server_address[:2]
+    print(
+        f"serving {len(names)} model(s) from {args.store} on http://{host}:{port} "
+        f"({args.loop} front end)"
+    )
+    print(
+        "  POST /v1/classify   POST /v1/batch   GET /v1/models   "
+        "GET /healthz   GET /metrics"
+    )
     print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
-    serve_forever(server)
+    if args.reload_interval > 0:
+        print(f"  hot reload: store polled every {args.reload_interval}s")
+    if args.loop == "asyncio":
+        # The loop runs on a background thread; park the main thread so
+        # SIGINT lands here and triggers a clean shutdown.
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    else:
+        serve_forever(server)
     return 0
 
 
@@ -634,6 +663,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for batched feature extraction",
+    )
+    sub.add_argument(
+        "--loop",
+        choices=("asyncio", "threads"),
+        default="asyncio",
+        help="front end: asyncio event loop (default) or thread-per-connection",
+    )
+    sub.add_argument(
+        "--reload-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="hot-reload store poll interval (default 1.0; 0 disables)",
     )
 
     sub = subparsers.add_parser("models", help="list / delete model-store entries")

@@ -8,8 +8,12 @@ a long-lived classification service:
 * :class:`~repro.serve.engine.InferenceEngine` /
   :class:`~repro.serve.engine.MicroBatcher` — per-series feature LRU
   and coalescing of concurrent requests into batched extraction;
-* :func:`~repro.serve.http.create_server` — the stdlib HTTP front end
-  behind ``python -m repro serve``.
+* :func:`~repro.serve.http.create_server` /
+  :func:`~repro.serve.aio.create_async_server` — the two HTTP front
+  ends behind ``python -m repro serve --loop threads|asyncio``, sharing
+  one routing/state layer (hot model reload via
+  :class:`~repro.serve.http.StoreWatcher`, Prometheus-style
+  ``GET /metrics`` via :mod:`repro.serve.metrics`).
 
 Quickstart::
 
@@ -22,8 +26,16 @@ Quickstart::
         label, scores = batcher.classify(series)
 """
 
+from repro.serve.aio import AsyncInferenceServer, create_async_server
 from repro.serve.engine import ClassifyResult, InferenceEngine, MicroBatcher
-from repro.serve.http import InferenceServer, create_server, serve_forever
+from repro.serve.http import (
+    InferenceServer,
+    ServerState,
+    StoreWatcher,
+    create_server,
+    serve_forever,
+)
+from repro.serve.metrics import ServingMetrics
 from repro.serve.store import (
     IntegrityError,
     ModelNotFoundError,
@@ -37,7 +49,12 @@ __all__ = [
     "InferenceEngine",
     "MicroBatcher",
     "InferenceServer",
+    "AsyncInferenceServer",
+    "ServerState",
+    "StoreWatcher",
+    "ServingMetrics",
     "create_server",
+    "create_async_server",
     "serve_forever",
     "IntegrityError",
     "ModelNotFoundError",

@@ -285,6 +285,10 @@ class MicroBatcher:
         self.batches_dispatched_ = 0
         self.requests_accepted_ = 0
         self.largest_batch_ = 0
+        #: ``{batch_size: times_dispatched}`` — the raw material for the
+        #: /metrics batch-size histogram, tallied here so the hot path
+        #: pays one dict update instead of a bucket scan.
+        self.batch_size_counts_: dict[int, int] = {}
         self._worker = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
@@ -351,6 +355,9 @@ class MicroBatcher:
                 continue
             self.batches_dispatched_ += 1
             self.largest_batch_ = max(self.largest_batch_, len(batch))
+            self.batch_size_counts_[len(batch)] = (
+                self.batch_size_counts_.get(len(batch), 0) + 1
+            )
             series_list = [series for series, _ in batch]
             try:
                 results = self.engine.classify_batch(series_list)

@@ -1,9 +1,22 @@
-"""Stdlib HTTP front end for the inference engine.
+"""HTTP serving core: shared routing/state plus the threaded front end.
 
-``python -m repro serve --store models/`` exposes a
-:class:`~repro.serve.store.ModelStore` over four JSON endpoints on a
-:class:`http.server.ThreadingHTTPServer` (no dependencies beyond the
-standard library):
+Two front ends expose the same five endpoints over a
+:class:`~repro.serve.store.ModelStore`:
+
+* this module's :class:`InferenceServer` — a stdlib
+  ``ThreadingHTTPServer``, one handler thread per connection;
+* :mod:`repro.serve.aio` — an asyncio event-loop server
+  (``python -m repro serve --loop asyncio``) that keeps a single CPU on
+  extraction work instead of thread scheduling.
+
+Everything below the socket layer is front-end-agnostic and lives
+here: :func:`route_request` maps ``(method, path, body)`` onto the
+shared :class:`ServerState`, returning either a finished
+:class:`Response` or a :class:`PendingResponse` whose
+:class:`~concurrent.futures.Future`\\ s resolve inside the
+:class:`~repro.serve.engine.MicroBatcher` worker — the threaded front
+end blocks on them, the asyncio front end awaits them, and both render
+byte-identical JSON bodies.
 
 ``POST /v1/classify``
     ``{"series": [..], "model": "name"?, "version": "latest"?}`` →
@@ -15,13 +28,22 @@ standard library):
     The store manifest: every stored version with hash and metadata.
 ``GET /healthz``
     Liveness plus engine/batcher counters.
+``GET /metrics``
+    Prometheus text exposition: per-route request counts and latency
+    histograms, per-model batch-size distribution and feature-cache
+    hit ratio (:mod:`repro.serve.metrics`).
 
-Errors are JSON too: 400 for malformed payloads, 404 for unknown
+Errors are JSON: 400 for malformed payloads (with distinct messages
+for truncated bodies and non-finite JSON numbers), 404 for unknown
 models/routes, 405 for wrong methods, 413 for oversized bodies and 500
-(with the exception class named) for genuine server faults.  Handler
-threads submit into a shared :class:`~repro.serve.engine.MicroBatcher`,
-so concurrent classify requests are coalesced into batched feature
-extraction.
+(with the exception class named) for genuine server faults.
+
+Hot model reload: a :class:`StoreWatcher` thread polls the store every
+``reload_interval_seconds``, refreshes the catalog snapshot (so
+``latest`` re-resolves within one tick of a publish), atomically swaps
+in ``(engine, batcher)`` pairs for new versions and retires pairs whose
+version was deleted — in-flight requests keep their reference and
+finish on the old model before the pair is closed after a drain grace.
 """
 
 from __future__ import annotations
@@ -29,10 +51,16 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable, IO
 
-from repro.serve.engine import InferenceEngine, MicroBatcher
+from repro.serve.engine import ClassifyResult, InferenceEngine, MicroBatcher
+from repro.serve.metrics import (
+    ServingMetrics,
+    render_family,
+    render_histogram_from_counts,
+)
 from repro.serve.store import ModelNotFoundError, ModelStore, ModelStoreError
 
 #: Largest accepted request body (a 1M-point float series in JSON).
@@ -41,12 +69,200 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 #: Largest accepted ``/v1/batch`` request.
 MAX_BATCH_SERIES = 1024
 
+#: How long a front end waits on an in-flight classification future.
+REQUEST_TIMEOUT_SECONDS = 60.0
+
+#: Batch-size histogram buckets for /metrics.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class ApiError(Exception):
+    """An error with a deliberate HTTP status.
+
+    ``close=True`` marks protocol-level failures (truncated body, bad
+    Content-Length) after which the connection byte stream can no
+    longer be trusted for keep-alive.
+    """
+
+    def __init__(self, status: int, message: str, close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.close = close
+
+
+@dataclass
+class Response:
+    """A finished HTTP response, front-end independent."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    close: bool = False
+
+
+@dataclass
+class PendingResponse:
+    """Engine work in flight: futures plus the final payload builder.
+
+    The threaded front end resolves it with :func:`resolve_pending`;
+    the asyncio front end attaches done-callbacks and builds the
+    response once every future completes — either way ``build``
+    receives the ordered list of ``(label, scores)`` results.
+    """
+
+    futures: list[Any]
+    build: Callable[[list[ClassifyResult]], Response]
+
+
+def json_response(status: int, payload: dict[str, Any], close: bool = False) -> Response:
+    return Response(status, json.dumps(payload).encode(), "application/json", close)
+
+
+def resolve_pending(
+    pending: PendingResponse, timeout: float = REQUEST_TIMEOUT_SECONDS
+) -> Response:
+    """Block on every future (threaded front end), then build.
+
+    ``timeout`` is one deadline for the whole request — the same flat
+    cutoff the asyncio front end enforces — not a per-future allowance
+    that could stack up across a large batch.
+    """
+    deadline = time.monotonic() + timeout
+    results = [
+        future.result(timeout=max(0.0, deadline - time.monotonic()))
+        for future in pending.futures
+    ]
+    return pending.build(results)
+
+
+def response_for_exception(exc: BaseException) -> Response:
+    """The JSON error response a request-handling exception maps to."""
+    if isinstance(exc, ApiError):
+        return json_response(exc.status, {"error": str(exc)}, close=exc.close)
+    if isinstance(exc, ModelNotFoundError):
+        return json_response(404, {"error": str(exc)})
+    if isinstance(exc, ModelStoreError):
+        # Corrupt manifest / failed integrity check: a server-side
+        # data problem, not a bad request.
+        return json_response(500, {"error": str(exc)})
+    if isinstance(exc, TimeoutError):
+        return json_response(504, {"error": f"classification timed out: {exc}"})
+    if isinstance(exc, ValueError):
+        return json_response(400, {"error": str(exc)})
+    return json_response(
+        500, {"error": f"internal server error ({type(exc).__name__}: {exc})"}
+    )
+
+
+# -- request-body plumbing -----------------------------------------------------
+
+
+def parse_content_length(
+    header: str | None, transfer_encoding: str | None = None
+) -> int | None:
+    """Validated Content-Length (``None`` when the header is absent).
+
+    Shared by both front ends so their 400/413 behavior — and error
+    strings — cannot drift apart.  Raises with ``close=True``: after a
+    rejected length the byte stream cannot carry keep-alive requests.
+
+    A ``Transfer-Encoding`` (chunked) request is rejected outright:
+    treating it as body-less would leave the chunk framing in the
+    socket to be misparsed as the next keep-alive request.
+    """
+    if transfer_encoding:
+        raise ApiError(
+            501,
+            f"Transfer-Encoding {transfer_encoding.strip()!r} is not supported; "
+            "send the body with Content-Length",
+            close=True,
+        )
+    if header is None:
+        return None
+    try:
+        length = int(header)
+        if length < 0:
+            raise ValueError
+    except ValueError:
+        raise ApiError(
+            400, f"invalid Content-Length header {header!r}", close=True
+        ) from None
+    if length > MAX_BODY_BYTES:
+        raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes", close=True)
+    return length
+
+
+def truncated_body_error(announced: int, received: int) -> ApiError:
+    """The distinct 400 for a body that ended before Content-Length."""
+    return ApiError(
+        400,
+        f"truncated request body: Content-Length announced {announced} bytes, "
+        f"only {received} arrived before EOF",
+        close=True,
+    )
+
+
+def read_body_exact(stream: IO[bytes], length: int, chunk_size: int = 65536) -> bytes:
+    """Read exactly ``length`` bytes, tolerating short reads.
+
+    A slow or dribbling client delivers the body in pieces; a single
+    ``read(length)`` can come back short and used to surface as a bogus
+    400 "malformed JSON".  Loop until all bytes arrive; premature EOF
+    raises a *distinct* 400 naming the truncation.
+    """
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining > 0:
+        chunk = stream.read(min(remaining, chunk_size))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    if remaining:
+        raise truncated_body_error(length, length - remaining)
+    return b"".join(chunks)
+
+
+def _reject_nonfinite(token: str) -> float:
+    # json.loads would happily produce float("nan")/float("inf") for the
+    # (non-standard) NaN/Infinity tokens; those poison the feature-LRU
+    # key and would re-emit invalid JSON in "scores".
+    raise ApiError(
+        400,
+        f"non-finite number {token} in request body; series values must be finite",
+    )
+
+
+def parse_json_body(raw: bytes | None) -> dict[str, Any]:
+    """Decode a request body into a JSON object, rejecting NaN/Infinity."""
+    if not raw:
+        raise ApiError(400, "request body required")
+    try:
+        payload = json.loads(raw, parse_constant=_reject_nonfinite)
+    except ApiError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError, RecursionError) as exc:
+        raise ApiError(400, f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    return payload
+
+
+def normalize_path(raw: str) -> str:
+    """Strip query string and trailing slashes from a request target."""
+    return raw.split("?", 1)[0].rstrip("/") or "/"
+
+
+# -- shared server state -------------------------------------------------------
+
 
 class ServerState:
-    """Shared state behind the handler threads.
+    """Shared state behind both front ends.
 
     Owns the store, lazily constructs one ``(engine, batcher)`` pair per
-    loaded model version, and resolves which model a request addresses.
+    loaded model version, resolves which model a request addresses,
+    carries the :class:`~repro.serve.metrics.ServingMetrics` and (when
+    enabled) the hot-reload :class:`StoreWatcher`.
     """
 
     def __init__(
@@ -57,6 +273,7 @@ class ServerState:
         max_wait_ms: float = 5.0,
         feature_cache_size: int = 1024,
         jobs: int | None = None,
+        drain_grace_seconds: float = 1.0,
     ):
         self.store = store
         self.default_model = default_model
@@ -65,13 +282,28 @@ class ServerState:
         self.feature_cache_size = feature_cache_size
         self.jobs = jobs
         self.started_at = time.time()
+        #: Retired pairs drain at least this long before being closed,
+        #: so a request that resolved the pair moments before eviction
+        #: still submits successfully.
+        self.drain_grace_seconds = float(drain_grace_seconds)
         self._lock = threading.Lock()
         self._loaded: dict[tuple[str, int], tuple[InferenceEngine, MicroBatcher]] = {}
+        self._retired: list[
+            tuple[float, tuple[str, int], tuple[InferenceEngine, MicroBatcher]]
+        ] = []
+        self._watcher: StoreWatcher | None = None
         #: How long the manifest snapshot below may serve the hot path
         #: before a fresh read notices new versions.
         self.catalog_ttl_seconds = 1.0
         self._catalog: dict | None = None
         self._catalog_read_at = 0.0
+        #: Lock-free hot path: ``(requested, version) -> pair`` memo of
+        #: full resolutions, rebuilt whenever the catalog snapshot
+        #: changes or a pair is evicted (GIL-atomic dict reads; the
+        #: slow path below re-validates under the lock).
+        self._resolution_memo: dict[tuple[Any, Any], tuple[InferenceEngine, MicroBatcher]] = {}
+        self.metrics = ServingMetrics()
+        self.metrics.registry.add_collector(self._collect_runtime_metrics)
 
     # -- model resolution --------------------------------------------------
     def _catalog_snapshot(self, refresh: bool = False) -> dict:
@@ -90,6 +322,7 @@ class ServerState:
             ):
                 self._catalog = self.store.catalog()
                 self._catalog_read_at = now
+                self._resolution_memo = {}
             return self._catalog
 
     def _resolve_name(self, requested: str | None, catalog: dict) -> str:
@@ -134,15 +367,12 @@ class ServerState:
             f"(available: {sorted(entry['versions'])})"
         )
 
-    def engine_for(
-        self, requested: str | None, version: str | int | None
-    ) -> tuple[InferenceEngine, MicroBatcher]:
-        name, resolved = self._resolve(requested, version)
-        key = (name, resolved)
+    def _pair_for(self, name: str, version: int) -> tuple[InferenceEngine, MicroBatcher]:
+        key = (name, version)
         with self._lock:
             pair = self._loaded.get(key)
             if pair is None:
-                model = self.store.load(name, resolved)
+                model = self.store.load(name, version)
                 if self.jobs is not None and hasattr(model, "set_params"):
                     try:
                         if "n_jobs" in model.get_params():
@@ -152,7 +382,7 @@ class ServerState:
                 engine = InferenceEngine(
                     model,
                     name=name,
-                    version=resolved,
+                    version=version,
                     feature_cache_size=self.feature_cache_size,
                 )
                 batcher = MicroBatcher(
@@ -164,140 +394,309 @@ class ServerState:
                 self._loaded[key] = pair
         return pair
 
+    def engine_for(
+        self, requested: str | None, version: str | int | None
+    ) -> tuple[InferenceEngine, MicroBatcher]:
+        if requested is not None and not isinstance(requested, str):
+            raise ApiError(400, '"model" must be a string')
+        if version is not None and not isinstance(version, (str, int)):
+            raise ApiError(400, '"version" must be a string or integer')
+        # Hot path: an identical request already resolved against the
+        # current (still-fresh) catalog snapshot — no locks taken.
+        if time.monotonic() - self._catalog_read_at <= self.catalog_ttl_seconds:
+            memo = self._resolution_memo.get((requested, version))
+            if memo is not None:
+                return memo
+        last: ModelNotFoundError | None = None
+        for _ in range(2):
+            name, resolved = self._resolve(requested, version)
+            try:
+                pair = self._pair_for(name, resolved)
+                with self._lock:
+                    # Publish to the lock-free memo only while the pair
+                    # is still the live one — otherwise a concurrent
+                    # eviction (which cleared the memo) could be undone
+                    # by this late write, re-exposing a retired pair.
+                    if self._loaded.get((name, resolved)) is pair:
+                        self._resolution_memo[(requested, version)] = pair
+                return pair
+            except ModelNotFoundError as exc:
+                # The cached catalog promised a version the store no
+                # longer has (deleted moments ago): evict the stale
+                # pair, force a catalog refresh, and re-resolve once —
+                # a surviving version answers instead of a stale 404.
+                last = exc
+                self._evict_pair((name, resolved))
+                self._catalog_snapshot(refresh=True)
+        assert last is not None
+        raise last
+
+    # -- hot reload --------------------------------------------------------
+    def _evict_pair(self, key: tuple[str, int]) -> None:
+        """Atomically remove ``key`` from the serving set; the pair keeps
+        draining until :meth:`reload_tick` closes it after the grace."""
+        with self._lock:
+            pair = self._loaded.pop(key, None)
+            if pair is not None:
+                self._retired.append((time.monotonic(), key, pair))
+                self._resolution_memo = {}
+
+    def reload_tick(self) -> dict[str, Any]:
+        """One hot-reload reconciliation pass (the watcher's tick body).
+
+        * refreshes the catalog snapshot, so ``latest`` re-resolves
+          against new/deleted versions immediately;
+        * evicts loaded pairs whose version left the store — new
+          requests can no longer reach them, in-flight requests keep
+          their reference and finish on the old model;
+        * closes retired pairs whose drain grace has passed;
+        * warm-loads the new latest version of any model that already
+          has an engine loaded, so the first request after a publish
+          skips the model-load latency.
+        """
+        catalog = self._catalog_snapshot(refresh=True)
+        now = time.monotonic()
+        evicted: list[tuple[str, int]] = []
+        with self._lock:
+            for key in list(self._loaded):
+                name, version = key
+                entry = catalog.get(name)
+                if entry is None or version not in entry["versions"]:
+                    self._retired.append((now, key, self._loaded.pop(key)))
+                    self._resolution_memo = {}
+                    evicted.append(key)
+            loaded = set(self._loaded)
+            due, keep = [], []
+            for item in self._retired:
+                (due if now - item[0] >= self.drain_grace_seconds else keep).append(item)
+            self._retired[:] = keep
+        for _, _, (engine, batcher) in due:
+            batcher.close()
+            engine.close()
+        warmed: list[tuple[str, int]] = []
+        for name in sorted({name for name, _ in loaded}):
+            entry = catalog.get(name)
+            if entry and (name, entry["latest"]) not in loaded:
+                try:
+                    self._pair_for(name, entry["latest"])
+                    warmed.append((name, entry["latest"]))
+                except Exception:  # noqa: BLE001 — the next request surfaces it
+                    pass
+        return {"evicted": evicted, "closed": len(due), "warmed": warmed}
+
+    def start_watcher(self, interval_seconds: float) -> "StoreWatcher":
+        """Start polling the store for hot reload (idempotent)."""
+        if self._watcher is None:
+            self._watcher = StoreWatcher(self, interval_seconds)
+            self._watcher.start()
+        return self._watcher
+
+    @property
+    def watcher(self) -> "StoreWatcher | None":
+        return self._watcher
+
+    # -- introspection -----------------------------------------------------
     def health(self) -> dict[str, Any]:
+        watcher = self._watcher
         with self._lock:
             loaded = [
                 {"model": name, "version": version, **engine.stats(), **batcher.stats()}
                 for (name, version), (engine, batcher) in self._loaded.items()
             ]
+            retired = len(self._retired)
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "store": str(self.store.root),
             "models_stored": len(self.store.names()),
             "engines_loaded": loaded,
+            "engines_retired": retired,
+            "hot_reload": {
+                "enabled": watcher is not None,
+                "interval_seconds": watcher.interval_seconds if watcher else None,
+                "ticks": watcher.ticks_ if watcher else 0,
+            },
         }
 
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` scrape payload."""
+        return self.metrics.render()
+
+    def _collect_runtime_metrics(self) -> list[str]:
+        """Engine/batcher families pulled at scrape time (no hot-path cost)."""
+        with self._lock:
+            pairs = dict(self._loaded)
+        served, hits, misses, ratios, entries, coalesced, batches = (
+            [] for _ in range(7)
+        )
+        lines: list[str] = []
+        batch_lines: list[str] = []
+        for (name, version), (engine, batcher) in sorted(pairs.items()):
+            labels = {"model": name, "version": version}
+            stats = engine.stats()
+            h, m = stats["feature_cache_hits"], stats["feature_cache_misses"]
+            served.append(("", labels, stats["requests_served"]))
+            hits.append(("", labels, h))
+            misses.append(("", labels, m))
+            ratios.append(("", labels, h / (h + m) if h + m else 0.0))
+            entries.append(("", labels, stats["feature_cache_entries"]))
+            coalesced.append(("", labels, stats["requests_coalesced"]))
+            batches.append(("", labels, batcher.batches_dispatched_))
+            batch_lines.extend(
+                render_histogram_from_counts(
+                    "repro_serve_batch_size",
+                    "Requests per dispatched micro-batch.",
+                    dict(batcher.batch_size_counts_),
+                    labels,
+                    BATCH_SIZE_BUCKETS,
+                )[2:]  # family header emitted once below
+            )
+        lines.extend(
+            render_family(
+                "repro_serve_engine_requests_total",
+                "counter",
+                "Series classified per loaded engine.",
+                served,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_feature_cache_hits_total",
+                "counter",
+                "Per-series feature LRU hits.",
+                hits,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_feature_cache_misses_total",
+                "counter",
+                "Per-series feature LRU misses (extractions paid).",
+                misses,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_feature_cache_hit_ratio",
+                "gauge",
+                "Feature LRU hits / lookups since engine load.",
+                ratios,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_feature_cache_entries",
+                "gauge",
+                "Series currently held in the feature LRU.",
+                entries,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_requests_coalesced_total",
+                "counter",
+                "Duplicate in-flight series served by one extraction.",
+                coalesced,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_batches_dispatched_total",
+                "counter",
+                "Micro-batches dispatched to the engine.",
+                batches,
+            )
+        )
+        lines.append("# HELP repro_serve_batch_size Requests per dispatched micro-batch.")
+        lines.append("# TYPE repro_serve_batch_size histogram")
+        lines.extend(batch_lines)
+        lines.extend(
+            render_family(
+                "repro_serve_engines_loaded",
+                "gauge",
+                "Model versions with a live (engine, batcher) pair.",
+                [("", {}, len(pairs))],
+            )
+        )
+        return lines
+
     def close(self) -> None:
-        """Shut down every batcher worker thread and engine pool."""
+        """Stop the watcher and shut down every engine pool, including
+        retired pairs still draining."""
+        if self._watcher is not None:
+            self._watcher.stop()
+            self._watcher = None
         with self._lock:
             pairs = list(self._loaded.values())
+            pairs.extend(pair for _, _, pair in self._retired)
+            self._loaded.clear()
+            self._retired.clear()
+            self._resolution_memo = {}
         for engine, batcher in pairs:
             batcher.close()
             engine.close()
 
 
-class ApiError(Exception):
-    """An error with a deliberate HTTP status."""
+class StoreWatcher:
+    """Background store poller driving hot model reload.
 
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
+    Every ``interval_seconds`` it runs :meth:`ServerState.reload_tick`:
+    new versions are picked up (and the latest warm-loaded) within one
+    tick, deleted versions are evicted and their engines closed once
+    drained.  A store hiccup (partial write, transient IO error) skips
+    the tick and retries on the next one.
+    """
 
-
-class InferenceHandler(BaseHTTPRequestHandler):
-    """Routes requests onto the shared :class:`ServerState`."""
-
-    server_version = "repro-serve/1.0"
-    protocol_version = "HTTP/1.1"
-
-    # The default handler logs every request to stderr; keep the serving
-    # hot path quiet (the CLI announces the endpoint once at startup).
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass
-
-    @property
-    def state(self) -> ServerState:
-        return self.server.state  # type: ignore[attr-defined]
-
-    # -- plumbing ----------------------------------------------------------
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if not self._body_consumed:
-            # An unread request body would be parsed as the start of the
-            # next request on this keep-alive connection; drop the
-            # connection instead of serving corrupted requests.
-            self.close_connection = True
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _read_json_body(self) -> dict[str, Any]:
-        try:
-            length = int(self.headers.get("Content-Length", "") or 0)
-        except ValueError:
-            raise ApiError(400, "invalid Content-Length header") from None
-        if length <= 0:
-            raise ApiError(400, "request body required")
-        if length > MAX_BODY_BYTES:
-            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        self._body_consumed = True
-        try:
-            payload = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ApiError(400, f"request body is not valid JSON: {exc}") from None
-        if not isinstance(payload, dict):
-            raise ApiError(400, "request body must be a JSON object")
-        return payload
-
-    def _dispatch(self, method: str) -> None:
-        try:
-            announced = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            announced = -1  # unparseable: never consider it consumed
-        self._body_consumed = announced == 0
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        routes: dict[tuple[str, str], Any] = {
-            ("POST", "/v1/classify"): self._handle_classify,
-            ("POST", "/v1/batch"): self._handle_batch,
-            ("GET", "/v1/models"): self._handle_models,
-            ("GET", "/healthz"): self._handle_health,
-        }
-        try:
-            handler = routes.get((method, path))
-            if handler is None:
-                if any(route_path == path for _, route_path in routes):
-                    raise ApiError(405, f"method {method} not allowed for {path}")
-                raise ApiError(404, f"no such endpoint: {path}")
-            handler()
-        except ApiError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
-        except ModelNotFoundError as exc:
-            self._send_json(404, {"error": str(exc)})
-        except ModelStoreError as exc:
-            # Corrupt manifest / failed integrity check: a server-side
-            # data problem, not a bad request.
-            self._send_json(500, {"error": str(exc)})
-        except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except BrokenPipeError:
-            pass  # client went away mid-response
-        except Exception as exc:  # noqa: BLE001 — last-resort 500
-            self._send_json(
-                500, {"error": f"internal server error ({type(exc).__name__}: {exc})"}
+    def __init__(self, state: ServerState, interval_seconds: float = 1.0):
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
             )
-
-    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:  # noqa: N802
-        self._dispatch("POST")
-
-    # -- endpoints ---------------------------------------------------------
-    def _handle_classify(self) -> None:
-        payload = self._read_json_body()
-        if "series" not in payload:
-            raise ApiError(400, 'request body needs a "series" array')
-        engine, batcher = self.state.engine_for(
-            payload.get("model"), payload.get("version")
+        self.state = state
+        self.interval_seconds = float(interval_seconds)
+        self.ticks_ = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-watcher", daemon=True
         )
-        t0 = time.perf_counter()
-        label, scores = batcher.classify(payload["series"])
-        self._send_json(
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.state.reload_tick()
+            except Exception:  # noqa: BLE001 — transient store glitch; next tick retries
+                pass
+            self.ticks_ += 1
+
+
+# -- routing (shared by both front ends) ---------------------------------------
+
+
+def _route_classify(state: ServerState, body: bytes | None) -> PendingResponse:
+    payload = parse_json_body(body)
+    if "series" not in payload:
+        raise ApiError(400, 'request body needs a "series" array')
+    engine, batcher = state.engine_for(payload.get("model"), payload.get("version"))
+    t0 = time.perf_counter()
+    try:
+        future = batcher.submit(payload["series"])
+    except RuntimeError:
+        # Pair retired between lookup and submit (hot-reload edge); the
+        # re-resolve lands on the replacement.
+        engine, batcher = state.engine_for(payload.get("model"), payload.get("version"))
+        future = batcher.submit(payload["series"])
+
+    def build(results: list[ClassifyResult]) -> Response:
+        label, scores = results[0]
+        return json_response(
             200,
             {
                 "model": engine.name,
@@ -308,17 +707,26 @@ class InferenceHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_batch(self) -> None:
-        payload = self._read_json_body()
-        series_list = payload.get("series")
-        if not isinstance(series_list, list) or not series_list:
-            raise ApiError(400, 'request body needs a non-empty "series" array of arrays')
-        if len(series_list) > MAX_BATCH_SERIES:
-            raise ApiError(413, f"at most {MAX_BATCH_SERIES} series per batch request")
-        engine, _ = self.state.engine_for(payload.get("model"), payload.get("version"))
-        t0 = time.perf_counter()
-        results = engine.classify_batch(series_list)
-        self._send_json(
+    return PendingResponse([future], build)
+
+
+def _route_batch(state: ServerState, body: bytes | None) -> PendingResponse:
+    payload = parse_json_body(body)
+    series_list = payload.get("series")
+    if not isinstance(series_list, list) or not series_list:
+        raise ApiError(400, 'request body needs a non-empty "series" array of arrays')
+    if len(series_list) > MAX_BATCH_SERIES:
+        raise ApiError(413, f"at most {MAX_BATCH_SERIES} series per batch request")
+    engine, batcher = state.engine_for(payload.get("model"), payload.get("version"))
+    t0 = time.perf_counter()
+    try:
+        futures = [batcher.submit(series) for series in series_list]
+    except RuntimeError:
+        engine, batcher = state.engine_for(payload.get("model"), payload.get("version"))
+        futures = [batcher.submit(series) for series in series_list]
+
+    def build(results: list[ClassifyResult]) -> Response:
+        return json_response(
             200,
             {
                 "model": engine.name,
@@ -331,24 +739,171 @@ class InferenceHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_models(self) -> None:
-        records = self.state.store.list_models()
-        self._send_json(
-            200,
-            {
-                "store": str(self.state.store.root),
-                "models": [{"name": r.name, **r.to_json()} for r in records],
-            },
-        )
+    return PendingResponse(futures, build)
 
-    def _handle_health(self) -> None:
-        self._send_json(200, self.state.health())
+
+def _route_models(state: ServerState, body: bytes | None) -> Response:
+    records = state.store.list_models()
+    return json_response(
+        200,
+        {
+            "store": str(state.store.root),
+            "models": [{"name": r.name, **r.to_json()} for r in records],
+        },
+    )
+
+
+def _route_health(state: ServerState, body: bytes | None) -> Response:
+    return json_response(200, state.health())
+
+
+def _route_metrics(state: ServerState, body: bytes | None) -> Response:
+    return Response(200, state.render_metrics().encode(), ServingMetrics.CONTENT_TYPE)
+
+
+ROUTES: dict[tuple[str, str], Callable[[ServerState, bytes | None], Any]] = {
+    ("POST", "/v1/classify"): _route_classify,
+    ("POST", "/v1/batch"): _route_batch,
+    ("GET", "/v1/models"): _route_models,
+    ("GET", "/healthz"): _route_health,
+    ("GET", "/metrics"): _route_metrics,
+}
+
+#: Route paths — also the closed label set for per-route metrics (an
+#: unknown path is labelled "other" so scanners cannot explode series
+#: cardinality).
+KNOWN_PATHS = frozenset(path for _, path in ROUTES)
+
+
+def metrics_route_label(path: str) -> str:
+    return path if path in KNOWN_PATHS else "other"
+
+
+def route_request(
+    state: ServerState, method: str, path: str, body: bytes | None
+) -> Response | PendingResponse:
+    """Dispatch one parsed request (``path`` already normalized).
+
+    Raises :class:`ApiError` (and the store/engine exception types) —
+    front ends funnel those through :func:`response_for_exception`.
+    """
+    handler = ROUTES.get((method, path))
+    if handler is None:
+        if path in KNOWN_PATHS:
+            raise ApiError(405, f"method {method} not allowed for {path}")
+        raise ApiError(404, f"no such endpoint: {path}")
+    return handler(state, body)
+
+
+# -- threaded front end --------------------------------------------------------
+
+
+class InferenceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the shared :class:`ServerState`."""
+
+    server_version = "repro-serve/1.1"
+    protocol_version = "HTTP/1.1"
+    # Headers and body leave in separate writes; without TCP_NODELAY the
+    # second segment can sit out a Nagle/delayed-ACK round trip (~40ms)
+    # per response.
+    disable_nagle_algorithm = True
+
+    # The default handler logs every request to stderr; keep the serving
+    # hot path quiet (the CLI announces the endpoint once at startup).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+    def _read_body(self) -> bytes | None:
+        length = parse_content_length(
+            self.headers.get("Content-Length"),
+            self.headers.get("Transfer-Encoding"),
+        )
+        if length is None:
+            return None
+        if length == 0:
+            return b""
+        return read_body_exact(self.rfile, length)
+
+    def _send(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.close:
+            # The request body was not (fully) consumed, so the byte
+            # stream cannot safely carry another keep-alive request.
+            self.close_connection = True
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _dispatch(self, method: str) -> None:
+        t0 = time.perf_counter()
+        path = normalize_path(self.path)
+        response: Response | None = None
+        try:
+            try:
+                body = self._read_body()
+                result = route_request(self.state, method, path, body)
+                if isinstance(result, PendingResponse):
+                    result = resolve_pending(result)
+                response = result
+            except (BrokenPipeError, ConnectionResetError):
+                raise
+            except Exception as exc:  # noqa: BLE001 — mapped to a JSON error
+                response = response_for_exception(exc)
+            self._send(response)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-request/response; 499 is the
+            # conventional "client closed request" status for metrics.
+            self.close_connection = True
+            if response is None:
+                response = Response(499, b"", close=True)
+        finally:
+            self.state.metrics.observe_request(
+                metrics_route_label(path),
+                method,
+                response.status if response is not None else 500,
+                time.perf_counter() - t0,
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # Route every other common method too, so both front ends answer
+    # the same JSON 405/404 (not the BaseHTTPRequestHandler default
+    # 501) whatever the method.
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._dispatch("PATCH")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_OPTIONS(self) -> None:  # noqa: N802
+        self._dispatch("OPTIONS")
 
 
 class InferenceServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the shared :class:`ServerState`."""
 
     daemon_threads = True
+    # The socketserver default backlog of 5 drops SYNs under a burst of
+    # concurrent connects (the kernel retransmits seconds later); match
+    # the asyncio front end's listen depth.
+    request_queue_size = 128
 
     def __init__(self, address: tuple[str, int], state: ServerState):
         super().__init__(address, InferenceHandler)
@@ -357,6 +912,40 @@ class InferenceServer(ThreadingHTTPServer):
     def server_close(self) -> None:
         super().server_close()
         self.state.close()
+
+
+def build_server_state(
+    store: ModelStore | str,
+    default_model: str | None = None,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 5.0,
+    feature_cache_size: int = 1024,
+    jobs: int | None = None,
+    reload_interval_seconds: float = 0.0,
+    drain_grace_seconds: float | None = None,
+) -> ServerState:
+    """The shared state both front-end factories build on.
+
+    ``reload_interval_seconds > 0`` starts the hot-reload watcher
+    (``drain_grace_seconds`` defaults to one watcher interval, floored
+    at one second).
+    """
+    if not isinstance(store, ModelStore):
+        store = ModelStore(store)
+    if drain_grace_seconds is None:
+        drain_grace_seconds = max(1.0, reload_interval_seconds)
+    state = ServerState(
+        store,
+        default_model=default_model,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        feature_cache_size=feature_cache_size,
+        jobs=jobs,
+        drain_grace_seconds=drain_grace_seconds,
+    )
+    if reload_interval_seconds > 0:
+        state.start_watcher(reload_interval_seconds)
+    return state
 
 
 def create_server(
@@ -368,18 +957,20 @@ def create_server(
     max_wait_ms: float = 5.0,
     feature_cache_size: int = 1024,
     jobs: int | None = None,
+    reload_interval_seconds: float = 0.0,
+    drain_grace_seconds: float | None = None,
 ) -> InferenceServer:
-    """A ready-to-run :class:`InferenceServer` (``port=0`` picks a free
-    port; the bound one is in ``server.server_address``)."""
-    if not isinstance(store, ModelStore):
-        store = ModelStore(store)
-    state = ServerState(
+    """A ready-to-run threaded :class:`InferenceServer` (``port=0`` picks
+    a free port; the bound one is in ``server.server_address``)."""
+    state = build_server_state(
         store,
         default_model=default_model,
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         feature_cache_size=feature_cache_size,
         jobs=jobs,
+        reload_interval_seconds=reload_interval_seconds,
+        drain_grace_seconds=drain_grace_seconds,
     )
     return InferenceServer((host, port), state)
 

@@ -6,7 +6,10 @@ exercised against a live ThreadingHTTPServer on an ephemeral port.
 """
 
 import json
+import re
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -78,6 +81,38 @@ def _error(call):
         call()
     body = json.loads(info.value.read())
     return info.value.code, body["error"]
+
+
+def _read_response(sock):
+    """One HTTP response off a raw socket: (status, headers, body)."""
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    head, _, body = buf.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return status, headers, body[:length]
+
+
+def _raw_request(port, raw, shutdown=False):
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(raw)
+        if shutdown:
+            sock.shutdown(socket.SHUT_WR)
+        return _read_response(sock)
 
 
 class TestHealthz:
@@ -156,6 +191,28 @@ class TestClassify:
         assert code == 404
         assert "ghost" in message
 
+    def test_non_string_model_is_400(self, served):
+        code, message = _error(
+            lambda: _post(
+                served["port"],
+                "/v1/classify",
+                {"series": served["X_test"][0].tolist(), "model": {"name": "mvg"}},
+            )
+        )
+        assert code == 400
+        assert "model" in message
+
+    def test_non_scalar_version_is_400(self, served):
+        code, message = _error(
+            lambda: _post(
+                served["port"],
+                "/v1/classify",
+                {"series": served["X_test"][0].tolist(), "version": [1]},
+            )
+        )
+        assert code == 400
+        assert "version" in message
+
     def test_unknown_version_is_404(self, served):
         code, _ = _error(
             lambda: _post(
@@ -228,10 +285,10 @@ class TestKeepAlive:
         finally:
             connection.close()
 
-    def test_unread_body_closes_connection_cleanly(self, served):
-        # A 405 (or any pre-body-read error) leaves the request body in
-        # the socket; the server must close rather than parse it as the
-        # next request.
+    def test_error_with_body_drains_and_keeps_connection_alive(self, served):
+        # A 405 used to leave the request body in the socket and force a
+        # connection close; the body is now drained before routing, so
+        # the keep-alive connection stays usable for the next request.
         import http.client
 
         connection = http.client.HTTPConnection("127.0.0.1", served["port"])
@@ -239,10 +296,30 @@ class TestKeepAlive:
             connection.request("POST", "/v1/models", body='{"junk": 1}')
             response = connection.getresponse()
             assert response.status == 405
-            assert response.getheader("Connection") == "close"
+            assert response.getheader("Connection") != "close"
             response.read()
+            connection.request(
+                "POST",
+                "/v1/classify",
+                body=json.dumps({"series": served["X_test"][0].tolist()}),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            json.loads(response.read())
         finally:
             connection.close()
+
+    def test_invalid_content_length_closes_connection(self, served):
+        # An unparseable Content-Length means the body size is unknown,
+        # so the byte stream cannot carry another keep-alive request.
+        status, headers, body = _raw_request(
+            served["port"],
+            b"POST /v1/classify HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: banana\r\n\r\n",
+        )
+        assert status == 400
+        assert headers.get("connection") == "close"
+        assert "Content-Length" in json.loads(body)["error"]
 
     def test_type_error_payload_is_400_not_500(self, served):
         code, _ = _error(
@@ -321,6 +398,144 @@ class TestCorruptStore:
             thread.join(timeout=10)
 
 
+class TestBodyReads:
+    """Short-read robustness: dribbling and truncating clients."""
+
+    def test_dribbling_client_gets_200(self, served):
+        # A slow client delivering the body in small chunks must not be
+        # mistaken for malformed JSON (regression: single rfile.read()).
+        body = json.dumps({"series": served["X_test"][0].tolist()}).encode()
+        head = (
+            f"POST /v1/classify HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        with socket.create_connection(("127.0.0.1", served["port"]), timeout=30) as sock:
+            sock.sendall(head)
+            for i in range(0, len(body), 97):
+                sock.sendall(body[i : i + 97])
+                time.sleep(0.002)
+            status, _, response = _read_response(sock)
+        assert status == 200
+        assert "label" in json.loads(response)
+
+    def test_chunked_transfer_encoding_rejected(self, served):
+        # Same contract as the asyncio front end: chunked framing must
+        # not be misparsed as the next keep-alive request.
+        status, headers, body = _raw_request(
+            served["port"],
+            b"POST /v1/classify HTTP/1.1\r\nHost: t\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+            b"5\r\nhello\r\n0\r\n\r\n",
+        )
+        assert status == 501
+        assert "Transfer-Encoding" in json.loads(body)["error"]
+        assert headers.get("connection") == "close"
+
+    def test_truncated_body_is_distinct_400(self, served):
+        # A client that announces more bytes than it sends gets a 400
+        # naming the truncation, not a bogus "malformed JSON".
+        body = json.dumps({"series": served["X_test"][0].tolist()}).encode()
+        head = (
+            f"POST /v1/classify HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body) + 50}\r\n\r\n"
+        ).encode()
+        status, headers, response = _raw_request(
+            served["port"], head + body, shutdown=True
+        )
+        assert status == 400
+        message = json.loads(response)["error"]
+        assert "truncated" in message
+        assert str(len(body)) in message  # names how much actually arrived
+        assert headers.get("connection") == "close"
+
+
+class TestNonFiniteJson:
+    """NaN/Infinity tokens are rejected at parse time with a 400."""
+
+    def _post_raw(self, port, path, raw):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=raw,
+            headers={"Content-Type": "application/json"},
+        )
+        return _error(lambda: urllib.request.urlopen(request))
+
+    @pytest.mark.parametrize("token", ["NaN", "Infinity", "-Infinity"])
+    def test_classify_rejects_nonfinite(self, served, token):
+        code, message = self._post_raw(
+            served["port"],
+            "/v1/classify",
+            f'{{"series": [1.0, {token}, 2.0, 3.0]}}'.encode(),
+        )
+        assert code == 400
+        assert "non-finite" in message
+
+    def test_batch_rejects_nonfinite(self, served):
+        code, message = self._post_raw(
+            served["port"],
+            "/v1/batch",
+            b'{"series": [[1.0, NaN, 2.0, 3.0]]}',
+        )
+        assert code == 400
+        assert "non-finite" in message
+
+
+class TestMetricsEndpoint:
+    def _scrape(self, port):
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            return response.read().decode()
+
+    def test_scrape_format(self, served):
+        _post(served["port"], "/v1/classify", {"series": served["X_test"][0].tolist()})
+        text = self._scrape(served["port"])
+
+        assert "# TYPE repro_serve_requests_total counter" in text
+        match = re.search(
+            r'^repro_serve_requests_total\{route="/v1/classify",method="POST",'
+            r'status="200"\} (\d+)$',
+            text,
+            re.M,
+        )
+        assert match and int(match.group(1)) >= 1
+
+        # Latency histogram is internally consistent: +Inf bucket == count.
+        inf = re.search(
+            r'^repro_serve_request_seconds_bucket\{route="/v1/classify",'
+            r'le="\+Inf"\} (\d+)$',
+            text,
+            re.M,
+        )
+        count = re.search(
+            r'^repro_serve_request_seconds_count\{route="/v1/classify"\} (\d+)$',
+            text,
+            re.M,
+        )
+        assert inf and count and inf.group(1) == count.group(1)
+        assert int(count.group(1)) >= 1
+
+        # Engine/batcher families are pulled in at scrape time.
+        assert re.search(
+            r'^repro_serve_feature_cache_hit_ratio\{model="mvg",version="1"\} ',
+            text,
+            re.M,
+        )
+        assert re.search(
+            r'^repro_serve_batch_size_bucket\{model="mvg",version="1",le="\+Inf"\} ',
+            text,
+            re.M,
+        )
+        # Exactly one family header even with several loaded engines.
+        assert text.count("# TYPE repro_serve_batch_size histogram") == 1
+
+    def test_unknown_routes_share_one_metrics_label(self, served):
+        _error(lambda: _get(served["port"], "/scanner/probe/xyz"))
+        text = self._scrape(served["port"])
+        assert 'route="other"' in text
+        assert "scanner" not in text
+
+
 class TestEmptyStore:
     def test_classify_against_empty_store_is_404(self, tmp_path):
         server = create_server(ModelStore(tmp_path / "empty"), port=0)
@@ -334,6 +549,180 @@ class TestEmptyStore:
             )
             assert code == 404
             assert "empty" in message
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestHotReload:
+    """Store watcher semantics: eviction on delete, pickup of new
+    versions, stale-catalog refresh before a 404."""
+
+    @pytest.fixture
+    def reload_setup(self, tmp_path):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(8, 16))
+        y = np.repeat([0, 1], 4)
+        nn = NearestNeighborEuclidean().fit(X, y)
+        store = ModelStore(tmp_path / "store")
+        store.save(nn, "m")
+        server = create_server(store, port=0, max_wait_ms=1.0)
+        server.state.drain_grace_seconds = 0.0
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield {
+                "port": server.server_address[1],
+                "store": store,
+                "server": server,
+                "X": X,
+                "nn": nn,
+            }
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def _classify(self, setup, **extra):
+        _, payload = _post(
+            setup["port"], "/v1/classify", {"series": setup["X"][0].tolist(), **extra}
+        )
+        return payload
+
+    def test_stale_latest_after_delete_serves_survivor(self, reload_setup):
+        # Pin v1 so the catalog snapshot is warm (latest=2 cached) but
+        # the v2 pair is never loaded; deleting v2 then asking for
+        # "latest" must trigger the forced refresh, not a stale answer
+        # or 404.
+        setup = reload_setup
+        setup["store"].save(setup["nn"], "m")  # v2
+        assert self._classify(setup, version=1)["version"] == 1
+        setup["store"].delete("m", 2)
+        assert self._classify(setup)["version"] == 1
+
+    def test_reload_tick_evicts_deleted_version(self, reload_setup):
+        setup = reload_setup
+        state = setup["server"].state
+        setup["store"].save(setup["nn"], "m")  # v2
+        assert self._classify(setup)["version"] == 2
+        setup["store"].delete("m", 2)
+
+        summary = state.reload_tick()
+        assert ("m", 2) in summary["evicted"]
+
+        # The stale pair no longer serves; the survivor answers latest.
+        assert self._classify(setup)["version"] == 1
+        code, _ = _error(
+            lambda: _post(
+                setup["port"],
+                "/v1/classify",
+                {"series": setup["X"][0].tolist(), "version": 2},
+            )
+        )
+        assert code == 404
+
+        # With the grace already elapsed (0.0) the next tick closes the
+        # retired pair for good.
+        state.reload_tick()
+        health = state.health()
+        loaded = {(e["model"], e["version"]) for e in health["engines_loaded"]}
+        assert ("m", 2) not in loaded
+        assert health["engines_retired"] == 0
+
+    def test_new_version_picked_up_within_one_watcher_tick(self, tmp_path):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(8, 16))
+        y = np.repeat([0, 1], 4)
+        nn = NearestNeighborEuclidean().fit(X, y)
+        store = ModelStore(tmp_path / "store")
+        store.save(nn, "m")
+        server = create_server(
+            store, port=0, max_wait_ms=1.0, reload_interval_seconds=0.05
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        try:
+            _, payload = _post(port, "/v1/classify", {"series": X[0].tolist()})
+            assert payload["version"] == 1
+
+            store.save(nn, "m")  # publish v2
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _, payload = _post(port, "/v1/classify", {"series": X[0].tolist()})
+                if payload["version"] == 2:
+                    break
+                time.sleep(0.02)
+            assert payload["version"] == 2
+
+            # The watcher warm-loaded the new pair, not just the catalog.
+            loaded = {
+                (e["model"], e["version"])
+                for e in server.state.health()["engines_loaded"]
+            }
+            assert ("m", 2) in loaded
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_concurrent_classify_during_reload(self, tmp_path):
+        # Clients hammer /v1/classify while versions are published and
+        # deleted underneath them: every request succeeds, answered by
+        # whichever version was live (old ones drain, never 500).
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(8, 16))
+        y = np.repeat([0, 1], 4)
+        nn = NearestNeighborEuclidean().fit(X, y)
+        store = ModelStore(tmp_path / "store")
+        store.save(nn, "m")
+        server = create_server(
+            store,
+            port=0,
+            max_wait_ms=1.0,
+            reload_interval_seconds=0.05,
+            drain_grace_seconds=0.2,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        stop = threading.Event()
+        versions_seen: set[int] = set()
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        def client():
+            while not stop.is_set():
+                try:
+                    _, payload = _post(
+                        port, "/v1/classify", {"series": X[0].tolist()}
+                    )
+                    with lock:
+                        versions_seen.add(payload["version"])
+                except Exception as exc:  # pragma: no cover — surfaced below
+                    errors.append(exc)
+                    return
+
+        clients = [threading.Thread(target=client) for _ in range(4)]
+        try:
+            for c in clients:
+                c.start()
+            time.sleep(0.2)
+            store.save(nn, "m")  # v2 appears mid-traffic
+            time.sleep(0.3)
+            store.delete("m", 1)  # v1 retired while possibly in flight
+            time.sleep(0.3)
+        finally:
+            stop.set()
+            for c in clients:
+                c.join(timeout=10)
+        try:
+            assert not errors, errors
+            assert versions_seen >= {1, 2}
+            # After the dust settles, latest (v2) answers.
+            _, payload = _post(port, "/v1/classify", {"series": X[0].tolist()})
+            assert payload["version"] == 2
         finally:
             server.shutdown()
             server.server_close()

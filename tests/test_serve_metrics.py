@@ -1,0 +1,159 @@
+"""Prometheus exposition primitives: counters, gauges, histograms,
+label escaping and registry rendering."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServingMetrics,
+    format_labels,
+    render_histogram_from_counts,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help", ("route",))
+        counter.inc(route="/a")
+        counter.inc(2, route="/a")
+        counter.inc(route="/b")
+        assert counter.value(route="/a") == 3
+        assert counter.value(route="/b") == 1
+        assert counter.value(route="/missing") == 0
+
+    def test_cannot_decrease(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="decrease"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("c_total", "help", ("route",))
+        with pytest.raises(ValueError, match="labels"):
+            counter.inc(method="GET")
+
+    def test_render(self):
+        counter = Counter("c_total", "requests seen", ("route",))
+        counter.inc(5, route="/x")
+        lines = counter.render()
+        assert lines[0] == "# HELP c_total requests seen"
+        assert lines[1] == "# TYPE c_total counter"
+        assert 'c_total{route="/x"} 5' in lines
+
+    def test_thread_safety(self):
+        counter = Counter("c_total", "help")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 4000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value() == 7
+        assert "# TYPE g gauge" in gauge.render()
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("h", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        lines = hist.render()
+        assert 'h_bucket{le="0.1"} 1' in lines
+        assert 'h_bucket{le="1"} 3' in lines
+        assert 'h_bucket{le="10"} 4' in lines
+        assert 'h_bucket{le="+Inf"} 4' in lines
+        assert "h_count 4" in lines
+        sum_line = next(line for line in lines if line.startswith("h_sum"))
+        assert abs(float(sum_line.split()[-1]) - 6.05) < 1e-9
+
+    def test_labelled_series(self):
+        hist = Histogram("h", "help", ("route",), buckets=(1.0,))
+        hist.observe(0.5, route="/a")
+        hist.observe(2.0, route="/b")
+        lines = hist.render()
+        assert 'h_bucket{route="/a",le="1"} 1' in lines
+        assert 'h_bucket{route="/b",le="1"} 0' in lines
+        assert 'h_bucket{route="/b",le="+Inf"} 1' in lines
+
+
+class TestLabels:
+    def test_empty(self):
+        assert format_labels({}) == ""
+
+    def test_escaping(self):
+        rendered = format_labels({"path": 'a"b\\c\nd'})
+        assert rendered == '{path="a\\"b\\\\c\\nd"}'
+
+
+class TestHistogramFromCounts:
+    def test_batch_size_shape(self):
+        lines = render_histogram_from_counts(
+            "bs", "batch sizes", {1: 10, 3: 2, 40: 1}, {"m": "x"}, buckets=(1, 2, 4, 32)
+        )
+        assert 'bs_bucket{m="x",le="1"} 10' in lines
+        assert 'bs_bucket{m="x",le="2"} 10' in lines
+        assert 'bs_bucket{m="x",le="4"} 12' in lines
+        assert 'bs_bucket{m="x",le="32"} 12' in lines
+        assert 'bs_bucket{m="x",le="+Inf"} 13' in lines
+        assert 'bs_count{m="x"} 13' in lines
+        sum_line = next(line for line in lines if line.startswith("bs_sum"))
+        assert float(sum_line.split()[-1]) == 10 * 1 + 2 * 3 + 40
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", "help")
+
+    def test_render_includes_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help").inc()
+        registry.add_collector(lambda: ["custom_line 1"])
+        text = registry.render()
+        assert "x_total 1" in text
+        assert "custom_line 1" in text
+        assert text.endswith("\n")
+
+    def test_broken_collector_does_not_break_scrape(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.add_collector(broken)
+        text = registry.render()
+        assert "collector error" in text
+
+
+class TestServingMetrics:
+    def test_observe_request(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("/v1/classify", "POST", 200, 0.01)
+        metrics.observe_request("/v1/classify", "POST", 200, 0.02)
+        metrics.observe_request("/v1/classify", "POST", 400, 0.001)
+        text = metrics.render()
+        assert (
+            'repro_serve_requests_total{route="/v1/classify",method="POST",status="200"} 2'
+            in text
+        )
+        assert (
+            'repro_serve_requests_total{route="/v1/classify",method="POST",status="400"} 1'
+            in text
+        )
+        assert 'repro_serve_request_seconds_count{route="/v1/classify"} 3' in text
