@@ -1,11 +1,29 @@
-"""Shared helper for benchmark modules: artifact emission."""
+"""Shared helpers for benchmark modules: artifact emission + smoke mode.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by the CI ``bench-smoke``
+job) runs every benchmark end to end with tiny sizes and **no timing
+assertions** — the point is that benchmark code cannot rot silently,
+not that a shared CI runner can reproduce the headline numbers.  Size
+knobs go through :func:`pick`; speedup floors are guarded with
+``if not SMOKE``.  The sweep-driven benchmarks (table2/table3/figures)
+are sized externally through ``REPRO_DATASETS``/``REPRO_MAX_DATASETS``.
+"""
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 from repro.experiments.harness import results_dir
+
+#: True when benchmarks should run tiny and skip timing assertions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+
+def pick(full, smoke):
+    """``full`` normally, ``smoke`` under ``REPRO_BENCH_SMOKE=1``."""
+    return smoke if SMOKE else full
 
 
 def emit(name: str, text: str) -> None:

@@ -16,7 +16,7 @@ Results land in ``results/ablations.txt``.
 
 import numpy as np
 import pytest
-from _bench_utils import emit
+from _bench_utils import emit, pick
 
 from repro.core.config import FeatureConfig
 from repro.core.features import FeatureExtractor
@@ -29,7 +29,7 @@ from repro.ml.metrics import error_rate
 #: Everything in benchmarks/ is a macro/micro benchmark.
 pytestmark = pytest.mark.bench
 
-PANEL = ("BeetleFly", "ECG5000", "SmallKitchenAppliances", "ShapeletSim")
+PANEL = pick(("BeetleFly", "ECG5000", "SmallKitchenAppliances", "ShapeletSim"), ("BeetleFly",))
 
 
 def _evaluate_config(config: FeatureConfig, names=PANEL) -> tuple[float, int]:

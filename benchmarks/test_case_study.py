@@ -1,6 +1,6 @@
 """Regenerates the Figure 10 case study (FordA feature importances)."""
 
-from _bench_utils import emit
+from _bench_utils import emit, pick
 
 from repro.experiments.case_study import render_case_study, run_case_study
 import pytest
@@ -11,7 +11,7 @@ pytestmark = pytest.mark.bench
 
 def test_figure10_case_study(benchmark):
     result = benchmark.pedantic(
-        run_case_study, kwargs={"dataset": "FordA", "top_n": 10}, rounds=1, iterations=1
+        run_case_study, kwargs={"dataset": pick("FordA", "BeetleFly"), "top_n": 10}, rounds=1, iterations=1
     )
     assert len(result["top_features"]) == 10
     text = render_case_study(result)

@@ -14,6 +14,7 @@
 
 import numpy as np
 import pytest
+from _bench_utils import pick
 
 from repro.core.config import FeatureConfig
 from repro.core.features import extract_feature_vector
@@ -30,19 +31,27 @@ from repro.graph.visibility import (
 pytestmark = pytest.mark.bench
 
 
+#: Smoke mode (REPRO_BENCH_SMOKE=1) shrinks every series so the whole
+#: module stays seconds-cheap while still exercising the code paths.
+N_512 = pick(512, 64)
+N_2048 = pick(2048, 96)
+N_4096 = pick(4096, 128)
+N_256 = pick(256, 64)
+
+
 @pytest.fixture(scope="module")
 def series_512():
-    return np.random.default_rng(0).normal(size=512)
+    return np.random.default_rng(0).normal(size=N_512)
 
 
 @pytest.fixture(scope="module")
 def series_2048():
-    return np.random.default_rng(7).normal(size=2048)
+    return np.random.default_rng(7).normal(size=N_2048)
 
 
 @pytest.fixture(scope="module")
 def series_4096():
-    return np.random.default_rng(1).normal(size=4096)
+    return np.random.default_rng(1).normal(size=N_4096)
 
 
 def test_vg_naive_512(benchmark, series_512):
@@ -105,19 +114,19 @@ def test_vg_hvg_fast_to_graph_2048(benchmark, series_2048):
 
 
 def test_motif_counting_vg_256(benchmark):
-    graph = visibility_graph_dc(np.random.default_rng(2).normal(size=256))
+    graph = visibility_graph_dc(np.random.default_rng(2).normal(size=N_256))
     counts = benchmark(count_motifs, graph)
     assert counts.m21 == graph.n_edges
 
 
 def test_feature_extraction_mvg_256(benchmark):
-    series = np.random.default_rng(3).normal(size=256)
+    series = np.random.default_rng(3).normal(size=N_256)
     vector, names = benchmark(extract_feature_vector, series, FeatureConfig())
     assert vector.size == len(names)
 
 
 def test_feature_extraction_mvg_256_reference_builders(benchmark):
-    series = np.random.default_rng(3).normal(size=256)
+    series = np.random.default_rng(3).normal(size=N_256)
     vector, names = benchmark(
         lambda: extract_feature_vector(series, FeatureConfig(), fast=False)
     )
@@ -126,18 +135,18 @@ def test_feature_extraction_mvg_256_reference_builders(benchmark):
 
 def test_dtw_full_256(benchmark):
     rng = np.random.default_rng(4)
-    a, b = rng.normal(size=256), rng.normal(size=256)
+    a, b = rng.normal(size=N_256), rng.normal(size=N_256)
     assert benchmark(dtw_distance, a, b) > 0
 
 
 def test_dtw_banded_256(benchmark):
     rng = np.random.default_rng(5)
-    a, b = rng.normal(size=256), rng.normal(size=256)
+    a, b = rng.normal(size=N_256), rng.normal(size=N_256)
     assert benchmark(dtw_distance, a, b, 0.1) > 0
 
 
 def test_lb_keogh_256(benchmark):
     rng = np.random.default_rng(6)
-    a, b = rng.normal(size=256), rng.normal(size=256)
+    a, b = rng.normal(size=N_256), rng.normal(size=N_256)
     bound = benchmark(lb_keogh, a, b, 0.1)
     assert bound <= dtw_distance(a, b, 0.1) + 1e-9

@@ -37,7 +37,7 @@ import time
 
 import numpy as np
 import pytest
-from _bench_utils import emit
+from _bench_utils import SMOKE, emit, pick
 
 from repro.core.pipeline import MVGClassifier
 from repro.experiments.harness import results_dir
@@ -54,18 +54,18 @@ SERVING_SPEEDUP_FLOOR = 1.3
 #: connections of hot-cache traffic on a single CPU.
 ASYNC_SPEEDUP_FLOOR = 1.5
 
-FRONTEND_CLIENTS = 64
-FRONTEND_REQUESTS_PER_CLIENT = 40
+FRONTEND_CLIENTS = pick(64, 4)
+FRONTEND_REQUESTS_PER_CLIENT = pick(40, 3)
 
 #: Measurement rounds per front end/regime; the best round is recorded
 #: (capability measurement — suppresses scheduler/interference noise on
 #: the single shared CPU).
-FRONTEND_ROUNDS = 3
+FRONTEND_ROUNDS = pick(3, 1)
 
-SERIES_LENGTH = 200
-N_CLIENTS = 8
-REQUESTS_PER_CLIENT = 12
-HOT_POOL = 12
+SERIES_LENGTH = pick(200, 64)
+N_CLIENTS = pick(8, 2)
+REQUESTS_PER_CLIENT = pick(12, 3)
+HOT_POOL = pick(12, 3)
 HOT_FRACTION = 0.75
 
 
@@ -79,8 +79,9 @@ def _make_series(rng: np.random.Generator, label: int) -> np.ndarray:
 
 def _fit_model() -> MVGClassifier:
     rng = np.random.default_rng(7)
-    X_train = np.stack([_make_series(rng, i % 2) for i in range(24)])
-    y_train = np.arange(24) % 2
+    n_train = pick(24, 8)
+    X_train = np.stack([_make_series(rng, i % 2) for i in range(n_train)])
+    y_train = np.arange(n_train) % 2
     return MVGClassifier(random_state=0, feature_cache=False).fit(X_train, y_train)
 
 
@@ -213,10 +214,11 @@ def test_serving_microbatch_vs_sequential():
 
     _merge_results(payload)
 
-    # Micro-batching coalesced concurrent requests into real batches...
-    assert microbatch["batcher"]["largest_batch"] > 1
-    # ...and beats sequential single-request handling on throughput.
-    assert speedup >= SERVING_SPEEDUP_FLOOR, payload["online_traffic"]
+    if not SMOKE:
+        # Micro-batching coalesced concurrent requests into real batches...
+        assert microbatch["batcher"]["largest_batch"] > 1
+        # ...and beats sequential single-request handling on throughput.
+        assert speedup >= SERVING_SPEEDUP_FLOOR, payload["online_traffic"]
 
 
 def _merge_results(payload: dict) -> None:
@@ -359,7 +361,10 @@ def test_serving_async_vs_threaded_frontend(tmp_path):
     attempts = 0
     for attempts in (1, 2):
         threaded, async_loop = measure()
-        if speedup("connection_churn") >= ASYNC_SPEEDUP_FLOOR and speedup("keep_alive") >= 1.0:
+        if SMOKE or (
+            speedup("connection_churn") >= ASYNC_SPEEDUP_FLOOR
+            and speedup("keep_alive") >= 1.0
+        ):
             break
 
     payload = {
@@ -386,7 +391,8 @@ def test_serving_async_vs_threaded_frontend(tmp_path):
     }
     _merge_results(payload)
 
-    # The event loop beats thread-per-connection on one CPU: modestly on
-    # persistent connections, decisively under connection churn.
-    assert speedup("keep_alive") >= 1.0, payload["frontends"]
-    assert speedup("connection_churn") >= ASYNC_SPEEDUP_FLOOR, payload["frontends"]
+    if not SMOKE:
+        # The event loop beats thread-per-connection on one CPU: modestly
+        # on persistent connections, decisively under connection churn.
+        assert speedup("keep_alive") >= 1.0, payload["frontends"]
+        assert speedup("connection_churn") >= ASYNC_SPEEDUP_FLOOR, payload["frontends"]

@@ -17,6 +17,7 @@ run            fit+evaluate any registered model on one dataset
 fit            fit a model and save it (JSON file or model store)
 predict        load a saved model and evaluate it on a split
 serve          HTTP inference server over a model store
+stream         sliding-window streaming classification (local/remote)
 models         list / delete model-store entries
 =============  ==================================================
 
@@ -27,6 +28,8 @@ Examples::
     python -m repro predict --model-file wine.json --dataset Wine
     python -m repro fit --model mvg:A --dataset Wine --store models/ --name wine
     python -m repro serve --store models/ --port 8765
+    python -m repro stream --store models/ --window 128 --dataset Wine
+    python -m repro stream --url http://127.0.0.1:8765 --window 128 < points.txt
     python -m repro models --store models/
     python -m repro table2 --jobs 4 --datasets BeetleFly,BirdChicken
 
@@ -471,8 +474,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({args.loop} front end)"
     )
     print(
-        "  POST /v1/classify   POST /v1/batch   GET /v1/models   "
-        "GET /healthz   GET /metrics"
+        "  POST /v1/classify   POST /v1/batch   POST /v1/stream   "
+        "GET /v1/models   GET /healthz   GET /metrics"
     )
     print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
     if args.reload_interval > 0:
@@ -488,6 +491,168 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.close()
     else:
         serve_forever(server)
+    return 0
+
+
+def _stream_points(args: argparse.Namespace):
+    """The point source for ``stream``: a dataset series or stdin floats."""
+    if args.dataset:
+        split = _load_split(args.dataset, args.orientation)
+        part = split.train if args.split == "train" else split.test
+        if not 0 <= args.index < part.n_samples:
+            raise SystemExit(
+                f"--index {args.index} out of range for {args.dataset} "
+                f"{args.split} ({part.n_samples} series)"
+            )
+        for value in part.X[args.index]:
+            yield float(value)
+        return
+    import math
+    import shlex
+
+    for line in sys.stdin:
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            raise SystemExit(f"cannot parse stdin line {line!r}: {exc}") from None
+        for token in tokens:
+            try:
+                value = float(token)
+            except ValueError:
+                raise SystemExit(
+                    f"stdin token {token!r} is not a number; feed one or more "
+                    "whitespace-separated floats per line"
+                ) from None
+            if not math.isfinite(value):
+                raise SystemExit(
+                    f"stdin token {token!r} is not finite; series values "
+                    "must be finite numbers"
+                )
+            yield value
+
+
+def _format_tick(tick: dict) -> str:
+    import json as _json
+
+    return f"{tick['offset']}\t{tick['label']}\t{_json.dumps(tick['scores'])}"
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Stream points through a sliding window and print one label per tick.
+
+    Local mode (``--store``) runs the streaming pipeline in-process:
+    the window's visibility graphs are maintained incrementally
+    (:class:`repro.core.streaming.StreamingFeatureExtractor`) and each
+    tick predicts from the cached features.  Remote mode (``--url``)
+    drives a ``/v1/stream`` session on a running server.
+    """
+    points = _stream_points(args)
+    emitted = 0
+    if args.url:
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        endpoint = args.url.rstrip("/") + "/v1/stream"
+
+        def post(payload: dict) -> dict:
+            request = urllib.request.Request(
+                endpoint,
+                data=_json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=120) as response:
+                    return _json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode(errors="replace")
+                raise SystemExit(f"server returned {exc.code}: {detail}") from None
+            except (urllib.error.URLError, OSError) as exc:
+                raise SystemExit(f"cannot reach {endpoint}: {exc}") from None
+
+        create: dict = {"op": "create", "window": args.window, "stride": args.stride}
+        if args.model:
+            create["model"] = args.model
+        if args.version:
+            create["version"] = args.version
+        session = post(create)
+        sid = session["session"]
+        print(
+            f"# session {sid}: {session['model']} v{session['version']}, "
+            f"window {session['window']}, stride {session['stride']}",
+            file=sys.stderr,
+        )
+        chunk: list[float] = []
+        try:
+            def flush() -> None:
+                nonlocal emitted
+                if not chunk:
+                    return
+                outcome = post({"op": "append", "session": sid, "points": chunk})
+                chunk.clear()
+                for tick in outcome["results"]:
+                    print(_format_tick(tick))
+                    emitted += 1
+
+            for value in points:
+                chunk.append(value)
+                if len(chunk) >= args.chunk:
+                    flush()
+            flush()
+        finally:
+            # Best effort: a failed close (server gone, session already
+            # retired) must not mask the error that ended the stream.
+            try:
+                post({"op": "close", "session": sid})
+            except SystemExit:
+                pass
+    else:
+        from repro.serve import InferenceEngine, ModelStore, StreamSession
+        from repro.serve.store import ModelStoreError
+
+        store = ModelStore(args.store)
+        try:
+            names = store.names()
+            if not names:
+                raise SystemExit(
+                    f"model store {args.store} is empty; save a model first with "
+                    "`python -m repro fit ... --store DIR --name NAME`"
+                )
+            name = args.model or (names[0] if len(names) == 1 else None)
+            if name is None:
+                raise SystemExit(
+                    f"multiple models in {args.store} ({', '.join(names)}); "
+                    "pick one with --model"
+                )
+            model = store.load(name, args.version or "latest")
+        except ModelStoreError as exc:
+            raise SystemExit(str(exc)) from None
+        with InferenceEngine(model, name=name) as engine:
+            expected = engine.expected_features
+            if expected is not None:
+                from repro.core.streaming import check_window_layout
+
+                try:
+                    check_window_layout(
+                        args.window, engine.feature_config, expected, repr(name)
+                    )
+                except ValueError as exc:
+                    raise SystemExit(str(exc)) from None
+            try:
+                session = StreamSession("local", engine, args.window, args.stride)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            for value in points:
+                outcome = session.append([value])
+                for tick in outcome["results"]:
+                    print(_format_tick(tick))
+                    emitted += 1
+    print(f"# {emitted} tick(s) emitted", file=sys.stderr)
+    if emitted == 0:
+        print(
+            f"# window never filled ({args.window} points needed)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -678,6 +843,63 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hot-reload store poll interval (default 1.0; 0 disables)",
     )
 
+    sub = subparsers.add_parser(
+        "stream",
+        help="stream points through a sliding window, one label per tick",
+    )
+    source = sub.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--store", metavar="DIR", help="model-store directory (local streaming)"
+    )
+    source.add_argument(
+        "--url", metavar="URL", help="base URL of a running server (remote /v1/stream)"
+    )
+    sub.add_argument(
+        "--window",
+        type=int,
+        required=True,
+        metavar="N",
+        help="sliding-window length in points (the model's training length)",
+    )
+    sub.add_argument(
+        "--stride",
+        type=int,
+        default=1,
+        metavar="N",
+        help="new points between labels (default 1)",
+    )
+    sub.add_argument(
+        "--model", default=None, metavar="NAME", help="stored model name"
+    )
+    sub.add_argument(
+        "--version", default=None, metavar="V", help="model version (default latest)"
+    )
+    sub.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="stream one archive series instead of stdin floats",
+    )
+    sub.add_argument(
+        "--index", type=int, default=0, metavar="I", help="series index (with --dataset)"
+    )
+    sub.add_argument(
+        "--split", choices=("train", "test"), default="test", help="split (with --dataset)"
+    )
+    sub.add_argument(
+        "--orientation",
+        choices=("table2", "table3"),
+        default="table2",
+        help="split orientation (with --dataset)",
+    )
+    sub.add_argument(
+        "--chunk",
+        type=int,
+        default=256,
+        metavar="N",
+        help="points per append request in --url mode (default 256)",
+    )
+
     sub = subparsers.add_parser("models", help="list / delete model-store entries")
     sub.add_argument(
         "--store", required=True, metavar="DIR", help="model-store directory"
@@ -707,6 +929,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_predict(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "models":
         return _cmd_models(args)
     config = build_run_config(args)

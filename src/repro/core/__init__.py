@@ -20,6 +20,7 @@ from repro.core.multiscale import (
 )
 from repro.core.pipeline import MVGClassifier, default_param_grid
 from repro.core.stacking_pipeline import MVGStackingClassifier, default_families
+from repro.core.streaming import StreamingFeatureExtractor, feature_layout_width
 
 __all__ = [
     "paa",
@@ -30,6 +31,8 @@ __all__ = [
     "HEURISTIC_COLUMNS",
     "FeatureExtractor",
     "BatchFeatureExtractor",
+    "StreamingFeatureExtractor",
+    "feature_layout_width",
     "graph_feature_dict",
     "extract_feature_vector",
     "MVGClassifier",

@@ -1,0 +1,342 @@
+"""Streaming (sliding-window) MVG feature extraction.
+
+:class:`StreamingFeatureExtractor` produces, for every tick of a
+sliding window over an unbounded series, the *same* feature vector
+:func:`repro.core.features.extract_feature_vector` would produce for
+that window (bit-identical; property-tested in
+``tests/test_streaming_features.py``) — without rebuilding the window's
+visibility graphs from scratch:
+
+* **scale 0** is one :class:`~repro.graph.incremental.SlidingGraphWindow`
+  advanced a point at a time;
+* **downscaled scales** ride the PAA alignment: at scale ``i`` the
+  window is averaged in blocks of ``2^i`` points, and a window whose
+  start has the same residue mod ``2^i`` reuses the *same* block means
+  shifted by whole blocks.  The extractor therefore keeps a small bank
+  of phase slots per scale (``2^i`` of them, allocated lazily); each
+  tick exactly one slot per scale advances by one coarse point while
+  the rest stay frozen until their phase comes round again.  Scales the
+  alignment cannot serve (window not divisible into ``2^i`` blocks, the
+  generalised fractional-PAA regime) fall back to a full batch build of
+  that scale's graphs — correct, just not incremental.
+
+Graph *construction* is the incrementally-maintained part; the graph
+*metrics* extracted per tick (motif counts, k-core, assortativity) are
+globally coupled — a one-point change can move any of them — so they
+are recomputed by the exact same functions the batch extractor calls,
+on the incrementally-maintained graphs.  That shared code path is what
+makes bit-identity a structural property rather than a numerical
+accident: once the window graphs are equal, the features are equal.
+
+The per-window vector also shares the batch cache identity
+(:func:`repro.core.batch.series_cache_key` of the window under the same
+config), which is how the serving tier's feature LRU lets streaming and
+one-shot classify traffic reuse each other's work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import FeatureConfig
+from repro.core.features import _build_scale_graphs, graph_feature_dict
+from repro.core.multiscale import paa
+from repro.graph.incremental import SlidingGraphWindow
+
+__all__ = [
+    "SlidingWindowBuffer",
+    "StreamingFeatureExtractor",
+    "check_window_layout",
+    "feature_layout_width",
+    "scale_plan",
+]
+
+
+def check_window_layout(
+    window: int, config: FeatureConfig, expected: int, model_label: str
+) -> None:
+    """Raise ``ValueError`` when a ``window``-point stream cannot feed a
+    model fitted on ``expected`` features.
+
+    One shared message for the server (mapped to a 400 at session
+    create) and the local ``stream`` CLI, so the two surfaces reject
+    the same windows with the same wording.
+    """
+    width = feature_layout_width(window, config)
+    if width != expected:
+        raise ValueError(
+            f"window of {window} points yields {width} features, but "
+            f"{model_label} was fitted on a layout of {expected}; use the "
+            "training series length"
+        )
+
+
+class SlidingWindowBuffer:
+    """The last ``window`` points of a stream, O(1) amortised per push.
+
+    A ``2 * window`` backing array: pushes append until the write head
+    hits the end, then the live half slides down once — so the current
+    window is always one contiguous slice.  Shared by the feature
+    extractor (raw-point ring) and generic stream sessions.
+    """
+
+    __slots__ = ("window", "_buf", "_pos", "count")
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._buf = np.empty(2 * self.window, dtype=np.float64)
+        self._pos = 0
+        self.count = 0
+
+    @property
+    def filled(self) -> bool:
+        return self.count >= self.window
+
+    def push(self, value: float) -> None:
+        if self._pos == self._buf.size:
+            self._buf[: self.window] = self._buf[self.window :]
+            self._pos = self.window
+        self._buf[self._pos] = value
+        self._pos += 1
+        self.count += 1
+
+    def view(self) -> np.ndarray:
+        """The current window as a zero-copy slice (do not mutate)."""
+        if not self.filled:
+            raise ValueError(f"window not filled: {self.count}/{self.window} points")
+        return self._buf[self._pos - self.window : self._pos]
+
+    def values(self) -> np.ndarray:
+        """The current window, oldest first (a copy)."""
+        return self.view().copy()
+
+
+def scale_plan(window: int, config: FeatureConfig) -> list[tuple[int, int]]:
+    """``(scale_index, scale_length)`` pairs a window of ``window`` points
+    yields under ``config`` — exactly the scales
+    :func:`repro.core.multiscale.multiscale_representation` produces,
+    filtered by the config's scale selection."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    lengths = [(0, window)]
+    length = window // 2
+    scale = 1
+    while length > config.tau:
+        lengths.append((scale, length))
+        length //= 2
+        scale += 1
+    if config.scales == "uvg":
+        plan = lengths[:1]
+    elif config.scales == "amvg":
+        plan = lengths[1:]
+    else:  # mvg
+        plan = lengths
+    if not plan:
+        raise ValueError(
+            f"series of length {window} yields no scales for "
+            f"{config.scales!r} with tau={config.tau}"
+        )
+    return plan
+
+
+#: ``(include_stats, include_extended) -> features per graph``, probed
+#: once — the per-graph feature layout is size-independent.
+_WIDTH_CACHE: dict[tuple[bool, bool], int] = {}
+
+
+def _per_graph_width(config: FeatureConfig) -> int:
+    key = (config.include_stats, config.include_extended)
+    width = _WIDTH_CACHE.get(key)
+    if width is None:
+        from repro.graph.fast import fast_visibility_graph
+
+        probe = fast_visibility_graph(np.linspace(0.0, 1.0, 8))
+        width = len(
+            graph_feature_dict(
+                probe,
+                include_stats=config.include_stats,
+                include_extended=config.include_extended,
+            )
+        )
+        _WIDTH_CACHE[key] = width
+    return width
+
+
+def feature_layout_width(window: int, config: FeatureConfig) -> int:
+    """Features a window of ``window`` points extracts under ``config``.
+
+    Cheap (no extraction): scale count is arithmetic, the per-graph
+    layout is constant and probed once per feature mode.  Used by the
+    serving tier to reject a stream window whose layout cannot match
+    the model's fitted feature width *before* any points flow.
+    """
+    plan = scale_plan(window, config)
+    return len(plan) * len(config.graph_types()) * _per_graph_width(config)
+
+
+@dataclass
+class _ScaleSlot:
+    """One phase of one downscaled scale: its sliding graphs plus the
+    global index of the next raw block to fold in."""
+
+    graphs: SlidingGraphWindow
+    next_start: int
+
+    def reset(self, start: int) -> None:
+        self.graphs.clear()
+        self.next_start = start
+
+
+@dataclass
+class _ScaleState:
+    """Per-scale streaming state (``block == 1`` is scale 0)."""
+
+    scale: int
+    length: int
+    block: int
+    streamable: bool
+    slots: dict[int, _ScaleSlot] = field(default_factory=dict)
+
+
+class StreamingFeatureExtractor:
+    """Per-tick MVG features of a sliding window over a point stream.
+
+    Parameters
+    ----------
+    window:
+        Window length in raw points (>= 4; the classifier input length).
+    config:
+        Feature configuration; must match the model the features feed.
+
+    Usage::
+
+        extractor = StreamingFeatureExtractor(window=256)
+        for x in stream:
+            extractor.push(x)
+            if extractor.filled:
+                vector = extractor.features()   # == batch extraction
+
+    ``push`` is O(1); all graph maintenance happens inside
+    :meth:`features`, which advances each scale's active phase slot by
+    the blocks completed since that phase last served a tick (one block
+    per tick at stride 1) and re-extracts the metric features.
+    """
+
+    def __init__(self, window: int, config: FeatureConfig | None = None):
+        self.config = config or FeatureConfig()
+        if window < 4:
+            raise ValueError(f"window must be >= 4, got {window}")
+        self.window = int(window)
+        self._plan = scale_plan(self.window, self.config)
+        self._scales: list[_ScaleState] = []
+        for scale, length in self._plan:
+            block = self.window // length
+            streamable = (
+                scale == 0
+                or (self.window % length == 0 and block == 1 << scale)
+            )
+            self._scales.append(_ScaleState(scale, length, block, streamable))
+        self._ring = SlidingWindowBuffer(self.window)
+        self.feature_names_: list[str] | None = None
+        #: Introspection: slots advanced incrementally vs full scale
+        #: rebuilds (the fallback path) over this extractor's lifetime.
+        self.incremental_ticks_ = 0
+        self.full_builds_ = 0
+
+    # -- the point stream --------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Points pushed so far."""
+        return self._ring.count
+
+    @property
+    def filled(self) -> bool:
+        """Whether a full window is available."""
+        return self._ring.filled
+
+    def push(self, value: float) -> None:
+        """Append one point to the stream."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError(f"series values must be finite, got {value!r}")
+        self._ring.push(value)
+
+    def push_many(self, values) -> None:
+        """Append a batch of points."""
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.push(value)
+
+    def window_values(self) -> np.ndarray:
+        """The current window, oldest first (a copy)."""
+        return self._ring.values()
+
+    # -- feature extraction ------------------------------------------------
+    def features(self) -> np.ndarray:
+        """The window's feature vector (names in ``feature_names_``).
+
+        Bit-identical to
+        ``extract_feature_vector(window_values(), config)[0]``.
+        """
+        window = self._ring.view()  # raises until the window fills
+        start = self._ring.count - self.window
+        graph_types = self.config.graph_types()
+        values: list[float] = []
+        names: list[str] = []
+        for state in self._scales:
+            scaled = window if state.scale == 0 else paa(window, state.length)
+            graphs = self._scale_graphs(state, scaled, start)
+            prefix_scale = f"T{state.scale}"
+            for graph_type in graph_types:
+                features = graph_feature_dict(
+                    graphs[graph_type],
+                    include_stats=self.config.include_stats,
+                    include_extended=self.config.include_extended,
+                )
+                prefix = f"{prefix_scale} {graph_type.upper()}"
+                for label, value in features.items():
+                    names.append(f"{prefix} {label}")
+                    values.append(value)
+        if self.feature_names_ is None:
+            self.feature_names_ = names
+        return np.asarray(values, dtype=np.float64)
+
+    def _scale_graphs(
+        self, state: _ScaleState, scaled: np.ndarray, start: int
+    ) -> dict:
+        """This scale's graphs for the window starting at ``start``.
+
+        Streamable scales advance the phase slot matching the window's
+        block alignment; others rebuild from the scaled series.  Graphs
+        are handed to the metric extractors in adjacency-set ``Graph``
+        form — the O(edges) conversion is trivial next to motif
+        counting, and the set-based neighbourhood loops (triangles,
+        4-cliques, k-core) are an order of magnitude faster than
+        NumPy-row membership tests.
+        """
+        graph_types = self.config.graph_types()
+        if not state.streamable:
+            self.full_builds_ += 1
+            return _build_scale_graphs(
+                np.ascontiguousarray(scaled), graph_types, fast=True
+            )
+        block = state.block
+        phase = start % block
+        slot = state.slots.get(phase)
+        if slot is None:
+            slot = state.slots[phase] = _ScaleSlot(
+                SlidingGraphWindow(graph_types, window=state.length), start
+            )
+        if slot.next_start < start or slot.next_start > start + self.window:
+            # This phase fell a whole window behind (large stride or a
+            # long gap between feature calls): start it over.
+            slot.reset(start)
+        end = start + self.window
+        while slot.next_start <= end - block:
+            slot.graphs.push(scaled[(slot.next_start - start) // block])
+            slot.next_start += block
+        self.incremental_ticks_ += 1
+        return {kind: slot.graphs.graph(kind) for kind in graph_types}

@@ -22,6 +22,7 @@ from repro.graph.fast import (
     visibility_graphs,
     visibility_graphs_batch,
 )
+from repro.graph.incremental import SlidingGraphWindow, SlidingVisibilityGraph
 from repro.graph.metrics import (
     assortativity_coefficient,
     degeneracy,
@@ -52,6 +53,8 @@ __all__ = [
     "fast_horizontal_visibility_graph",
     "visibility_graphs",
     "visibility_graphs_batch",
+    "SlidingVisibilityGraph",
+    "SlidingGraphWindow",
     "visibility_graph",
     "visibility_graph_naive",
     "visibility_graph_dc",

@@ -146,6 +146,21 @@ class CSRGraph:
         pos = int(np.searchsorted(row, v))
         return pos < row.size and int(row[pos]) == v
 
+    def adjacency(self, u: int) -> np.ndarray:
+        """Neighbours of ``u`` — :class:`Graph`-compatible spelling.
+
+        Returns the sorted CSR row (a view) instead of a set.  Interop
+        accessor: membership tests on the row are O(degree) scans, so
+        code doing heavy neighbourhood intersection (the motif
+        counters) should convert via :meth:`to_graph` first — the set
+        materialisation is trivial next to those loops.
+        """
+        return self.neighbors(u)
+
+    def edges(self):
+        """Iterate edges as ``(u, v)`` int tuples with ``u < v``."""
+        return map(tuple, self.edge_array().tolist())
+
     def edge_array(self) -> np.ndarray:
         """Edges as an ``(m, 2)`` array with ``u < v`` per row."""
         src = np.repeat(np.arange(self.n_vertices, dtype=np.int64), self.degrees())

@@ -43,6 +43,13 @@ from repro.serve.store import (
     ModelStore,
     ModelStoreError,
 )
+from repro.serve.stream import (
+    ModelRetiredError,
+    SessionClosedError,
+    StreamError,
+    StreamSession,
+    UnknownSessionError,
+)
 
 __all__ = [
     "ClassifyResult",
@@ -61,4 +68,9 @@ __all__ = [
     "ModelRecord",
     "ModelStore",
     "ModelStoreError",
+    "StreamSession",
+    "StreamError",
+    "UnknownSessionError",
+    "SessionClosedError",
+    "ModelRetiredError",
 ]

@@ -1,6 +1,6 @@
 """Asyncio event-loop front end for the inference engine.
 
-``python -m repro serve --loop asyncio`` serves the same five endpoints
+``python -m repro serve --loop asyncio`` serves the same six endpoints
 as the threaded front end (:mod:`repro.serve.http`) from a single
 selector event loop.  The connection layer is a raw
 :class:`asyncio.Protocol` — no streams, no task per connection, no task

@@ -121,6 +121,21 @@ class InferenceEngine:
             names = getattr(model, "feature_names_", None)
             self._expected_features = len(names) if names else None
 
+    @property
+    def is_mvg(self) -> bool:
+        """Whether the model gets the cached-feature MVG fast path."""
+        return self._is_mvg
+
+    @property
+    def feature_config(self) -> FeatureConfig | None:
+        """The MVG feature configuration (``None`` for generic models)."""
+        return self._config if self._is_mvg else None
+
+    @property
+    def expected_features(self) -> int | None:
+        """Feature-layout width the fitted model expects (MVG only)."""
+        return self._expected_features if self._is_mvg else None
+
     def close(self) -> None:
         """Release engine resources (the persistent extraction pool)."""
         if self._is_mvg:
@@ -147,6 +162,45 @@ class InferenceEngine:
             else:
                 results = self._classify_generic(arrays)
         return results
+
+    def classify_stream(self, series: Any, compute_features=None) -> ClassifyResult:
+        """``(label, scores)`` for one sliding-window tick of a stream.
+
+        Shares the per-series feature LRU with ordinary ``classify``
+        traffic — the window is keyed by the same
+        :func:`~repro.core.batch.series_cache_key`, so a window an
+        offline client already classified is a cache hit for the stream
+        and vice versa.  On a miss, ``compute_features`` (typically
+        :meth:`repro.core.streaming.StreamingFeatureExtractor.features`,
+        which maintains the window's graphs incrementally) supplies the
+        vector instead of a batch extraction.
+
+        Generic (non-MVG) models, or a missing ``compute_features``,
+        fall back to :meth:`classify` on the window.
+        """
+        if not self._is_mvg or compute_features is None:
+            return self.classify(series)
+        array = _as_series(series)
+        key = series_cache_key(array, self._config)
+        with self._lock:
+            self.requests_served_ += 1
+            vector = self._cache_get(key)
+            if vector is None:
+                self.cache_misses_ += 1
+                vector = np.asarray(compute_features(), dtype=np.float64)
+                if (
+                    self._expected_features is not None
+                    and vector.size != self._expected_features
+                ):
+                    raise ValueError(
+                        f"stream window of length {array.size} produces "
+                        f"{vector.size} features, but model {self.name!r} was "
+                        f"fitted on a layout of {self._expected_features}"
+                    )
+                self._cache_put(key, vector)
+            else:
+                self.cache_hits_ += 1
+            return self._results_from_features(np.stack([vector]))[0]
 
     def stats(self) -> dict[str, Any]:
         """Counters for ``/healthz`` and the serving benchmark.
@@ -217,7 +271,9 @@ class InferenceEngine:
                 for i in pending[keys[rep]]:
                     vectors[i] = row
 
-        features = np.stack(vectors)
+        return self._results_from_features(np.stack(vectors))
+
+    def _results_from_features(self, features: np.ndarray) -> list[ClassifyResult]:
         labels = self.model.predict_from_features(features)
         if hasattr(self.model, "predict_proba_from_features"):
             probas = self.model.predict_proba_from_features(features)

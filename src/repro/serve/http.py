@@ -1,6 +1,6 @@
 """HTTP serving core: shared routing/state plus the threaded front end.
 
-Two front ends expose the same five endpoints over a
+Two front ends expose the same six endpoints over a
 :class:`~repro.serve.store.ModelStore`:
 
 * this module's :class:`InferenceServer` — a stdlib
@@ -24,6 +24,12 @@ byte-identical JSON bodies.
 ``POST /v1/batch``
     ``{"series": [[..], ..]}`` (same optional model selector) →
     ``{"results": [{"label", "scores"}, ..], "count"}``.
+``POST /v1/stream``
+    Streaming sessions (:mod:`repro.serve.stream`): ``op: "create"``
+    (``window``, ``stride``, optional model selector) → a session id;
+    ``op: "append"`` (``session``, ``points``) → one label per stride
+    once the window fills, features maintained incrementally;
+    ``op: "status"`` / ``op: "close"``.
 ``GET /v1/models``
     The store manifest: every stored version with hash and metadata.
 ``GET /healthz``
@@ -51,6 +57,8 @@ from __future__ import annotations
 import json
 import threading
 import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, IO
@@ -62,6 +70,12 @@ from repro.serve.metrics import (
     render_histogram_from_counts,
 )
 from repro.serve.store import ModelNotFoundError, ModelStore, ModelStoreError
+from repro.serve.stream import (
+    ModelRetiredError,
+    SessionClosedError,
+    StreamSession,
+    UnknownSessionError,
+)
 
 #: Largest accepted request body (a 1M-point float series in JSON).
 MAX_BODY_BYTES = 32 * 1024 * 1024
@@ -141,6 +155,13 @@ def response_for_exception(exc: BaseException) -> Response:
         return json_response(exc.status, {"error": str(exc)}, close=exc.close)
     if isinstance(exc, ModelNotFoundError):
         return json_response(404, {"error": str(exc)})
+    if isinstance(exc, UnknownSessionError):
+        return json_response(404, {"error": str(exc)})
+    if isinstance(exc, (ModelRetiredError, SessionClosedError)):
+        # The session (or the model version it pinned) is gone: a
+        # deliberate conflict the client resolves by recreating the
+        # session — never a 500 from a retired engine.
+        return json_response(409, {"error": str(exc)})
     if isinstance(exc, ModelStoreError):
         # Corrupt manifest / failed integrity check: a server-side
         # data problem, not a bad request.
@@ -274,6 +295,8 @@ class ServerState:
         feature_cache_size: int = 1024,
         jobs: int | None = None,
         drain_grace_seconds: float = 1.0,
+        max_stream_sessions: int = 64,
+        stream_session_ttl_seconds: float = 900.0,
     ):
         self.store = store
         self.default_model = default_model
@@ -302,6 +325,14 @@ class ServerState:
         #: changes or a pair is evicted (GIL-atomic dict reads; the
         #: slow path below re-validates under the lock).
         self._resolution_memo: dict[tuple[Any, Any], tuple[InferenceEngine, MicroBatcher]] = {}
+        #: Streaming sessions: id -> live StreamSession.  Appends run on
+        #: one shared worker thread (per-session ordering for free, and
+        #: the asyncio front end never extracts on the loop).
+        self.max_stream_sessions = int(max_stream_sessions)
+        self.stream_session_ttl_seconds = float(stream_session_ttl_seconds)
+        self._sessions: dict[str, StreamSession] = {}
+        self._stream_executor: ThreadPoolExecutor | None = None
+        self._stream_ticks_closed = 0
         self.metrics = ServingMetrics()
         self.metrics.registry.add_collector(self._collect_runtime_metrics)
 
@@ -482,7 +513,12 @@ class ServerState:
                     warmed.append((name, entry["latest"]))
                 except Exception:  # noqa: BLE001 — the next request surfaces it
                     pass
-        return {"evicted": evicted, "closed": len(due), "warmed": warmed}
+        return {
+            "evicted": evicted,
+            "closed": len(due),
+            "warmed": warmed,
+            "sessions_expired": self._sweep_stream_sessions(),
+        }
 
     def start_watcher(self, interval_seconds: float) -> "StoreWatcher":
         """Start polling the store for hot reload (idempotent)."""
@@ -495,6 +531,123 @@ class ServerState:
     def watcher(self) -> "StoreWatcher | None":
         return self._watcher
 
+    # -- streaming sessions ------------------------------------------------
+    def stream_executor(self) -> ThreadPoolExecutor:
+        """The single worker all sessions' appends run on (lazy)."""
+        with self._lock:
+            if self._stream_executor is None:
+                self._stream_executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-serve-stream"
+                )
+            return self._stream_executor
+
+    def ensure_version_live(self, name: str, version: int) -> None:
+        """Raise :class:`ModelRetiredError` when ``(name, version)`` has
+        been evicted from the serving set (hot reload)."""
+        with self._lock:
+            if (name, version) in self._loaded:
+                return
+        raise ModelRetiredError(
+            f"model {name!r} v{version} was retired from the serving set "
+            "(hot reload); recreate the stream session"
+        )
+
+    def create_stream_session(
+        self,
+        requested: str | None,
+        version: str | int | None,
+        window: Any,
+        stride: Any = 1,
+    ) -> StreamSession:
+        """Resolve the model, validate the window and register a session.
+
+        The window's feature layout is checked against the model's
+        fitted width *here* — a wrong window length 400s at create time
+        instead of failing every append.
+        """
+        engine, _ = self.engine_for(requested, version)
+        try:
+            session = StreamSession(
+                uuid.uuid4().hex[:16],
+                engine,
+                window,
+                stride,
+                liveness=lambda: self.ensure_version_live(
+                    engine.name, engine.version
+                ),
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
+        expected = engine.expected_features
+        if expected is not None:
+            from repro.core.streaming import check_window_layout
+
+            try:
+                check_window_layout(
+                    window,
+                    engine.feature_config,
+                    expected,
+                    f"model {engine.name!r} v{engine.version}",
+                )
+            except ValueError as exc:
+                raise ApiError(400, str(exc)) from None
+        # Expire idle sessions first, so abandoned ones cannot pin the
+        # limit forever when the hot-reload watcher (whose tick also
+        # sweeps) is disabled.
+        self._sweep_stream_sessions()
+        with self._lock:
+            if len(self._sessions) >= self.max_stream_sessions:
+                raise ApiError(
+                    429,
+                    f"too many active stream sessions "
+                    f"(limit {self.max_stream_sessions}); close one first",
+                )
+            self._sessions[session.id] = session
+        return session
+
+    def stream_session(self, session_id: Any) -> StreamSession:
+        if not isinstance(session_id, str):
+            raise ApiError(400, '"session" must be a string id')
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(f"no stream session {session_id!r}")
+        return session
+
+    def close_stream_session(self, session_id: Any) -> dict[str, Any]:
+        session = self.stream_session(session_id)
+        # Close *before* unregistering: close() waits out any in-flight
+        # append (and blocks future ones), so ticks_ is final when it is
+        # folded into the counter — ticks can neither be dropped nor
+        # double-counted, and the live-sum/closed-sum handover happens
+        # under one lock acquisition (no transient counter dip).
+        final = session.close()
+        with self._lock:
+            if self._sessions.pop(session_id, None) is not None:
+                self._stream_ticks_closed += session.ticks_
+        return final
+
+    def _sweep_stream_sessions(self) -> int:
+        """Drop sessions idle past the TTL (housekeeping on the watcher
+        tick and before admitting a new session)."""
+        deadline = time.monotonic() - self.stream_session_ttl_seconds
+        with self._lock:
+            expired = [
+                session
+                for session in self._sessions.values()
+                if session.last_activity_ < deadline
+            ]
+        swept = 0
+        for session in expired:
+            if session.last_activity_ >= deadline:
+                continue  # an append revived it since the snapshot
+            session.close()
+            with self._lock:
+                if self._sessions.pop(session.id, None) is not None:
+                    self._stream_ticks_closed += session.ticks_
+                    swept += 1
+        return swept
+
     # -- introspection -----------------------------------------------------
     def health(self) -> dict[str, Any]:
         watcher = self._watcher
@@ -504,6 +657,10 @@ class ServerState:
                 for (name, version), (engine, batcher) in self._loaded.items()
             ]
             retired = len(self._retired)
+            sessions = len(self._sessions)
+            stream_ticks = self._stream_ticks_closed + sum(
+                s.ticks_ for s in self._sessions.values()
+            )
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -511,6 +668,8 @@ class ServerState:
             "models_stored": len(self.store.names()),
             "engines_loaded": loaded,
             "engines_retired": retired,
+            "stream_sessions": sessions,
+            "stream_ticks": stream_ticks,
             "hot_reload": {
                 "enabled": watcher is not None,
                 "interval_seconds": watcher.interval_seconds if watcher else None,
@@ -618,11 +777,32 @@ class ServerState:
                 [("", {}, len(pairs))],
             )
         )
+        with self._lock:
+            n_sessions = len(self._sessions)
+            ticks = self._stream_ticks_closed + sum(
+                s.ticks_ for s in self._sessions.values()
+            )
+        lines.extend(
+            render_family(
+                "repro_serve_stream_sessions",
+                "gauge",
+                "Live streaming sessions.",
+                [("", {}, n_sessions)],
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_stream_ticks_total",
+                "counter",
+                "Sliding-window labels emitted across all stream sessions.",
+                [("", {}, ticks)],
+            )
+        )
         return lines
 
     def close(self) -> None:
-        """Stop the watcher and shut down every engine pool, including
-        retired pairs still draining."""
+        """Stop the watcher, stream worker and every engine pool,
+        including retired pairs still draining."""
         if self._watcher is not None:
             self._watcher.stop()
             self._watcher = None
@@ -632,6 +812,13 @@ class ServerState:
             self._loaded.clear()
             self._retired.clear()
             self._resolution_memo = {}
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            executor, self._stream_executor = self._stream_executor, None
+        for session in sessions:
+            session.close()
+        if executor is not None:
+            executor.shutdown(wait=True)
         for engine, batcher in pairs:
             batcher.close()
             engine.close()
@@ -742,6 +929,70 @@ def _route_batch(state: ServerState, body: bytes | None) -> PendingResponse:
     return PendingResponse(futures, build)
 
 
+def _route_stream(state: ServerState, body: bytes | None) -> Response | PendingResponse:
+    """One endpoint, four ops (``op`` field): ``create`` a session,
+    ``append`` points (labels stream back, one per stride once the
+    window fills), ``status``, ``close``.
+
+    Every op runs on the single stream worker and both front ends await
+    the same future (the threaded handler blocks, the event loop parks
+    the connection).  One worker for *all* ops means no two ops ever
+    contend for a session lock — in particular a ``close`` can never
+    stall the event loop behind a long in-flight ``append``.  The
+    shared 60s deadline bounds each *wait* (a 504 to the client), not
+    the work already on the worker, which is why appends are capped at
+    ``MAX_STREAM_POINTS_PER_APPEND`` points — clients stream in chunks.
+    """
+    payload = parse_json_body(body)
+    op = payload.get("op", "append")
+
+    if op == "create":
+        def run() -> Response:
+            session = state.create_stream_session(
+                payload.get("model"),
+                payload.get("version"),
+                payload.get("window"),
+                payload.get("stride", 1),
+            )
+            return json_response(200, {"created": True, **session.describe()})
+    elif op == "status":
+        def run() -> Response:
+            return json_response(
+                200, state.stream_session(payload.get("session")).describe()
+            )
+    elif op == "close":
+        def run() -> Response:
+            return json_response(200, state.close_stream_session(payload.get("session")))
+    elif op == "append":
+        session = state.stream_session(payload.get("session"))
+        points = payload.get("points")
+        t0 = time.perf_counter()
+
+        def run() -> Response:
+            outcome = session.append(points)
+            return json_response(
+                200,
+                {
+                    "session": session.id,
+                    "model": session.model,
+                    "version": session.version,
+                    "window": session.window,
+                    "stride": session.stride,
+                    "received": outcome["received"],
+                    "filled": outcome["filled"],
+                    "results": outcome["results"],
+                    "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+                },
+            )
+    else:
+        raise ApiError(
+            400, f"unknown stream op {op!r} (expected create/append/status/close)"
+        )
+
+    future = state.stream_executor().submit(run)
+    return PendingResponse([future], lambda results: results[0])
+
+
 def _route_models(state: ServerState, body: bytes | None) -> Response:
     records = state.store.list_models()
     return json_response(
@@ -764,6 +1015,7 @@ def _route_metrics(state: ServerState, body: bytes | None) -> Response:
 ROUTES: dict[tuple[str, str], Callable[[ServerState, bytes | None], Any]] = {
     ("POST", "/v1/classify"): _route_classify,
     ("POST", "/v1/batch"): _route_batch,
+    ("POST", "/v1/stream"): _route_stream,
     ("GET", "/v1/models"): _route_models,
     ("GET", "/healthz"): _route_health,
     ("GET", "/metrics"): _route_metrics,

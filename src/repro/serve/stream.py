@@ -1,0 +1,226 @@
+"""Streaming classification sessions for the serving tier.
+
+A :class:`StreamSession` binds one resolved ``(model, version)`` pair to
+a sliding window over a client's point stream: the client appends
+points (``POST /v1/stream`` with ``op: "append"``), and once the window
+fills the session emits one label per *stride* new points.  For MVG
+models the window's features come from a
+:class:`~repro.core.streaming.StreamingFeatureExtractor` — the window
+graphs are maintained incrementally instead of rebuilt per tick — and
+flow through the engine's per-series feature LRU
+(:meth:`~repro.serve.engine.InferenceEngine.classify_stream`), so
+stream ticks and one-shot classify requests for the same window reuse
+each other's work.  Generic models classify the raw window.
+
+Sessions are advanced on the server's single stream worker (appends to
+one session are strictly ordered; the event-loop front end never runs
+extraction on the loop).  Hot model reload interacts through the
+``liveness`` hook: when the session's model version is evicted from the
+serving set mid-session, the next tick fails with
+:class:`ModelRetiredError` — a clean 409 telling the client to recreate
+the session — instead of a 500 from a retired engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.streaming import SlidingWindowBuffer, StreamingFeatureExtractor
+from repro.serve.engine import ClassifyResult, InferenceEngine
+
+__all__ = [
+    "StreamSession",
+    "StreamError",
+    "UnknownSessionError",
+    "SessionClosedError",
+    "ModelRetiredError",
+    "MAX_STREAM_WINDOW",
+    "MAX_STREAM_POINTS_PER_APPEND",
+]
+
+#: Largest accepted stream window (raw points per classification).
+MAX_STREAM_WINDOW = 1 << 16
+
+#: Largest accepted ``points`` array per append request.  Kept well
+#: below the window cap: every stride-1 point past the warmup is one
+#: full classification tick, so a single append bounds the stream
+#: worker's head-of-line time — clients stream in chunks (the CLI
+#: defaults to 256 points per append).
+MAX_STREAM_POINTS_PER_APPEND = 8192
+
+
+class StreamError(Exception):
+    """Base class for stream-session failures."""
+
+
+class UnknownSessionError(StreamError):
+    """No session with the given id (HTTP 404)."""
+
+
+class SessionClosedError(StreamError):
+    """The session was closed and cannot accept points (HTTP 409)."""
+
+
+class ModelRetiredError(StreamError):
+    """The session's model version left the serving set (HTTP 409).
+
+    Raised by the session's liveness hook when hot reload evicted the
+    pinned ``(model, version)`` mid-session: the engine the session
+    holds is draining or closed, so instead of risking a confusing 500
+    the next tick fails cleanly and the client recreates the session
+    against a live version.
+    """
+
+
+class StreamSession:
+    """Sliding-window classification over an append-only point stream.
+
+    Parameters
+    ----------
+    session_id:
+        Identifier echoed in responses.
+    engine:
+        The resolved :class:`~repro.serve.engine.InferenceEngine`.
+    window:
+        Window length in points; a label is produced for each full
+        window.
+    stride:
+        New points between consecutive labels (1 = a label per point).
+    liveness:
+        Optional hook called before processing an append; it raises
+        :class:`ModelRetiredError` when the pinned model version is no
+        longer live.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        engine: InferenceEngine,
+        window: int,
+        stride: int = 1,
+        liveness: Callable[[], None] | None = None,
+    ):
+        if not isinstance(window, int) or isinstance(window, bool):
+            raise ValueError(f'"window" must be an integer, got {window!r}')
+        if not 4 <= window <= MAX_STREAM_WINDOW:
+            raise ValueError(
+                f'"window" must be between 4 and {MAX_STREAM_WINDOW}, got {window}'
+            )
+        if not isinstance(stride, int) or isinstance(stride, bool) or stride < 1:
+            raise ValueError(f'"stride" must be a positive integer, got {stride!r}')
+        self.id = session_id
+        self.engine = engine
+        self.model = engine.name
+        self.version = engine.version
+        self.window = window
+        self.stride = stride
+        self._liveness = liveness
+        if engine.is_mvg:
+            self._extractor: StreamingFeatureExtractor | None = (
+                StreamingFeatureExtractor(window, engine.feature_config)
+            )
+            self._ring: SlidingWindowBuffer | None = None
+        else:
+            self._extractor = None
+            self._ring = SlidingWindowBuffer(window)
+        self._lock = threading.Lock()
+        self.closed = False
+        self.points_received_ = 0
+        self.ticks_ = 0
+        self.created_at = time.time()
+        self.last_activity_ = time.monotonic()
+        self._next_tick_at = window
+
+    # -- the append path ---------------------------------------------------
+    def append(self, points: Any) -> dict[str, Any]:
+        """Fold ``points`` into the stream; returns the ticks they caused.
+
+        ``{"results": [{"offset", "label", "scores"}, ...], "received",
+        "filled"}`` — ``offset`` is the 1-based index of the last point
+        of that tick's window within the whole stream.
+        """
+        values = self._validate_points(points)
+        with self._lock:
+            if self.closed:
+                raise SessionClosedError(f"stream session {self.id} is closed")
+            if self._liveness is not None:
+                self._liveness()
+            self.last_activity_ = time.monotonic()
+            results: list[dict[str, Any]] = []
+            for value in values:
+                self._push(value)
+                self.points_received_ += 1
+                if self.points_received_ == self._next_tick_at:
+                    label, scores = self._tick()
+                    self.ticks_ += 1
+                    self._next_tick_at += self.stride
+                    results.append(
+                        {
+                            "offset": self.points_received_,
+                            "label": label,
+                            "scores": scores,
+                        }
+                    )
+            self.last_activity_ = time.monotonic()
+            return {
+                "results": results,
+                "received": self.points_received_,
+                "filled": self.points_received_ >= self.window,
+            }
+
+    def close(self) -> dict[str, Any]:
+        """Refuse further appends; returns the session's final stats."""
+        with self._lock:
+            self.closed = True
+            return self.describe()
+
+    def describe(self) -> dict[str, Any]:
+        """Session metadata for create/status/close responses."""
+        return {
+            "session": self.id,
+            "model": self.model,
+            "version": self.version,
+            "window": self.window,
+            "stride": self.stride,
+            "received": self.points_received_,
+            "filled": self.points_received_ >= self.window,
+            "ticks": self.ticks_,
+            "closed": self.closed,
+        }
+
+    # -- internals ---------------------------------------------------------
+    def _validate_points(self, points: Any) -> np.ndarray:
+        if not isinstance(points, (list, tuple)) or not points:
+            raise ValueError('request body needs a non-empty "points" array')
+        if len(points) > MAX_STREAM_POINTS_PER_APPEND:
+            raise ValueError(
+                f"at most {MAX_STREAM_POINTS_PER_APPEND} points per append"
+            )
+        try:
+            values = np.asarray(points, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f'"points" is not a numeric array: {exc}') from None
+        if values.ndim != 1:
+            raise ValueError(
+                f'"points" must be one-dimensional, got shape {values.shape}'
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError('"points" contains NaN or infinite values')
+        return values
+
+    def _push(self, value: float) -> None:
+        if self._extractor is not None:
+            self._extractor.push(value)
+        else:
+            self._ring.push(value)
+
+    def _tick(self) -> ClassifyResult:
+        if self._extractor is not None:
+            return self.engine.classify_stream(
+                self._extractor.window_values(), self._extractor.features
+            )
+        return self.engine.classify_stream(self._ring.values())

@@ -245,6 +245,95 @@ class TestModelStoreVerbs:
         assert "v1 (latest)" in out
         assert "BeetleFly" in out  # metadata column
 
+    def test_stream_verb_local_matches_offline_predict(self, capsys, sandbox):
+        assert self._fit_into_store(sandbox) == 0
+        capsys.readouterr()
+        from repro.data.archive import load_archive_dataset
+        from repro.serve import ModelStore
+
+        split = load_archive_dataset("BeetleFly")
+        code = main(
+            [
+                "stream",
+                "--store",
+                str(sandbox / "store"),
+                "--window",
+                str(split.test.length),
+                "--dataset",
+                "BeetleFly",
+                "--index",
+                "2",
+            ]
+        )
+        assert code == 0
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert len(out_lines) == 1  # one tick: the window fills exactly once
+        offset, label, scores = out_lines[0].split("\t")
+        assert int(offset) == split.test.length
+        offline = ModelStore(sandbox / "store").load("beetle").predict(
+            split.test.X[2][None, :]
+        )[0]
+        assert int(label) == offline
+        assert set(json.loads(scores)) == {"0", "1"}
+
+    def test_stream_verb_reads_stdin(self, capsys, sandbox, monkeypatch):
+        import io
+
+        assert self._fit_into_store(sandbox) == 0
+        capsys.readouterr()
+        from repro.data.archive import load_archive_dataset
+
+        split = load_archive_dataset("BeetleFly")
+        text = " ".join(str(v) for v in split.test.X[0])
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        code = main(
+            [
+                "stream",
+                "--store",
+                str(sandbox / "store"),
+                "--window",
+                str(split.test.length),
+            ]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_stream_verb_rejects_bad_invocations(self, sandbox):
+        with pytest.raises(SystemExit):
+            # --store and --url are mutually exclusive (argparse exits 2).
+            main(
+                [
+                    "stream",
+                    "--store",
+                    "x",
+                    "--url",
+                    "http://localhost:1",
+                    "--window",
+                    "16",
+                ]
+            )
+        with pytest.raises(SystemExit, match="empty|no model"):
+            main(
+                [
+                    "stream",
+                    "--store",
+                    str(sandbox / "missing-store"),
+                    "--window",
+                    "16",
+                    "--dataset",
+                    "BeetleFly",
+                ]
+            )
+
+    def test_stream_verb_stdin_rejects_garbage(self, sandbox, monkeypatch, capsys):
+        import io
+
+        assert self._fit_into_store(sandbox) == 0
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO("1.0 nope 2.0"))
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["stream", "--store", str(sandbox / "store"), "--window", "128"])
+
     def test_fit_needs_a_destination(self, sandbox):
         with pytest.raises(SystemExit, match="destination"):
             main(["fit", "--model", "mvg:A", "--dataset", "BeetleFly", "--no-tune"])

@@ -1,0 +1,211 @@
+"""Property tests pinning incremental sliding-window graphs to the batch
+builders.
+
+The contract of :mod:`repro.graph.incremental` is *graph identity on
+every prefix and every window*: after any sequence of pushes (and
+evictions), the maintained CSR equals what the fast builders — and
+hence the reference builders — produce for the same window values.
+That must hold in the adversarial float regime too (PAA block means,
+where differently-anchored slope comparisons can disagree about a
+borderline sightline), which is why the incremental VG replays the
+divide-and-conquer pivot sweeps instead of re-deriving visibility from
+the new endpoint.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.fast import (
+    fast_horizontal_visibility_graph_csr,
+    fast_visibility_graph_csr,
+)
+from repro.graph.incremental import SlidingGraphWindow, SlidingVisibilityGraph
+from repro.graph.visibility import (
+    horizontal_visibility_graph_naive,
+    visibility_graph_naive,
+)
+
+BUILDERS = {
+    "vg": fast_visibility_graph_csr,
+    "hvg": fast_horizontal_visibility_graph_csr,
+}
+
+float_series = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1,
+    max_size=80,
+).map(np.asarray)
+
+tie_series = st.lists(st.integers(0, 3), min_size=1, max_size=80).map(
+    lambda xs: np.asarray(xs, dtype=np.float64)
+)
+
+# PAA-mean-like values: averages of rounded normals produce the
+# borderline sightlines where float anchoring matters.
+paa_series = (
+    st.lists(st.integers(-20, 20), min_size=2, max_size=160)
+    .map(lambda xs: np.asarray(xs, dtype=np.float64) / 10.0)
+    .map(lambda a: a[: 2 * (a.size // 2)].reshape(-1, 2).mean(axis=1))
+    .filter(lambda a: a.size >= 1)
+)
+
+degenerate_series = st.one_of(
+    st.integers(1, 60).map(lambda n: np.zeros(n)),
+    st.integers(1, 60).map(lambda n: np.arange(float(n))),
+    st.integers(1, 60).map(lambda n: np.arange(float(n))[::-1].copy()),
+)
+
+all_series = st.one_of(float_series, tie_series, paa_series, degenerate_series)
+
+windows = st.integers(1, 24)
+
+
+class TestEveryPrefixAndWindow:
+    @given(all_series, windows)
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.parametrize("kind", ["vg", "hvg"])
+    def test_push_matches_batch_on_every_window(self, kind, values, window):
+        builder = BUILDERS[kind]
+        sliding = SlidingVisibilityGraph(kind, window=window)
+        for t, x in enumerate(values):
+            sliding.push(x)
+            expected = builder(values[max(0, t + 1 - window) : t + 1])
+            assert sliding.csr() == expected
+
+    @given(all_series)
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("kind", ["vg", "hvg"])
+    def test_unbounded_growth_matches_every_prefix(self, kind, values):
+        builder = BUILDERS[kind]
+        sliding = SlidingVisibilityGraph(kind)
+        for t, x in enumerate(values):
+            sliding.push(x)
+            assert sliding.csr() == builder(values[: t + 1])
+
+    @given(all_series)
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("kind", ["vg", "hvg"])
+    def test_evict_matches_every_suffix(self, kind, values):
+        builder = BUILDERS[kind]
+        sliding = SlidingVisibilityGraph(kind)
+        for x in values:
+            sliding.push(x)
+        n = values.size
+        while len(sliding):
+            sliding.evict()
+            assert sliding.csr() == builder(values[n - len(sliding) :])
+
+    @given(tie_series, st.integers(2, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_push_evict(self, values, window):
+        """Arbitrary manual push/evict interleaving (evict-heavy)."""
+        for kind, builder in BUILDERS.items():
+            sliding = SlidingVisibilityGraph(kind)
+            lo = 0
+            for t, x in enumerate(values):
+                sliding.push(x)
+                while t + 1 - lo > window:
+                    sliding.evict()
+                    lo += 1
+                if t % 3 == 2 and t + 1 - lo > 1:
+                    sliding.evict()
+                    lo += 1
+                assert sliding.csr() == builder(values[lo : t + 1])
+
+
+class TestAgainstReference:
+    @given(all_series, st.integers(2, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_final_window_equals_naive_reference(self, values, window):
+        vg = SlidingVisibilityGraph("vg", window=window)
+        hvg = SlidingVisibilityGraph("hvg", window=window)
+        for x in values:
+            vg.push(x)
+            hvg.push(x)
+        tail = values[max(0, values.size - window) :]
+        assert vg.graph() == visibility_graph_naive(tail)
+        assert hvg.graph() == horizontal_visibility_graph_naive(tail)
+
+
+class TestStructure:
+    def test_counts_and_values(self):
+        values = np.asarray([3.0, 1.0, 2.0, 4.0, 0.5])
+        sliding = SlidingVisibilityGraph("vg", window=3)
+        for x in values:
+            sliding.push(x)
+        assert len(sliding) == 3
+        assert sliding.n_vertices == 3
+        ref = fast_visibility_graph_csr(values[2:])
+        assert sliding.n_edges == ref.n_edges
+        assert np.array_equal(sliding.values(), values[2:])
+
+    def test_long_stream_ring_compaction(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=600)
+        sliding = SlidingVisibilityGraph("vg", window=17)
+        for x in values:
+            sliding.push(x)
+        assert sliding.csr() == fast_visibility_graph_csr(values[-17:])
+        # The buffer stayed bounded by the 2x-window compaction rule.
+        assert sliding._buf.size <= 2 * 17
+
+    def test_clear_resets_and_keeps_counting(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=40)
+        sliding = SlidingVisibilityGraph("hvg", window=8)
+        for x in values[:20]:
+            sliding.push(x)
+        sliding.clear()
+        assert len(sliding) == 0 and sliding.n_edges == 0
+        for x in values[20:30]:
+            sliding.push(x)
+        assert sliding.csr() == fast_horizontal_visibility_graph_csr(values[22:30])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="kind"):
+            SlidingVisibilityGraph("nope")
+        with pytest.raises(ValueError, match="window"):
+            SlidingVisibilityGraph("vg", window=0)
+        sliding = SlidingVisibilityGraph("vg")
+        with pytest.raises(ValueError, match="finite"):
+            sliding.push(float("nan"))
+        with pytest.raises(IndexError):
+            sliding.evict()
+
+    def test_window_pair(self):
+        rng = np.random.default_rng(9)
+        values = rng.normal(size=50)
+        pair = SlidingGraphWindow(("vg", "hvg"), window=12)
+        for x in values:
+            pair.push(x)
+        assert len(pair) == 12
+        assert pair.csr("vg") == fast_visibility_graph_csr(values[-12:])
+        assert pair.csr("hvg") == fast_horizontal_visibility_graph_csr(values[-12:])
+        assert pair.graph("vg") == visibility_graph_naive(values[-12:])
+        with pytest.raises(ValueError):
+            SlidingGraphWindow(())
+
+
+class TestCSRDuckTyping:
+    """Metric/motif extractors accept a CSRGraph directly (the streaming
+    fast path) and agree with the adjacency-set Graph bit for bit."""
+
+    @given(st.one_of(float_series, tie_series))
+    @settings(max_examples=25, deadline=None)
+    def test_metrics_and_motifs_equal_on_csr(self, values):
+        from repro.graph.metrics import graph_statistics
+        from repro.graph.motifs import count_motifs
+
+        csr = fast_visibility_graph_csr(values)
+        graph = csr.to_graph()
+        assert graph_statistics(csr) == graph_statistics(graph)
+        assert count_motifs(csr) == count_motifs(graph)
+
+    def test_adjacency_and_edges(self):
+        csr = fast_visibility_graph_csr(np.asarray([1.0, 3.0, 2.0, 4.0]))
+        graph = csr.to_graph()
+        for u in range(4):
+            assert set(csr.adjacency(u).tolist()) == graph.adjacency(u)
+        assert set(csr.edges()) == set(graph.edges())

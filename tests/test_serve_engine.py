@@ -145,6 +145,103 @@ class TestInferenceEngine:
             InferenceEngine(object())
 
 
+class TestFeatureLRUOrder:
+    """Eviction order of the per-series feature LRU under interleaved
+    stream-tick and classify traffic — both paths must touch the same
+    recency list, so the least *recently used* window is evicted
+    regardless of which path used it."""
+
+    @staticmethod
+    def _key(engine, series):
+        from repro.core.batch import series_cache_key
+
+        return series_cache_key(
+            np.ascontiguousarray(np.asarray(series, dtype=np.float64)),
+            engine.feature_config,
+        )
+
+    def test_classify_then_stream_hit_refreshes_recency(self, mvg_setup):
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        model, X_test = mvg_setup
+        a, b, c, d = X_test[:4]
+        with InferenceEngine(model, feature_cache_size=2) as engine:
+            extractor = StreamingFeatureExtractor(64, engine.feature_config)
+            extractor.push_many(a)
+
+            engine.classify(a)  # LRU: [a]
+            engine.classify(b)  # LRU: [a, b]
+            # A stream tick over window == a must HIT and refresh a.
+            engine.classify_stream(extractor.window_values(), extractor.features)
+            assert engine.cache_hits_ == 1
+            assert list(engine._lru) == [self._key(engine, b), self._key(engine, a)]
+
+            engine.classify(c)  # evicts b (a was refreshed by the stream)
+            keys = list(engine._lru)
+            assert keys == [self._key(engine, a), self._key(engine, c)]
+            assert self._key(engine, b) not in keys
+
+    def test_stream_miss_inserts_and_evicts_in_order(self, mvg_setup):
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        model, X_test = mvg_setup
+        a, b, c = X_test[:3]
+        with InferenceEngine(model, feature_cache_size=2) as engine:
+            engine.classify(a)
+            engine.classify(b)  # LRU: [a, b]
+
+            extractor = StreamingFeatureExtractor(64, engine.feature_config)
+            extractor.push_many(c)
+            # Stream miss inserts c, evicting the least recent (a).
+            engine.classify_stream(extractor.window_values(), extractor.features)
+            assert engine.cache_misses_ == 3
+            keys = list(engine._lru)
+            assert keys == [self._key(engine, b), self._key(engine, c)]
+
+            # And the classify path now hits the stream-inserted entry.
+            engine.classify(c)
+            assert engine.cache_hits_ == 1
+
+    def test_stream_and_classify_agree_on_vectors(self, mvg_setup):
+        """The vector a stream tick caches equals the batch-extracted
+        one — classify hits it and returns identical scores."""
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        model, X_test = mvg_setup
+        series = X_test[0]
+        with InferenceEngine(model) as engine:
+            extractor = StreamingFeatureExtractor(64, engine.feature_config)
+            extractor.push_many(series)
+            stream_result = engine.classify_stream(
+                extractor.window_values(), extractor.features
+            )
+            classify_result = engine.classify(series)
+            assert engine.cache_hits_ == 1  # classify hit the stream's entry
+            assert stream_result == classify_result
+
+    def test_stream_tick_counts_in_stats(self, mvg_setup):
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        model, X_test = mvg_setup
+        with InferenceEngine(model) as engine:
+            extractor = StreamingFeatureExtractor(64, engine.feature_config)
+            extractor.push_many(X_test[0])
+            engine.classify_stream(extractor.window_values(), extractor.features)
+            stats = engine.stats()
+            assert stats["requests_served"] == 1
+            assert stats["feature_cache_misses"] == 1
+            assert stats["feature_cache_entries"] == 1
+
+    def test_layout_mismatch_is_value_error(self, mvg_setup):
+        model, _ = mvg_setup
+        with InferenceEngine(model) as engine:
+            bad_vector = np.zeros(3)
+            with pytest.raises(ValueError, match="layout"):
+                engine.classify_stream(
+                    np.linspace(0.0, 1.0, 64), lambda: bad_vector
+                )
+
+
 class TestMicroBatcher:
     def test_results_match_engine(self, mvg_setup, engine):
         model, X_test = mvg_setup
