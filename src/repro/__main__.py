@@ -283,6 +283,25 @@ def _cmd_list_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import run_check
+
+    paths = args.paths or ["src/repro"]
+    return run_check(
+        paths,
+        fmt=args.format,
+        baseline=args.baseline,
+        update_baseline=args.write_baseline,
+        root=args.root,
+    )
+
+
+def _cmd_list_rules(args: argparse.Namespace) -> int:
+    from repro.analysis import run_list_rules
+
+    return run_list_rules(verbose=args.verbose)
+
+
 def _load_split(name: str, orientation: str):
     from repro.data.archive import load_archive_dataset
 
@@ -910,6 +929,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME[@VERSION]",
         help="delete one version (NAME@v2) or every version (NAME) of a model",
     )
+
+    sub = subparsers.add_parser(
+        "check", help="run the project-invariant static analyzer (repro.analysis)"
+    )
+    sub.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files/directories to scan (default: src/repro)",
+    )
+    sub.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is a stable CI artifact, default text)",
+    )
+    sub.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted findings to subtract",
+    )
+    sub.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings as a baseline and exit 0",
+    )
+    sub.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="anchor for reported paths and path-scoped rules (default: cwd)",
+    )
+
+    sub = subparsers.add_parser(
+        "list-rules", help="list the static-analysis rules `repro check` enforces"
+    )
+    sub.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show each rule's full convention notes",
+    )
     return parser
 
 
@@ -933,6 +996,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stream(args)
     if args.command == "models":
         return _cmd_models(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "list-rules":
+        return _cmd_list_rules(args)
     config = build_run_config(args)
     commands = ALL_COMMANDS if args.command == "all" else (args.command,)
     for command in commands:

@@ -1,0 +1,105 @@
+"""Project-invariant static analysis (``repro check``).
+
+A stdlib-``ast`` lint framework plus five checkers for the invariants
+this codebase's correctness actually rests on.  Pure stdlib — it parses
+source, it never imports the code under analysis — so it runs in any
+environment, including before heavyweight dependencies are installed.
+
+Rules
+-----
+``lock-discipline``
+    Shared mutable state is *declared* guarded and only touched with
+    the lock held.  Two declaration forms, used across
+    ``repro/serve`` and ``repro/core/batch.py``:
+
+    * class-level map: ``_GUARDED_BY = {"_sessions": "_lock"}``
+    * trailing comment on the assignment: ``self._ring = []  # guarded-by: _lock``
+
+    A ``# guarded-by: _lock`` comment on a ``def`` line declares the
+    *method* lock-held: its body is checked as if the lock were taken,
+    and calls to it from outside a ``with self._lock:`` scope are
+    flagged.  ``__init__``/``__new__``/``__getstate__``/
+    ``__setstate__``/``__del__`` are exempt; nested functions are
+    assumed to escape the lock scope.
+
+``async-blocking``
+    No blocking primitives (``time.sleep``, ``lock.acquire()``,
+    ``queue.get()``, file/socket I/O, ``Future.result()``) inside
+    coroutines, loop callbacks or ``asyncio.Protocol`` methods.
+
+``durable-write``
+    Durable writes go through :mod:`repro.ioutil`'s atomic writers,
+    never raw ``open(..., "w")`` / ``json.dump`` / ``write_text``.
+
+``env-mutation``
+    ``os.environ`` is read only in ``repro/api/config.py``
+    (``RunConfig.from_env``) and mutated nowhere.
+
+``determinism``
+    Feature code under ``graph/``/``core/`` never iterates raw sets or
+    calls unseeded ``random``/``np.random`` module-level RNGs — the
+    streaming==batch bit-identical feature guarantee depends on it.
+
+Suppressions
+------------
+A trailing ``# repro: allow[rule-id] reason`` pragma exempts its line
+(and, on a statement/def header, the whole node span).  Untriaged debt
+goes in a JSON baseline (``repro check --baseline FILE``) instead; the
+shipped tree runs clean with an empty baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    BaselineError,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import OUTPUT_VERSION, run_check, run_list_rules
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.rules_async import AsyncBlockingRule
+from repro.analysis.rules_determinism import DeterminismRule
+from repro.analysis.rules_io import DurableWriteRule, EnvMutationRule
+from repro.analysis.rules_locks import LockDisciplineRule
+
+__all__ = [
+    "AsyncBlockingRule",
+    "BaselineError",
+    "DeterminismRule",
+    "DurableWriteRule",
+    "EnvMutationRule",
+    "Finding",
+    "LockDisciplineRule",
+    "ModuleContext",
+    "OUTPUT_VERSION",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "filter_baselined",
+    "iter_python_files",
+    "load_baseline",
+    "run_check",
+    "run_list_rules",
+    "write_baseline",
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in stable id order."""
+    rules = [
+        AsyncBlockingRule(),
+        DeterminismRule(),
+        DurableWriteRule(),
+        EnvMutationRule(),
+        LockDisciplineRule(),
+    ]
+    return sorted(rules, key=lambda rule: rule.id)

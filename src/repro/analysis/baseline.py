@@ -1,0 +1,97 @@
+"""JSON baseline files: carry known findings without blessing new ones.
+
+A baseline is a snapshot of accepted findings.  ``repro check
+--baseline FILE`` subtracts the baselined findings from the current
+run, so pre-existing debt does not fail CI while anything *new* still
+does.  Matching is on ``(path, rule, message)`` as a multiset —
+line numbers are deliberately ignored so unrelated edits that shift
+code do not invalidate the baseline.
+
+The shipped tree runs clean, so the checked-in baseline is empty; the
+mechanism exists for branches that need to land a finding before its
+fix.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+from repro.ioutil import atomic_write_json
+
+__all__ = ["BaselineError", "load_baseline", "write_baseline", "filter_baselined"]
+
+#: Schema version of baseline files.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is unreadable or malformed."""
+
+
+def _key(entry: dict) -> tuple[str, str, str]:
+    return (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Multiset of ``(path, rule, message)`` keys from a baseline file."""
+    try:
+        blob = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline file {path}: {exc}") from None
+    if not isinstance(blob, dict) or not isinstance(blob.get("findings"), list):
+        raise BaselineError(
+            f"malformed baseline file {path}: expected "
+            '{"version": ..., "findings": [...]}'
+        )
+    if blob.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"unsupported baseline version {blob.get('version')!r} in {path}"
+        )
+    accepted: Counter = Counter()
+    for entry in blob["findings"]:
+        if not isinstance(entry, dict) or not {"path", "rule", "message"} <= set(
+            entry
+        ):
+            raise BaselineError(
+                f"malformed baseline entry in {path}: {entry!r}"
+            )
+        accepted[_key(entry)] += 1
+    return accepted
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as a baseline (atomic write, stable order)."""
+    atomic_write_json(
+        Path(path),
+        {
+            "version": BASELINE_VERSION,
+            "findings": [f.to_json() for f in sorted(findings)],
+        },
+        indent=1,
+        sort_keys=True,
+    )
+
+
+def filter_baselined(
+    findings: Iterable[Finding], accepted: Counter
+) -> list[Finding]:
+    """Findings not covered by the ``accepted`` multiset.
+
+    Each baseline entry absorbs one matching finding; duplicates beyond
+    the baselined count still surface.
+    """
+    remaining = Counter(accepted)
+    fresh: list[Finding] = []
+    for finding in sorted(findings):
+        key = (finding.path, finding.rule, finding.message)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,120 @@
+"""Implementation of the ``repro check`` / ``repro list-rules`` verbs.
+
+Kept separate from :mod:`repro.__main__` so tests drive the verbs as
+plain functions; the CLI wires argparse namespaces through to
+:func:`run_check` / :func:`run_list_rules` and exits with the returned
+code.  ``--format json`` output is a stable artifact contract for CI:
+
+.. code-block:: json
+
+    {"version": 1, "files_scanned": 42, "finding_count": 1,
+     "findings": [{"path": "...", "line": 3, "col": 4,
+                   "rule": "lock-discipline", "message": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.analysis.baseline import (
+    BaselineError,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Finding, Rule, analyze_paths
+
+__all__ = ["run_check", "run_list_rules", "OUTPUT_VERSION"]
+
+#: Schema version of ``--format json`` output.
+OUTPUT_VERSION = 1
+
+
+def _default_rules() -> list[Rule]:
+    from repro.analysis import default_rules
+
+    return default_rules()
+
+
+def _render_json(findings: list[Finding], scanned: int) -> str:
+    return json.dumps(
+        {
+            "version": OUTPUT_VERSION,
+            "files_scanned": scanned,
+            "finding_count": len(findings),
+            "findings": [f.to_json() for f in findings],
+        },
+        indent=1,
+        sort_keys=True,
+    )
+
+
+def run_check(
+    paths: Sequence[str],
+    fmt: str = "text",
+    baseline: str | None = None,
+    update_baseline: str | None = None,
+    root: str | Path | None = None,
+    rules: Sequence[Rule] | None = None,
+    out: IO[str] | None = None,
+) -> int:
+    """Scan ``paths``; return 0 when clean, 1 on findings, 2 on usage error."""
+    out = out if out is not None else sys.stdout
+    rules = list(rules) if rules is not None else _default_rules()
+    try:
+        findings, scanned = analyze_paths(paths, rules, root=root)
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if update_baseline is not None:
+        write_baseline(update_baseline, findings)
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to "
+            f"{update_baseline}",
+            file=out,
+        )
+        return 0
+
+    if baseline is not None:
+        try:
+            accepted = load_baseline(baseline)
+        except BaselineError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_baselined(findings, accepted)
+
+    if fmt == "json":
+        print(_render_json(findings, scanned), file=out)
+    else:
+        for finding in findings:
+            print(finding.format_text(), file=out)
+        noun = "file" if scanned == 1 else "files"
+        verdict = (
+            "clean"
+            if not findings
+            else f"{len(findings)} finding(s)"
+        )
+        print(f"repro check: {scanned} {noun} scanned, {verdict}", file=out)
+    return 1 if findings else 0
+
+
+def run_list_rules(
+    verbose: bool = False,
+    rules: Sequence[Rule] | None = None,
+    out: IO[str] | None = None,
+) -> int:
+    """Print every registered rule id with its one-line summary."""
+    out = out if out is not None else sys.stdout
+    rules = list(rules) if rules is not None else _default_rules()
+    width = max((len(rule.id) for rule in rules), default=0)
+    for rule in rules:
+        print(f"{rule.id:<{width}}  {rule.summary}", file=out)
+        if verbose and rule.details:
+            print(textwrap.indent(rule.details.strip(), "    "), file=out)
+            print(file=out)
+    return 0

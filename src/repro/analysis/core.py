@@ -1,0 +1,279 @@
+"""AST lint framework: findings, rules, pragmas, the file walk.
+
+Everything rule-independent lives here.  A :class:`Rule` inspects one
+parsed module (:class:`ModuleContext`) and yields :class:`Finding`
+objects; :func:`analyze_paths` walks the requested files, runs every
+applicable rule and filters findings through the suppression pragmas.
+
+Suppression pragmas
+-------------------
+A trailing comment ``# repro: allow[rule-id]`` (several ids separated
+by commas; anything after the closing bracket is free-form
+justification) suppresses matching findings:
+
+* on the physical line carrying the pragma, and
+* when that line *starts* a statement, function, class or ``with``
+  block, on the whole node's span — so one pragma on a ``return`` line
+  covers a multi-line literal, and one on a ``def`` line covers the
+  function body.
+
+Pragmas are deliberate, reviewed exemptions; findings nobody has
+triaged yet belong in a baseline file (:mod:`repro.analysis.baseline`)
+instead.
+
+The framework is pure stdlib (``ast`` + ``tokenize``); it never
+imports the modules it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_pragmas",
+    "scan_comments",
+]
+
+#: ``# repro: allow[rule-id, other-id] optional free-form reason``
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module handed to every rule.
+
+    ``display_path`` is what findings report (relative to the scan root
+    when possible); ``parts`` are the path components relative to the
+    scan root, which path-scoped rules (determinism: ``graph/`` +
+    ``core/``; the module allowlists of the IO rules) match against.
+    """
+
+    path: Path
+    display_path: str
+    parts: tuple[str, ...]
+    source: str
+    tree: ast.Module
+    comments: dict[int, str] = field(default_factory=dict)
+
+    def comment_on(self, line: int | None) -> str:
+        return self.comments.get(line or -1, "")
+
+
+class Rule:
+    """Base class: one invariant checked per module."""
+
+    #: Stable identifier used in output, pragmas and baselines.
+    id: str = ""
+    #: One-line description for ``repro list-rules``.
+    summary: str = ""
+    #: Longer convention notes shown by ``repro list-rules --verbose``.
+    details: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+def scan_comments(source: str) -> dict[int, str]:
+    """``{line: comment_text}`` for every comment token in ``source``.
+
+    Tokenizing (rather than splitting on ``#``) keeps ``#`` inside
+    string literals from being mistaken for comments.  A source that
+    fails to tokenize (it already failed :func:`ast.parse` then)
+    yields whatever was scanned before the error.
+    """
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_pragmas(comments: dict[int, str]) -> dict[int, frozenset[str]]:
+    """``{line: allowed_rule_ids}`` from ``# repro: allow[...]`` comments."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for line, text in comments.items():
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        ids = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if ids:
+            pragmas[line] = ids
+    return pragmas
+
+
+def _expand_suppressions(
+    tree: ast.Module, pragmas: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Extend line pragmas to the span of the node they head.
+
+    A pragma on the first line of any statement (including ``def``,
+    ``class`` and ``with`` headers) suppresses through that node's
+    ``end_lineno`` — one pragma covers a multi-line construct.
+    """
+    if not pragmas:
+        return {}
+    expanded: dict[int, set[str]] = {line: set(ids) for line, ids in pragmas.items()}
+    for node in ast.walk(tree):
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is None or end is None or lineno not in pragmas:
+            continue
+        if not isinstance(node, (ast.stmt, ast.expr)):
+            continue
+        ids = pragmas[lineno]
+        for line in range(lineno, end + 1):
+            expanded.setdefault(line, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in expanded.items()}
+
+
+def _relative_parts(path: Path, root: Path | None) -> tuple[str, ...]:
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).parts
+        except ValueError:
+            pass
+    return resolved.parts
+
+
+def build_context(path: Path, source: str, root: Path | None = None) -> ModuleContext:
+    """Parse ``source`` into a :class:`ModuleContext` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=str(path))
+    parts = _relative_parts(path, root)
+    display = "/".join(parts) if root is not None else path.as_posix()
+    return ModuleContext(
+        path=path,
+        display_path=display,
+        parts=parts,
+        source=source,
+        tree=tree,
+        comments=scan_comments(source),
+    )
+
+
+def analyze_source(
+    path: Path,
+    source: str,
+    rules: Iterable[Rule],
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over one module's source, pragma-filtered."""
+    try:
+        ctx = build_context(path, source, root)
+    except SyntaxError as exc:
+        display = "/".join(_relative_parts(path, root))
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = _expand_suppressions(ctx.tree, parse_pragmas(ctx.comments))
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule in suppressions.get(finding.line, frozenset()):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted,
+    skipping ``__pycache__``.  A missing path raises ``FileNotFoundError``."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and candidate.suffix == ".py":
+                seen.add(resolved)
+                yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+    root: str | Path | None = None,
+) -> tuple[list[Finding], int]:
+    """``(findings, files_scanned)`` for every Python file under ``paths``.
+
+    ``root`` anchors the display paths (and the path-scoped rules);
+    it defaults to the current working directory.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    rules = list(rules)
+    findings: list[Finding] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        source = path.read_text(encoding="utf-8")
+        findings.extend(analyze_source(path, source, rules, root_path))
+    return sorted(findings), scanned

@@ -1,0 +1,288 @@
+"""Blocking-call detection inside event-loop contexts.
+
+Anything that can block for longer than a bookkeeping instant must not
+run on the asyncio loop thread: it stalls every connection the loop is
+multiplexing.  This rule identifies *loop contexts* and flags known
+blocking primitives inside them.
+
+Loop contexts are:
+
+* every ``async def`` (coroutines run on the loop);
+* sync functions handed to the loop via ``call_soon`` /
+  ``call_soon_threadsafe`` / ``call_later`` / ``call_at`` anywhere in
+  the module;
+* sync methods of classes deriving from ``asyncio.Protocol`` (and
+  friends) — transports invoke them on the loop thread.
+
+Flagged inside those contexts (unless directly ``await``-ed):
+
+* ``time.sleep``, builtin ``open``, ``urlopen``, ``subprocess.*``;
+* ``.result()`` / bare ``.join()`` / ``.wait()`` — synchronous rendezvous
+  with another thread (``",".join(parts)`` is not flagged: ``str.join``
+  always takes an argument);
+* ``.acquire()`` without ``blocking=False`` and ``with self.<lock>:``
+  where the attribute name looks lock-like;
+* ``.get()`` / ``.put()`` on queue-named receivers (``queue.Queue``
+  blocks; ``dict.get`` does not);
+* socket verbs (``recv``, ``sendall``, ``accept``, ``connect``) and
+  ``Path`` file I/O (``read_text`` etc.).
+
+Nested sync ``def``\\ s inside a coroutine are *not* treated as loop
+contexts — in this codebase they are handed to worker threads or
+executors (e.g. completion callbacks running in the pool).  A nested
+def that does run on the loop should be named into a ``call_soon`` to
+be picked up, or reviewed by hand.
+
+Deliberate loop-side micro-waits are annotated in place with
+``# repro: allow[async-blocking]`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["AsyncBlockingRule"]
+
+#: `module.func` dotted calls that block.
+_BLOCKING_DOTTED = {
+    ("time", "sleep"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("socket", "create_connection"),
+}
+
+#: bare names that block when called.
+_BLOCKING_NAMES = {"open", "urlopen", "input"}
+
+#: method names that block regardless of receiver.
+_BLOCKING_METHODS = {
+    "recv",
+    "recv_into",
+    "sendall",
+    "accept",
+    "connect",
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+    "urlopen",
+}
+
+_LOCKISH_RE = re.compile(r"(?:^|_)(?:lock|mutex|sem|semaphore)(?:_|$)|lock$|mutex$")
+_QUEUEISH_RE = re.compile(r"queue|(?:^|_)q$")
+
+#: asyncio base classes whose sync methods run on the loop thread.
+_PROTOCOL_BASES = {
+    "Protocol",
+    "BaseProtocol",
+    "BufferedProtocol",
+    "DatagramProtocol",
+    "SubprocessProtocol",
+}
+
+#: loop methods taking a plain callback, and the callback's arg index.
+_CALLBACK_SLOTS = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_done_callback": 0,
+}
+
+
+def _rightmost_name(node: ast.AST) -> str:
+    """``foo`` for ``foo``, ``bar`` for ``self.bar`` / ``a.b.bar``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _callback_names(tree: ast.Module) -> set[str]:
+    """Names of sync callables scheduled onto the loop anywhere here."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        slot = _CALLBACK_SLOTS.get(node.func.attr)
+        if slot is None or len(node.args) <= slot:
+            continue
+        callback = node.args[slot]
+        name = _rightmost_name(callback)
+        if name:
+            names.add(name)
+    return names
+
+
+def _protocol_classes(tree: ast.Module) -> set[str]:
+    classes: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                if _rightmost_name(base) in _PROTOCOL_BASES:
+                    classes.add(node.name)
+    return classes
+
+
+class _LoopBodyVisitor(ast.NodeVisitor):
+    """Flag blocking constructs inside one loop-context function body."""
+
+    def __init__(
+        self,
+        rule: "AsyncBlockingRule",
+        ctx: ModuleContext,
+        fn: str,
+        callbacks: frozenset[str] = frozenset(),
+    ):
+        self.rule = rule
+        self.ctx = ctx
+        self.fn = fn
+        self.callbacks = callbacks
+        self.findings: list[Finding] = []
+
+    # Nested sync defs run worker-side (see module docstring) — do not
+    # descend, unless the def is named into a loop-callback slot.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name in self.callbacks:
+            self.findings.extend(self.rule._scan(self.ctx, node, self.callbacks))
+
+    # A nested coroutine still runs on the loop when awaited.
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.findings.extend(self.rule._scan(self.ctx, node, self.callbacks))
+
+    def visit_Await(self, node: ast.Await) -> None:
+        # An awaited call is the *point* of a coroutine, not a block;
+        # descend into its arguments only.
+        target = node.value
+        if isinstance(target, ast.Call):
+            for arg in target.args:
+                self.visit(arg)
+            for kw in target.keywords:
+                self.visit(kw.value)
+        else:
+            self.visit(target)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and _LOCKISH_RE.search(
+                expr.attr.lower()
+            ):
+                self._flag(
+                    expr,
+                    f"'with …{expr.attr}:' acquires a thread lock on the "
+                    "event loop",
+                )
+            self.visit(expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.ctx, node, f"{what} in loop context '{self.fn}'"
+            )
+        )
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_NAMES:
+                self._flag(node, f"blocking call '{func.id}(…)'")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        receiver = _rightmost_name(func.value)
+
+        if (receiver, method) in _BLOCKING_DOTTED:
+            self._flag(node, f"blocking call '{receiver}.{method}(…)'")
+        elif method in _BLOCKING_METHODS:
+            self._flag(node, f"blocking call '.{method}(…)'")
+        elif method == "result":
+            self._flag(node, "blocking 'Future.result()'")
+        elif method == "wait":
+            self._flag(node, "blocking '.wait()'")
+        elif method == "join":
+            # str.join always takes one positional argument; a bare or
+            # timeout-only .join() is a thread/queue rendezvous.
+            if not node.args or any(kw.arg == "timeout" for kw in node.keywords):
+                self._flag(node, "blocking '.join()'")
+        elif method == "acquire":
+            nonblocking = any(
+                kw.arg == "blocking"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            ) or (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is False
+            )
+            if not nonblocking:
+                self._flag(node, "blocking '.acquire()'")
+        elif method in ("get", "put") and _QUEUEISH_RE.search(receiver.lower()):
+            nowait = any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            )
+            if not nowait:
+                self._flag(node, f"blocking queue '.{method}()'")
+
+
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    summary = (
+        "no blocking primitives (time.sleep, lock.acquire, queue.get, "
+        "file/socket I/O, Future.result) inside coroutines or loop callbacks"
+    )
+    details = __doc__ or ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        callbacks = frozenset(_callback_names(ctx.tree))
+        protocols = _protocol_classes(ctx.tree)
+
+        def walk(node: ast.AST, in_protocol: bool) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, child.name in protocols)
+                elif isinstance(child, ast.AsyncFunctionDef):
+                    yield from self._scan(ctx, child, callbacks)
+                elif isinstance(child, ast.FunctionDef):
+                    if in_protocol or child.name in callbacks:
+                        yield from self._scan(ctx, child, callbacks)
+                    else:
+                        # still recurse: a nested class/coroutine inside
+                        # a plain function is a loop context of its own.
+                        yield from walk(child, False)
+                else:
+                    yield from walk(child, in_protocol)
+
+        yield from walk(ctx.tree, False)
+
+    def _scan(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        callbacks: frozenset[str] = frozenset(),
+    ) -> Iterator[Finding]:
+        visitor = _LoopBodyVisitor(self, ctx, fn.name, callbacks)
+        for stmt in fn.body:
+            visitor.visit(stmt)
+        yield from visitor.findings

@@ -1,0 +1,122 @@
+"""Determinism rule for feature-producing code (``graph/``, ``core/``).
+
+The streaming tier is property-pinned on *bit-identical* features:
+``classify_stream`` must equal ``classify_batch`` for the same window.
+Two classes of nondeterminism can silently break that guarantee:
+
+* **unordered set iteration** — ``for v in {a, b, c}`` /
+  ``for v in set(x)`` orders by hash, which for strings varies per
+  process (hash randomisation).  A feature vector assembled from such
+  a loop is not reproducible.  Dicts preserve insertion order in
+  Python ≥ 3.7 and are not flagged; sets (literals, ``set()`` /
+  ``frozenset()`` calls, and set-operator results) are.
+* **unseeded global RNGs** — ``random.random()`` / ``np.random.rand()``
+  draw from interpreter-global state.  Policy is explicit generators:
+  ``np.random.default_rng(seed)`` / ``random.Random(seed)`` threaded
+  through call signatures.  Any ``random.*`` / ``np.random.*`` module-
+  level call (other than constructing such a generator) is flagged —
+  including ``seed()`` itself, which mutates shared global state.
+
+Scoped to modules under a ``graph/`` or ``core/`` directory: that is
+where feature vectors are computed.  Sorting the set first
+(``for v in sorted(s)``) is the fix; a truly order-independent use
+(e.g. summing) takes ``# repro: allow[determinism]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: Constructors of explicitly-seeded generators — allowed.
+_SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "RandomState",
+}
+
+#: Directories whose modules compute features.
+_SCOPED_DIRS = {"graph", "core"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set operators only when one operand is itself visibly a set
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    summary = (
+        "feature code (graph/, core/) never iterates raw sets or calls "
+        "unseeded random/np.random module-level RNGs"
+    )
+    details = __doc__ or ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return bool(_SCOPED_DIRS & set(ctx.parts[:-1]))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.finding(
+                        ctx,
+                        node.iter,
+                        "iteration over an unordered set: order varies with "
+                        "hash randomisation (sort it first)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.finding(
+                            ctx,
+                            gen.iter,
+                            "comprehension over an unordered set: order varies "
+                            "with hash randomisation (sort it first)",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                # `random.<fn>(...)` on the stdlib module
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr != "Random"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'random.{func.attr}(...)' uses the unseeded global "
+                        "RNG (thread an explicit random.Random(seed))",
+                    )
+                # `np.random.<fn>(...)` / `numpy.random.<fn>(...)`
+                elif (
+                    isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in ("np", "numpy")
+                    and func.attr not in _SEEDED_CONSTRUCTORS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'np.random.{func.attr}(...)' uses the unseeded "
+                        "global RNG (use np.random.default_rng(seed))",
+                    )

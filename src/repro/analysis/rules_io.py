@@ -1,0 +1,215 @@
+"""Durability and environment hygiene rules.
+
+``durable-write``
+    Every durable artifact (results, model blobs, caches, reports) must
+    go through :mod:`repro.ioutil`'s atomic writers — a half-written
+    JSON file after a crash is worse than no file.  This rule flags the
+    raw primitives: ``open(..., "w"/"a"/"x")``, ``json.dump``,
+    ``pickle.dump``, ``Path.write_text`` / ``write_bytes`` and
+    ``np.save*`` anywhere outside ``repro/ioutil.py`` itself.
+    Non-durable sinks (sys.stdout, a socket) are not reached by these
+    primitives in this codebase; a justified direct write takes a
+    ``# repro: allow[durable-write]`` pragma.
+
+``env-mutation``
+    ROADMAP policy: process environment is read once, in
+    ``RunConfig.from_env`` (``repro/api/config.py``), and never
+    mutated.  Reads of ``os.environ`` / ``os.getenv`` outside the
+    config module and *writes* anywhere (``os.environ[...] = ...``,
+    ``.pop``/``.setdefault``/``.update``, ``os.putenv``) are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["DurableWriteRule", "EnvMutationRule"]
+
+#: open() modes that create or mutate a file.
+_WRITE_MODE_CHARS = set("wax+")
+
+#: `module.func` dotted calls that write durably.
+_DURABLE_DOTTED = {
+    ("json", "dump"),
+    ("pickle", "dump"),
+    ("np", "save"),
+    ("np", "savez"),
+    ("np", "savez_compressed"),
+    ("np", "savetxt"),
+    ("numpy", "save"),
+    ("numpy", "savez"),
+    ("numpy", "savez_compressed"),
+    ("numpy", "savetxt"),
+}
+
+_DURABLE_METHODS = {"write_text", "write_bytes"}
+
+#: os.environ methods that mutate the environment.
+_ENV_MUTATORS = {"pop", "setdefault", "update", "clear", "__setitem__"}
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    if isinstance(func.value, ast.Name):
+        return func.value.id
+    if isinstance(func.value, ast.Attribute):
+        return func.value.attr
+    return ""
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open``/``Path.open`` call if it writes."""
+    mode: ast.expr | None = None
+    if isinstance(node.func, ast.Name) and node.func.id == "open":
+        if len(node.args) >= 2:
+            mode = node.args[1]
+    elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+        if node.args:
+            mode = node.args[0]
+    else:
+        return None
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and _WRITE_MODE_CHARS & set(mode.value)
+    ):
+        return mode.value
+    return None
+
+
+class DurableWriteRule(Rule):
+    id = "durable-write"
+    summary = (
+        "durable writes (open('w'), json.dump, write_text, np.save) go "
+        "through repro.ioutil's atomic writers"
+    )
+    details = __doc__ or ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.path.stem != "ioutil"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct open(..., {mode!r}) bypasses repro.ioutil's "
+                    "atomic writers",
+                )
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = _receiver_name(func)
+            if (receiver, func.attr) in _DURABLE_DOTTED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{receiver}.{func.attr}(...)' writes durably outside "
+                    "repro.ioutil (use atomic_write_json / atomic_write_npy)",
+                )
+            elif func.attr in _DURABLE_METHODS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'.{func.attr}(...)' writes durably outside repro.ioutil "
+                    "(use atomic_write_text / atomic_write_bytes)",
+                )
+
+
+def _is_os_environ(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+class EnvMutationRule(Rule):
+    id = "env-mutation"
+    summary = (
+        "os.environ is read only inside repro/api/config.py "
+        "(RunConfig.from_env) and never written"
+    )
+    details = __doc__ or ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        reads_allowed = ctx.path.stem == "config"
+        consumed: set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and _is_os_environ(func.value):
+                    consumed.add(func.value)
+                    if func.attr in _ENV_MUTATORS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"'os.environ.{func.attr}(...)' mutates the "
+                            "process environment (forbidden everywhere)",
+                        )
+                    elif not reads_allowed:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"'os.environ.{func.attr}(...)' reads the "
+                            "environment outside RunConfig.from_env",
+                        )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr in ("putenv", "unsetenv")
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'os.{func.attr}(...)' mutates the process "
+                        "environment (forbidden everywhere)",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr == "getenv"
+                    and not reads_allowed
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "'os.getenv(...)' reads the environment outside "
+                        "RunConfig.from_env",
+                    )
+            elif isinstance(node, ast.Subscript) and _is_os_environ(node.value):
+                consumed.add(node.value)
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "assignment to os.environ[...] mutates the process "
+                        "environment (forbidden everywhere)",
+                    )
+                elif not reads_allowed:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "os.environ[...] read outside RunConfig.from_env",
+                    )
+        # bare `os.environ` references (e.g. passed as a mapping)
+        for node in ast.walk(ctx.tree):
+            if _is_os_environ(node) and node not in consumed and not reads_allowed:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "'os.environ' referenced outside RunConfig.from_env",
+                )

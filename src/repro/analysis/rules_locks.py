@@ -1,0 +1,292 @@
+"""Lock-discipline race detection for annotated classes.
+
+The serving tier's thread-safety rests on a convention this rule makes
+machine-checkable: every piece of shared mutable state is *declared*
+guarded by a lock, and every access to it must then happen with that
+lock held.
+
+Declaring guards (either form; both may be combined):
+
+* a class-level literal map::
+
+      class ServerState:
+          _GUARDED_BY = {"_sessions": "_lock", "_loaded": "_lock"}
+
+* a trailing comment on the attribute's assignment (typically in
+  ``__init__``)::
+
+      self._sessions = {}  # guarded-by: _lock
+
+Holding the lock is recognised in two forms:
+
+* lexically, inside a ``with self._lock:`` block;
+* by contract, in a method whose ``def`` line carries a trailing
+  ``# guarded-by: _lock`` comment — the method documents that callers
+  hold the lock.  The rule closes the loop on that contract: *calls*
+  to such a method (``self._helper()``) outside a held scope are
+  violations too.
+
+``__init__``/``__new__``/``__getstate__``/``__setstate__``/``__del__``
+are exempt (the object is not yet, or no longer, shared).  Nested
+functions and lambdas are conservatively treated as running *without*
+the enclosing locks — they usually escape as callbacks — unless their
+own ``def`` line is annotated.  Same-module base classes are resolved,
+so subclasses inherit guard declarations.
+
+Deliberately lock-free accesses (stat snapshots, GIL-atomic hot-path
+reads) are annotated in place with ``# repro: allow[lock-discipline]``
+and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["LockDisciplineRule", "GUARD_COMMENT_RE"]
+
+GUARD_COMMENT_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Methods where the instance is not shared between threads yet/anymore.
+EXEMPT_METHODS = frozenset(
+    {"__init__", "__new__", "__getstate__", "__setstate__", "__del__"}
+)
+
+
+@dataclass
+class _ClassGuards:
+    """Guard declarations collected from one class (plus its bases)."""
+
+    guards: dict[str, str] = field(default_factory=dict)
+    locked_methods: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def lock_names(self) -> frozenset[str]:
+        return frozenset(self.guards.values()) | frozenset(
+            self.locked_methods.values()
+        )
+
+    def merged_under(self, parent: "_ClassGuards") -> "_ClassGuards":
+        return _ClassGuards(
+            guards={**parent.guards, **self.guards},
+            locked_methods={**parent.locked_methods, **self.locked_methods},
+        )
+
+
+def _guard_comment(ctx: ModuleContext, line: int | None) -> str | None:
+    match = GUARD_COMMENT_RE.search(ctx.comment_on(line))
+    return match.group(1) if match else None
+
+
+def _literal_guard_map(node: ast.AST) -> dict[str, str] | None:
+    """The ``{"attr": "lock"}`` dict of a ``_GUARDED_BY`` assignment."""
+    value = getattr(node, "value", None)
+    if not isinstance(value, ast.Dict):
+        return None
+    guards: dict[str, str] = {}
+    for key, val in zip(value.keys, value.values):
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(val, ast.Constant)
+            and isinstance(val.value, str)
+        ):
+            guards[key.value] = val.value
+    return guards
+
+
+def _is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _collect_class_guards(ctx: ModuleContext, cls: ast.ClassDef) -> _ClassGuards:
+    collected = _ClassGuards()
+    for stmt in cls.body:
+        # class-level `_GUARDED_BY = {...}` (plain or annotated assignment)
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_GUARDED_BY":
+                literal = _literal_guard_map(stmt)
+                if literal is not None:
+                    collected.guards.update(literal)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lock = _guard_comment(ctx, stmt.lineno)
+            if lock is not None:
+                collected.locked_methods[stmt.name] = lock
+    # `self.attr = ...  # guarded-by: _lock` anywhere inside the class
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            lock = _guard_comment(ctx, getattr(node, "end_lineno", node.lineno))
+            if lock is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if _is_self_attr(target):
+                    collected.guards[target.attr] = lock  # type: ignore[union-attr]
+    return collected
+
+
+def _resolve_inheritance(
+    classes: dict[str, tuple[ast.ClassDef, _ClassGuards]],
+) -> dict[str, _ClassGuards]:
+    """Merge guard maps down same-module inheritance chains."""
+    resolved: dict[str, _ClassGuards] = {}
+
+    def resolve(name: str, trail: frozenset[str]) -> _ClassGuards:
+        if name in resolved:
+            return resolved[name]
+        cls, own = classes[name]
+        merged = own
+        for base in cls.bases:
+            if (
+                isinstance(base, ast.Name)
+                and base.id in classes
+                and base.id not in trail
+            ):
+                merged = merged.merged_under(resolve(base.id, trail | {name}))
+        resolved[name] = merged
+        return merged
+
+    for name in classes:
+        resolve(name, frozenset({name}))
+    return resolved
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking which declared locks are held."""
+
+    def __init__(
+        self,
+        rule: "LockDisciplineRule",
+        ctx: ModuleContext,
+        guards: _ClassGuards,
+        method: str,
+        held: frozenset[str],
+    ):
+        self.rule = rule
+        self.ctx = ctx
+        self.guards = guards
+        self.method = method
+        self.held = held
+        self.findings: list[Finding] = []
+        self._reported: set[tuple[int, str]] = set()
+
+    # -- lock scopes -------------------------------------------------------
+    def _with_locks(self, node: ast.With | ast.AsyncWith) -> frozenset[str]:
+        acquired = set()
+        for item in node.items:
+            expr = item.context_expr
+            if _is_self_attr(expr) and expr.attr in self.guards.lock_names:  # type: ignore[union-attr]
+                acquired.add(expr.attr)  # type: ignore[union-attr]
+        return frozenset(acquired)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+        saved = self.held
+        self.held = self.held | self._with_locks(node)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    # -- nested scopes run without the enclosing locks ---------------------
+    def _visit_nested(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        lock = _guard_comment(self.ctx, node.lineno)
+        saved = self.held
+        self.held = frozenset({lock}) if lock is not None else frozenset()
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_FunctionDef = _visit_nested  # type: ignore[assignment]
+    visit_AsyncFunctionDef = _visit_nested  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved = self.held
+        self.held = frozenset()
+        self.visit(node.body)
+        self.held = saved
+
+    # -- accesses ----------------------------------------------------------
+    def _report(self, node: ast.AST, key: str, message: str) -> None:
+        mark = (getattr(node, "lineno", 0), key)
+        if mark in self._reported:
+            return
+        self._reported.add(mark)
+        self.findings.append(self.rule.finding(self.ctx, node, message))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _is_self_attr(node):
+            lock = self.guards.guards.get(node.attr)
+            if lock is not None and lock not in self.held:
+                self._report(
+                    node,
+                    node.attr,
+                    f"'self.{node.attr}' is guarded by 'self.{lock}' but "
+                    f"accessed in '{self.method}' without holding it",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if _is_self_attr(func):
+            lock = self.guards.locked_methods.get(func.attr)  # type: ignore[union-attr]
+            if lock is not None and lock not in self.held:
+                self._report(
+                    node,
+                    f"call:{func.attr}",  # type: ignore[union-attr]
+                    f"'self.{func.attr}()' requires 'self.{lock}' held "
+                    f"(guarded-by annotation) but '{self.method}' calls it "
+                    "without the lock",
+                )
+        self.generic_visit(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    summary = (
+        "attributes declared guarded (class _GUARDED_BY map or trailing "
+        "'# guarded-by: _lock' comments) are only touched with the lock held"
+    )
+    details = __doc__ or ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        classes: dict[str, tuple[ast.ClassDef, _ClassGuards]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (node, _collect_class_guards(ctx, node))
+        resolved = _resolve_inheritance(classes)
+        for name, (cls, _) in classes.items():
+            guards = resolved[name]
+            if not guards.guards and not guards.locked_methods:
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name in EXEMPT_METHODS:
+                    continue
+                lock = guards.locked_methods.get(stmt.name)
+                held = frozenset({lock}) if lock is not None else frozenset()
+                visitor = _MethodVisitor(self, ctx, guards, stmt.name, held)
+                for sub in stmt.body:
+                    visitor.visit(sub)
+                yield from visitor.findings

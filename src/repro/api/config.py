@@ -66,6 +66,37 @@ def _warn_env_deprecated(set_vars: list[str]) -> None:
     )
 
 
+def env_positive_int(name: str) -> int | None:
+    """Value of a positive-integer env knob, or ``None`` when unset/blank.
+
+    Shared by every ``REPRO_*`` integer knob so a typo fails with a
+    clear message naming the variable instead of a bare ``int()``
+    traceback deep inside a sweep.  Lives here because this module is
+    the one place allowed to read ``os.environ`` (the ``env-mutation``
+    rule of :mod:`repro.analysis` enforces that).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a positive integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {raw!r}")
+    return value
+
+
+def env_ucr_root() -> str | None:
+    """The ``REPRO_UCR_ROOT`` archive location, or ``None`` when unset.
+
+    The UCR loader takes an explicit ``root=`` argument; this read-only
+    fallback is consulted only when none is given.
+    """
+    raw = os.environ.get("REPRO_UCR_ROOT")
+    return raw if raw and raw.strip() else None
+
+
 def env_jobs_fallback() -> int | None:
     """Deprecated ``REPRO_JOBS`` fallback for code given no explicit jobs.
 
@@ -74,8 +105,6 @@ def env_jobs_fallback() -> int | None:
     read-only) holds on every path that still honours the variable —
     including :func:`repro.core.batch.resolve_n_jobs`.
     """
-    from repro.core.batch import env_positive_int
-
     value = env_positive_int("REPRO_JOBS")
     if value is not None:
         _warn_env_deprecated(["REPRO_JOBS"])
@@ -175,8 +204,6 @@ class RunConfig:
         the knobs is actually set (``warn=False`` suppresses it — the
         harness uses that after the CLI has already warned).
         """
-        from repro.core.batch import env_positive_int
-
         set_vars = [name for name in ENV_VARS if os.environ.get(name)]
         if warn:
             _warn_env_deprecated(set_vars)

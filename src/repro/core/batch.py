@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+import threading
 from multiprocessing import Pool
 from pathlib import Path
 
@@ -60,22 +60,16 @@ def _extract_one(series: np.ndarray) -> tuple[np.ndarray, list[str]]:
 
 
 def env_positive_int(name: str) -> int | None:
-    """Value of a positive-integer env knob, or ``None`` when unset/blank.
+    """Back-compat alias of :func:`repro.api.config.env_positive_int`.
 
-    Shared by every ``REPRO_*`` integer knob so a typo fails with a
-    clear message naming the variable instead of a bare ``int()``
-    traceback deep inside a sweep.
+    The implementation moved to the config module — the single place
+    allowed to read ``os.environ`` under the ``env-mutation`` rule of
+    :mod:`repro.analysis`.  Imported lazily: :mod:`repro.api` pulls in
+    the registry, which imports this module.
     """
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be a positive integer, got {raw!r}") from None
-    if value <= 0:
-        raise ValueError(f"{name} must be a positive integer, got {raw!r}")
-    return value
+    from repro.api.config import env_positive_int as _env_positive_int
+
+    return _env_positive_int(name)
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
@@ -148,6 +142,8 @@ class BatchFeatureExtractor:
     changes.
     """
 
+    _GUARDED_BY = {"_pool": "_pool_lock"}
+
     def __init__(
         self,
         config: FeatureConfig | None = None,
@@ -161,25 +157,36 @@ class BatchFeatureExtractor:
         self.cache = cache
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.keep_pool = keep_pool
+        # Serialises lazy pool spawn against close(): two concurrent
+        # transforms must never double-spawn, and close() must never
+        # observe a half-assigned pool.
+        self._pool_lock = threading.Lock()
         self._pool: Pool | None = None
         self.feature_names_: list[str] | None = None
         #: Cache statistics of the most recent ``transform`` call.
         self.last_cache_hits_ = 0
         self.last_cache_misses_ = 0
 
-    # The live pool never travels through pickling (workers) or the
-    # deep copies pipeline cloning performs; copies re-spawn on demand.
+    # The live pool (and its unpicklable lock) never travel through
+    # pickling (workers) or the deep copies pipeline cloning performs;
+    # copies re-spawn on demand.
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_pool"] = None
+        del state["_pool_lock"]
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
 
     def close(self) -> None:
         """Release a persistent worker pool (no-op without one)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "BatchFeatureExtractor":
         return self
@@ -302,11 +309,16 @@ class BatchFeatureExtractor:
             return [extract_feature_vector(s, self.config) for s in series_list]
         chunksize = max(1, len(series_list) // (n_jobs * 4))
         if self.keep_pool:
-            if self._pool is None:
-                self._pool = Pool(
-                    self.n_jobs, initializer=_init_worker, initargs=(self.config,)
-                )
-            return self._pool.map(_extract_one, series_list, chunksize=chunksize)
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = Pool(
+                        self.n_jobs, initializer=_init_worker, initargs=(self.config,)
+                    )
+                pool = self._pool
+            # map() runs outside the lock: extraction can take seconds
+            # and close() must stay callable (it terminates the workers,
+            # which surfaces here as a pool error, not a deadlock).
+            return pool.map(_extract_one, series_list, chunksize=chunksize)
         with Pool(n_jobs, initializer=_init_worker, initargs=(self.config,)) as pool:
             return pool.map(_extract_one, series_list, chunksize=chunksize)
 

@@ -55,7 +55,9 @@ def load_ucr_dataset(name: str, root: str | os.PathLike | None = None) -> TrainT
     ``root`` defaults to the ``REPRO_UCR_ROOT`` environment variable.
     """
     if root is None:
-        root = os.environ.get("REPRO_UCR_ROOT")
+        from repro.api.config import env_ucr_root
+
+        root = env_ucr_root()
     if root is None:
         raise RuntimeError(
             "no UCR archive root: pass root= or set REPRO_UCR_ROOT"

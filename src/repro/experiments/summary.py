@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.api.config import RunConfig
 from repro.experiments.harness import cache_load
+from repro.ioutil import atomic_write_text
 from repro.stats.comparison import pairwise_comparison
 from repro.stats.friedman import friedman_test
 from repro.stats.nemenyi import critical_difference
@@ -243,7 +244,7 @@ def build(config: RunConfig | None = None) -> str:
 def main() -> None:
     """CLI: rewrite EXPERIMENTS.md in the working directory."""
     target = Path("EXPERIMENTS.md")
-    target.write_text(build())
+    atomic_write_text(target, build())
     print(f"wrote {target.resolve()}", file=sys.stderr)
 
 

@@ -112,6 +112,8 @@ class _LoopNotifier:
     notifier queues the callbacks and wakes the loop once per burst.
     """
 
+    _GUARDED_BY = {"_queue": "_lock", "_wake_scheduled": "_lock"}
+
     def __init__(self, loop: asyncio.AbstractEventLoop):
         self._loop = loop
         self._lock = threading.Lock()
@@ -130,7 +132,10 @@ class _LoopNotifier:
                 pass  # loop shut down; nothing left to deliver to
 
     def _drain(self) -> None:
-        with self._lock:
+        # Loop-side lock acquisition is deliberate: the critical section
+        # is two pointer moves, and the only other holders (post()) are
+        # equally brief — never long enough to stall the loop.
+        with self._lock:  # repro: allow[async-blocking] micro critical section
             burst = list(self._queue)
             self._queue.clear()
             self._wake_scheduled = False

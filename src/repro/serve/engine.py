@@ -83,6 +83,18 @@ class InferenceEngine:
         (0 disables it).  Only used on the MVG fast path.
     """
 
+    # Shared mutable state and the lock that guards it — enforced by
+    # `repro check` (lock-discipline).  The extractor is included: its
+    # worker pool must never be torn down under an in-flight classify.
+    _GUARDED_BY = {
+        "_lru": "_lock",
+        "_extractor": "_lock",
+        "cache_hits_": "_lock",
+        "cache_misses_": "_lock",
+        "coalesced_": "_lock",
+        "requests_served_": "_lock",
+    }
+
     def __init__(
         self,
         model: Any,
@@ -137,9 +149,15 @@ class InferenceEngine:
         return self._expected_features if self._is_mvg else None
 
     def close(self) -> None:
-        """Release engine resources (the persistent extraction pool)."""
+        """Release engine resources (the persistent extraction pool).
+
+        Takes the engine lock so the pool is never terminated under an
+        in-flight ``classify_batch`` mid-extraction; close waits for the
+        current batch instead.
+        """
         if self._is_mvg:
-            self._extractor.close()
+            with self._lock:
+                self._extractor.close()
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -209,7 +227,7 @@ class InferenceEngine:
         under the engine lock, and a health probe must never block
         behind an in-flight extraction.  Values may lag by one batch.
         """
-        return {
+        return {  # repro: allow[lock-discipline] lock-free stats snapshot
             "model": self.name,
             "version": self.version,
             "requests_served": self.requests_served_,
@@ -220,7 +238,7 @@ class InferenceEngine:
         }
 
     # -- MVG fast path -----------------------------------------------------
-    def _cache_get(self, key: str) -> np.ndarray | None:
+    def _cache_get(self, key: str) -> np.ndarray | None:  # guarded-by: _lock
         if self.feature_cache_size <= 0:
             return None
         vector = self._lru.get(key)
@@ -228,7 +246,7 @@ class InferenceEngine:
             self._lru.move_to_end(key)
         return vector
 
-    def _cache_put(self, key: str, vector: np.ndarray) -> None:
+    def _cache_put(self, key: str, vector: np.ndarray) -> None:  # guarded-by: _lock
         if self.feature_cache_size <= 0:
             return
         self._lru[key] = vector
@@ -236,7 +254,7 @@ class InferenceEngine:
         while len(self._lru) > self.feature_cache_size:
             self._lru.popitem(last=False)
 
-    def _classify_mvg(self, arrays: list[np.ndarray]) -> list[ClassifyResult]:
+    def _classify_mvg(self, arrays: list[np.ndarray]) -> list[ClassifyResult]:  # guarded-by: _lock
         keys = [series_cache_key(a, self._config) for a in arrays]
         vectors: list[np.ndarray | None] = [self._cache_get(k) for k in keys]
         self.cache_hits_ += sum(v is not None for v in vectors)
@@ -320,6 +338,15 @@ class MicroBatcher:
         companions before the batch is dispatched anyway.  The
         worst-case added latency under light load.
     """
+
+    # Client-facing shared state under the mutex.  The dispatch
+    # counters (batches_dispatched_, largest_batch_, batch_size_counts_)
+    # are deliberately absent: only the worker thread writes them.
+    _GUARDED_BY = {
+        "_queue": "_mutex",
+        "_closed": "_mutex",
+        "requests_accepted_": "_mutex",
+    }
 
     def __init__(
         self,

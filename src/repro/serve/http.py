@@ -286,6 +286,21 @@ class ServerState:
     enabled) the hot-reload :class:`StoreWatcher`.
     """
 
+    # Every mutable map the two front ends share, with the lock that
+    # guards it (enforced by `repro check` lock-discipline).  _watcher
+    # is deliberately absent: it is set once during single-threaded
+    # startup and only cleared by close().
+    _GUARDED_BY = {
+        "_loaded": "_lock",
+        "_retired": "_lock",
+        "_catalog": "_lock",
+        "_catalog_read_at": "_lock",
+        "_resolution_memo": "_lock",
+        "_sessions": "_lock",
+        "_stream_executor": "_lock",
+        "_stream_ticks_closed": "_lock",
+    }
+
     def __init__(
         self,
         store: ModelStore,
@@ -434,7 +449,10 @@ class ServerState:
             raise ApiError(400, '"version" must be a string or integer')
         # Hot path: an identical request already resolved against the
         # current (still-fresh) catalog snapshot — no locks taken.
-        if time.monotonic() - self._catalog_read_at <= self.catalog_ttl_seconds:
+        # Lock-free by design: float/dict reads are GIL-atomic, a stale
+        # memo hit is re-validated under the lock before publication,
+        # and a miss just falls through to the locked slow path.
+        if time.monotonic() - self._catalog_read_at <= self.catalog_ttl_seconds:  # repro: allow[lock-discipline] lock-free hot path
             memo = self._resolution_memo.get((requested, version))
             if memo is not None:
                 return memo

@@ -110,6 +110,10 @@ class _Metric:
 
     kind = "untyped"
 
+    # Inherited by Counter/Gauge/Histogram (the lock-discipline checker
+    # merges same-module base-class guard maps into subclasses).
+    _GUARDED_BY = {"_series": "_lock"}
+
     def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
         self.name = name
         self.help_text = help_text
@@ -228,6 +232,8 @@ class Histogram(_Metric):
 
 class MetricsRegistry:
     """Orders metric families and collector callbacks into one scrape."""
+
+    _GUARDED_BY = {"_metrics": "_lock", "_collectors": "_lock"}
 
     def __init__(self) -> None:
         self._metrics: list[_Metric] = []

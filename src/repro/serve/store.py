@@ -149,7 +149,7 @@ class ModelStore:
             )
         return manifest
 
-    def _write_manifest(self, manifest: dict[str, Any]) -> None:
+    def _write_manifest(self, manifest: dict[str, Any]) -> None:  # guarded-by: _lock
         self.root.mkdir(parents=True, exist_ok=True)
         atomic_write_json(self.manifest_path, manifest, indent=1, sort_keys=True)
 

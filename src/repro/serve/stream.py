@@ -96,6 +96,19 @@ class StreamSession:
         longer live.
     """
 
+    # Appends run on the stream worker while status/close/sweep come
+    # from other threads; everything below moves only under the lock
+    # (enforced by `repro check` lock-discipline).
+    _GUARDED_BY = {
+        "closed": "_lock",
+        "points_received_": "_lock",
+        "ticks_": "_lock",
+        "last_activity_": "_lock",
+        "_next_tick_at": "_lock",
+        "_extractor": "_lock",
+        "_ring": "_lock",
+    }
+
     def __init__(
         self,
         session_id: str,
@@ -176,10 +189,19 @@ class StreamSession:
         """Refuse further appends; returns the session's final stats."""
         with self._lock:
             self.closed = True
-            return self.describe()
+            return self._describe_locked()
 
     def describe(self) -> dict[str, Any]:
-        """Session metadata for create/status/close responses."""
+        """Session metadata for create/status/close responses.
+
+        Takes the session lock: a status request racing an append must
+        see a consistent snapshot — ``received`` and ``filled`` are
+        derived from the same counter and would otherwise tear.
+        """
+        with self._lock:
+            return self._describe_locked()
+
+    def _describe_locked(self) -> dict[str, Any]:  # guarded-by: _lock
         return {
             "session": self.id,
             "model": self.model,
@@ -212,13 +234,13 @@ class StreamSession:
             raise ValueError('"points" contains NaN or infinite values')
         return values
 
-    def _push(self, value: float) -> None:
+    def _push(self, value: float) -> None:  # guarded-by: _lock
         if self._extractor is not None:
             self._extractor.push(value)
         else:
             self._ring.push(value)
 
-    def _tick(self) -> ClassifyResult:
+    def _tick(self) -> ClassifyResult:  # guarded-by: _lock
         if self._extractor is not None:
             return self.engine.classify_stream(
                 self._extractor.window_values(), self._extractor.features

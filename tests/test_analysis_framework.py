@@ -1,0 +1,219 @@
+"""Framework-level tests for repro.analysis: findings, pragmas,
+suppression spans, baselines, the file walk."""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    Finding,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    filter_baselined,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import build_context, parse_pragmas, scan_comments
+
+
+class NameRule(Rule):
+    """Test rule: flags every Name node called 'flagged'."""
+
+    id = "test-name"
+    summary = "flags the identifier 'flagged'"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id == "flagged":
+                yield self.finding(ctx, node, "found 'flagged'")
+
+
+def run(source: str, rules=None) -> list[Finding]:
+    return analyze_source(
+        Path("mod.py"), source, rules if rules is not None else [NameRule()]
+    )
+
+
+class TestFinding:
+    def test_text_format(self):
+        f = Finding("a/b.py", 3, 4, "some-rule", "the message")
+        assert f.format_text() == "a/b.py:3:4: [some-rule] the message"
+
+    def test_json_round_trip(self):
+        f = Finding("a/b.py", 3, 4, "some-rule", "the message")
+        assert Finding(**f.to_json()) == f
+
+    def test_sort_order_is_path_then_line(self):
+        findings = [
+            Finding("b.py", 1, 0, "r", "m"),
+            Finding("a.py", 9, 0, "r", "m"),
+            Finding("a.py", 2, 0, "r", "m"),
+        ]
+        ordered = sorted(findings)
+        assert [(f.path, f.line) for f in ordered] == [
+            ("a.py", 2), ("a.py", 9), ("b.py", 1),
+        ]
+
+
+class TestComments:
+    def test_scan_comments_by_line(self):
+        comments = scan_comments("x = 1  # one\ny = 2\nz = 3  # three\n")
+        assert comments == {1: "# one", 3: "# three"}
+
+    def test_hash_inside_string_is_not_a_comment(self):
+        comments = scan_comments('x = "#nope"\ny = 1  # yes\n')
+        assert 1 not in comments
+        assert comments[2] == "# yes"
+
+    def test_parse_pragmas(self):
+        comments = {
+            1: "# repro: allow[rule-a] because reasons",
+            2: "# repro: allow[rule-a, rule-b]",
+            3: "# unrelated",
+            4: "# repro: allow[]",
+        }
+        pragmas = parse_pragmas(comments)
+        assert pragmas[1] == frozenset({"rule-a"})
+        assert pragmas[2] == frozenset({"rule-a", "rule-b"})
+        assert 3 not in pragmas and 4 not in pragmas
+
+
+class TestSuppression:
+    def test_pragma_suppresses_own_line(self):
+        assert run("flagged = 1\n")  # control: flagged without pragma
+        assert run("flagged = 1  # repro: allow[test-name]\n") == []
+
+    def test_pragma_only_suppresses_matching_rule(self):
+        findings = run("flagged = 1  # repro: allow[other-rule]\n")
+        assert len(findings) == 1
+
+    def test_pragma_on_statement_head_covers_multiline_span(self):
+        source = (
+            "x = {  # repro: allow[test-name]\n"
+            '    "a": flagged,\n'
+            '    "b": flagged,\n'
+            "}\n"
+        )
+        assert run(source) == []
+
+    def test_pragma_does_not_leak_past_the_node(self):
+        source = (
+            "x = (  # repro: allow[test-name]\n"
+            "    flagged\n"
+            ")\n"
+            "y = flagged\n"
+        )
+        findings = run(source)
+        assert [f.line for f in findings] == [4]
+
+    def test_syntax_error_becomes_finding(self):
+        findings = run("def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].rule == "syntax-error"
+        assert "does not parse" in findings[0].message
+
+    def test_applies_gate_skips_rule(self):
+        class NeverRule(NameRule):
+            id = "never"
+
+            def applies(self, ctx):
+                return False
+
+        assert run("flagged = 1\n", [NeverRule()]) == []
+
+
+class TestContext:
+    def test_display_path_relative_to_root(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir()
+        target.write_text("x = 1\n")
+        ctx = build_context(target, target.read_text(), root=tmp_path)
+        assert ctx.display_path == "pkg/mod.py"
+        assert ctx.parts == ("pkg", "mod.py")
+
+
+class TestFileWalk:
+    def test_walks_directories_and_dedupes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        (sub / "notes.txt").write_text("not python\n")
+        cache = sub / "__pycache__"
+        cache.mkdir()
+        (cache / "b.cpython-312.py").write_text("z = 3\n")
+
+        files = list(iter_python_files([tmp_path, sub / "b.py"]))
+        names = [f.name for f in files]
+        assert names.count("b.py") == 1
+        assert set(names) == {"a.py", "b.py"}
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "gone"]))
+
+    def test_analyze_paths_counts_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("flagged = 1\n")
+        (tmp_path / "b.py").write_text("clean = 1\n")
+        findings, scanned = analyze_paths([tmp_path], [NameRule()], root=tmp_path)
+        assert scanned == 2
+        assert [f.path for f in findings] == ["a.py"]
+
+
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding("a.py", 3, 0, "test-name", "found 'flagged'"),
+            Finding("a.py", 9, 0, "test-name", "found 'flagged'"),
+        ]
+
+    def test_round_trip_absorbs_matching_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        accepted = load_baseline(path)
+        assert filter_baselined(self._findings(), accepted) == []
+
+    def test_line_drift_still_matches(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        drifted = [
+            Finding("a.py", 30, 0, "test-name", "found 'flagged'"),
+            Finding("a.py", 90, 0, "test-name", "found 'flagged'"),
+        ]
+        assert filter_baselined(drifted, load_baseline(path)) == []
+
+    def test_extra_findings_surface(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings()[:1])
+        fresh = filter_baselined(self._findings(), load_baseline(path))
+        assert len(fresh) == 1  # one absorbed, the duplicate surfaces
+
+    def test_different_message_not_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        other = [Finding("a.py", 3, 0, "test-name", "something else")]
+        assert filter_baselined(other, load_baseline(path)) == other
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 1}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        with pytest.raises(BaselineError):
+            load_baseline(tmp_path / "missing.json")
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)

@@ -1,0 +1,575 @@
+"""Per-rule fixture tests: each rule flags a seeded violation, passes a
+clean equivalent, and honors `# repro: allow[...]` pragmas."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    AsyncBlockingRule,
+    DeterminismRule,
+    DurableWriteRule,
+    EnvMutationRule,
+    Finding,
+    LockDisciplineRule,
+    analyze_source,
+)
+
+
+def check(rule, source, path="serve/mod.py") -> list[Finding]:
+    return analyze_source(Path(path), textwrap.dedent(source), [rule])
+
+
+def messages(findings) -> str:
+    return "\n".join(f.message for f in findings)
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_flagged_via_map(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def bad(self):
+                    self._items.append(1)
+            """,
+        )
+        assert len(findings) == 1
+        assert "_items" in findings[0].message and "bad" in findings[0].message
+
+    def test_with_lock_scope_passes(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def good(self):
+                    with self._lock:
+                        self._items.append(1)
+            """,
+        )
+        assert findings == []
+
+    def test_access_after_with_block_flagged(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def sloppy(self):
+                    with self._lock:
+                        self._items.append(1)
+                    self._items.append(2)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_trailing_comment_declares_guard(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                def __init__(self):
+                    self._ring = []  # guarded-by: _lock
+
+                def bad(self):
+                    return len(self._ring)
+            """,
+        )
+        assert len(findings) == 1
+        assert "_ring" in findings[0].message
+
+    def test_init_and_getstate_exempt(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def __init__(self):
+                    self._items = []
+
+                def __getstate__(self):
+                    return {"items": self._items}
+
+                def __setstate__(self, state):
+                    self._items = state["items"]
+            """,
+        )
+        assert findings == []
+
+    def test_def_annotation_trusts_body_and_checks_callers(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def _helper(self):  # guarded-by: _lock
+                    self._items.append(1)
+
+                def good(self):
+                    with self._lock:
+                        self._helper()
+
+                def bad(self):
+                    self._helper()
+            """,
+        )
+        assert len(findings) == 1
+        assert "_helper" in findings[0].message and "bad" in findings[0].message
+
+    def test_nested_function_resets_held_locks(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def leaky(self):
+                    with self._lock:
+                        def callback():
+                            self._items.append(1)
+                        return callback
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_same_module_base_class_guards_inherited(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class Base:
+                _GUARDED_BY = {"_series": "_lock"}
+
+            class Child(Base):
+                def bad(self):
+                    return dict(self._series)
+
+                def good(self):
+                    with self._lock:
+                        return dict(self._series)
+            """,
+        )
+        assert len(findings) == 1
+        assert "bad" in findings[0].message
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class S:
+                _GUARDED_BY = {"_items": "_lock"}
+
+                def stats(self):
+                    return {  # repro: allow[lock-discipline] snapshot
+                        "n": len(self._items),
+                    }
+            """,
+        )
+        assert findings == []
+
+    def test_unannotated_class_ignored(self):
+        findings = check(
+            LockDisciplineRule(),
+            """
+            class Plain:
+                def anything(self):
+                    self._whatever = 1
+            """,
+        )
+        assert findings == []
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_in_coroutine_flagged(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """,
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_asyncio_sleep_awaited_passes(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            import asyncio
+
+            async def handler(event):
+                await asyncio.sleep(1)
+                await event.wait()
+            """,
+        )
+        assert findings == []
+
+    def test_sync_function_not_flagged(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            import time
+
+            def worker():
+                time.sleep(1)
+            """,
+        )
+        assert findings == []
+
+    def test_call_soon_callback_is_loop_context(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            import time
+
+            def _drain():
+                time.sleep(0.1)
+
+            def schedule(loop):
+                loop.call_soon_threadsafe(_drain)
+            """,
+        )
+        assert len(findings) == 1
+        assert "_drain" in findings[0].message
+
+    def test_protocol_method_is_loop_context(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            import asyncio
+
+            class Conn(asyncio.Protocol):
+                def data_received(self, data):
+                    self.future.result()
+            """,
+        )
+        assert len(findings) == 1
+        assert "result" in findings[0].message
+
+    def test_lock_acquire_and_with_lock_flagged(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self):
+                self._lock.acquire()
+                with self._lock:
+                    pass
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_nonblocking_acquire_passes(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self):
+                self._lock.acquire(blocking=False)
+            """,
+        )
+        assert findings == []
+
+    def test_queue_get_flagged_but_dict_get_passes(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self, headers):
+                headers.get("content-length")
+                self._queue.get()
+            """,
+        )
+        assert len(findings) == 1
+        assert "queue" in findings[0].message
+
+    def test_str_join_passes_thread_join_flagged(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self, parts, thread):
+                label = ",".join(parts)
+                thread.join()
+            """,
+        )
+        assert len(findings) == 1
+        assert ".join()" in findings[0].message
+
+    def test_open_in_coroutine_flagged(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_nested_sync_def_runs_worker_side(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self, future):
+                def on_done(done):
+                    return done.result()
+                future.add_done_callback(on_done)
+            """,
+        )
+        # on_done is named into add_done_callback, so it IS treated as a
+        # callback context and its .result() is deliberately reachable —
+        # but a plain nested def is not scanned.
+        clean = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self, pool):
+                def work():
+                    import time
+                    time.sleep(1)
+                pool.submit(work)
+            """,
+        )
+        assert clean == []
+        assert len(findings) == 1
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            AsyncBlockingRule(),
+            """
+            async def handler(self):
+                with self._lock:  # repro: allow[async-blocking] tiny section
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+class TestDurableWrite:
+    def test_open_write_mode_flagged(self):
+        findings = check(
+            DurableWriteRule(),
+            """
+            def save(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """,
+        )
+        assert len(findings) == 1
+        assert "'w'" in findings[0].message
+
+    def test_open_read_mode_passes(self):
+        findings = check(
+            DurableWriteRule(),
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert findings == []
+
+    def test_json_dump_and_write_text_flagged(self):
+        findings = check(
+            DurableWriteRule(),
+            """
+            import json
+
+            def save(path, blob):
+                json.dump(blob, handle)
+                path.write_text("data")
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_ioutil_module_exempt(self):
+        findings = check(
+            DurableWriteRule(),
+            """
+            def atomic_write_text(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            path="repro/ioutil.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            DurableWriteRule(),
+            """
+            def save(path):
+                path.write_text("x")  # repro: allow[durable-write] scratch file
+            """,
+        )
+        assert findings == []
+
+
+class TestEnvMutation:
+    def test_write_flagged_everywhere(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+
+            def set_it():
+                os.environ["X"] = "1"
+            """,
+            path="repro/api/config.py",
+        )
+        assert len(findings) == 1
+        assert "mutates" in findings[0].message
+
+    def test_read_outside_config_flagged(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+
+            def read_it():
+                a = os.environ.get("X")
+                b = os.getenv("Y")
+                c = os.environ["Z"]
+            """,
+        )
+        assert len(findings) == 3
+
+    def test_read_inside_config_passes(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+
+            def from_env():
+                return os.environ.get("X")
+            """,
+            path="repro/api/config.py",
+        )
+        assert findings == []
+
+    def test_mutator_methods_flagged(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+
+            def mutate():
+                os.environ.pop("X", None)
+                os.putenv("Y", "1")
+                del os.environ["Z"]
+            """,
+            path="repro/api/config.py",
+        )
+        assert len(findings) == 3
+
+    def test_bare_reference_flagged(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+            import subprocess
+
+            def spawn():
+                subprocess.run(["x"], env=os.environ)
+            """,
+        )
+        assert len(findings) == 1
+        assert "referenced" in findings[0].message
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            EnvMutationRule(),
+            """
+            import os
+
+            def read_it():
+                return os.environ.get("X")  # repro: allow[env-mutation] test shim
+            """,
+        )
+        assert findings == []
+
+
+class TestDeterminism:
+    def test_scoped_to_graph_and_core_dirs(self):
+        source = """
+        def order(s):
+            return [v for v in set(s)]
+        """
+        inside = check(DeterminismRule(), source, path="repro/graph/mod.py")
+        outside = check(DeterminismRule(), source, path="repro/serve/mod.py")
+        assert len(inside) == 1
+        assert outside == []
+
+    def test_set_iteration_flagged_sorted_passes(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            def features(graph):
+                for node in {1, 2, 3}:
+                    yield node
+                for node in sorted(set(graph)):
+                    yield node
+            """,
+            path="repro/core/mod.py",
+        )
+        assert len(findings) == 1
+
+    def test_set_operator_iteration_flagged(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            def shared(a, b):
+                return [v for v in set(a) & set(b)]
+            """,
+            path="repro/graph/mod.py",
+        )
+        assert len(findings) == 1
+
+    def test_unseeded_rng_flagged_default_rng_passes(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            import random
+            import numpy as np
+
+            def noise(n):
+                rng = np.random.default_rng(0)
+                good = rng.normal(size=n)
+                bad = np.random.rand(n)
+                worse = random.random()
+                return good, bad, worse
+            """,
+            path="repro/core/mod.py",
+        )
+        assert len(findings) == 2
+        assert "np.random.rand" in messages(findings)
+        assert "random.random" in messages(findings)
+
+    def test_random_random_instance_passes(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+            path="repro/core/mod.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            def total(s):
+                return sum(v for v in set(s))  # repro: allow[determinism] order-free
+            """,
+            path="repro/graph/mod.py",
+        )
+        assert findings == []

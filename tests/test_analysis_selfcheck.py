@@ -1,0 +1,34 @@
+"""Self-check: the analyzer must run clean over its own codebase.
+
+This is the quick-lane twin of the CI lint job — a fresh violation in
+src/repro fails here locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, default_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_clean():
+    findings, scanned = analyze_paths([SRC], default_rules(), root=REPO_ROOT)
+    report = "\n".join(f.format_text() for f in findings)
+    assert findings == [], f"repro check violations in src/repro:\n{report}"
+    # sanity: the walk actually covered the package, not an empty dir
+    assert scanned > 50
+
+
+def test_default_rules_cover_the_five_checkers():
+    ids = [rule.id for rule in default_rules()]
+    assert ids == sorted(ids)
+    assert set(ids) == {
+        "async-blocking",
+        "determinism",
+        "durable-write",
+        "env-mutation",
+        "lock-discipline",
+    }

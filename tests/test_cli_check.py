@@ -1,0 +1,154 @@
+"""CLI contract for ``repro check`` / ``repro list-rules``.
+
+Covers exit codes (0 clean / 1 findings / 2 usage error), the stable
+``--format json`` schema CI archives, baseline subtraction and
+``--write-baseline``, both via the plain functions and one end-to-end
+subprocess run of ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import OUTPUT_VERSION, run_check, run_list_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VIOLATION = "import os\n\nFLAG = os.environ.get('X')\n"
+CLEAN = "VALUE = 1\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "dirty.py").write_text(VIOLATION)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def invoke(*args, **kwargs):
+    out = io.StringIO()
+    code = run_check(*args, out=out, **kwargs)
+    return code, out.getvalue()
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN)
+        code, output = invoke([tmp_path], root=tmp_path)
+        assert code == 0
+        assert "1 file scanned, clean" in output
+
+    def test_findings_exit_one(self, tree):
+        code, output = invoke([tree], root=tree)
+        assert code == 1
+        assert "[env-mutation]" in output
+        assert "2 files scanned, 1 finding(s)" in output
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code, _ = invoke([tmp_path / "gone"], root=tmp_path)
+        assert code == 2
+        assert "gone" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_two(self, tree, capsys):
+        bad = tree / "baseline.json"
+        bad.write_text("not json")
+        code, _ = invoke([tree], baseline=str(bad), root=tree)
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_schema_is_stable(self, tree):
+        code, output = invoke([tree], fmt="json", root=tree)
+        assert code == 1
+        payload = json.loads(output)
+        assert set(payload) == {
+            "version", "files_scanned", "finding_count", "findings",
+        }
+        assert payload["version"] == OUTPUT_VERSION
+        assert payload["files_scanned"] == 2
+        assert payload["finding_count"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "env-mutation"
+        assert finding["path"] == "dirty.py"
+
+    def test_clean_json_still_reports_counts(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN)
+        code, output = invoke([tmp_path], fmt="json", root=tmp_path)
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["finding_count"] == 0
+        assert payload["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_write_then_check_round_trip(self, tree):
+        baseline = tree / "baseline.json"
+        code, output = invoke([tree], update_baseline=str(baseline), root=tree)
+        assert code == 0
+        assert "1 finding(s)" in output
+
+        code, output = invoke([tree], baseline=str(baseline), root=tree)
+        assert code == 0
+        assert "clean" in output
+
+    def test_new_violation_escapes_baseline(self, tree):
+        baseline = tree / "baseline.json"
+        invoke([tree], update_baseline=str(baseline), root=tree)
+        (tree / "clean.py").write_text(VIOLATION)
+        code, output = invoke([tree], baseline=str(baseline), root=tree)
+        assert code == 1
+        assert "clean.py" in output
+
+
+class TestListRules:
+    def test_lists_all_rule_ids(self):
+        out = io.StringIO()
+        assert run_list_rules(out=out) == 0
+        listing = out.getvalue()
+        for rule_id in (
+            "lock-discipline",
+            "async-blocking",
+            "durable-write",
+            "env-mutation",
+            "determinism",
+        ):
+            assert rule_id in listing
+
+    def test_verbose_includes_details(self):
+        out = io.StringIO()
+        assert run_list_rules(verbose=True, out=out) == 0
+        assert "loop context" in out.getvalue().lower()
+
+
+class TestEndToEnd:
+    def _run(self, *args, cwd=REPO_ROOT):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+            timeout=120,
+        )
+
+    def test_module_check_on_dirty_tree(self, tree):
+        proc = self._run("check", str(tree), "--root", str(tree), "--format", "json")
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["finding_count"] == 1
+
+    def test_module_list_rules(self):
+        proc = self._run("list-rules")
+        assert proc.returncode == 0, proc.stderr
+        assert "determinism" in proc.stdout

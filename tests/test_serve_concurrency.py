@@ -1,0 +1,194 @@
+"""Regression tests for the lock-discipline fixes surfaced by
+``repro check``: engine close, stream-session snapshots and the batch
+extractor's pool lifecycle."""
+
+import copy
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines.nn import NearestNeighborEuclidean
+from repro.core.batch import BatchFeatureExtractor
+from repro.serve import InferenceEngine, StreamSession
+
+
+@pytest.fixture(scope="module")
+def nn_model():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(8, 16))
+    y = np.repeat([0, 1], 4)
+    return NearestNeighborEuclidean().fit(X, y)
+
+
+class TestEngineCloseLocking:
+    def test_close_holds_engine_lock_around_extractor_close(self, nn_model):
+        engine = InferenceEngine(nn_model, name="nn")
+        held_during_close = []
+
+        class Probe:
+            def close(self):
+                # A concurrent acquire must fail: close() owns the lock,
+                # so no in-flight classify can be using the pool.
+                held_during_close.append(not engine._lock.acquire(blocking=False))
+
+        engine._is_mvg = True  # only the MVG path owns an extractor pool
+        engine._extractor = Probe()
+        engine.close()
+        assert held_during_close == [True]
+
+    def test_close_is_reentrant_safe_with_classify(self, nn_model):
+        # close() must not deadlock against a classify racing for the lock.
+        rng = np.random.default_rng(1)
+        with InferenceEngine(nn_model, name="nn") as engine:
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        engine.classify(rng.normal(size=16))
+                    except Exception:
+                        return  # closed under us: expected, not a hang
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                engine.close()
+            finally:
+                stop.set()
+                thread.join(timeout=10)
+            assert not thread.is_alive()
+
+
+class TestStreamDescribeLocking:
+    def test_describe_takes_the_session_lock(self, nn_model):
+        with InferenceEngine(nn_model, name="nn") as engine:
+            session = StreamSession("s", engine, window=16, stride=8)
+            session.append([0.0] * 20)
+
+            inner = session._describe_locked
+            held = []
+
+            def probe():
+                held.append(not session._lock.acquire(blocking=False))
+                return inner()
+
+            session._describe_locked = probe
+            payload = session.describe()
+            assert held == [True]
+            assert payload["received"] == 20
+
+    def test_describe_blocks_while_writer_holds_lock(self, nn_model):
+        with InferenceEngine(nn_model, name="nn") as engine:
+            session = StreamSession("s", engine, window=16, stride=8)
+            done = threading.Event()
+
+            with session._lock:
+                reader = threading.Thread(
+                    target=lambda: (session.describe(), done.set())
+                )
+                reader.start()
+                # The snapshot must wait for the writer: no torn reads.
+                assert not done.wait(0.2)
+            assert done.wait(10)
+            reader.join(timeout=10)
+
+    def test_close_reports_a_consistent_final_snapshot(self, nn_model):
+        with InferenceEngine(nn_model, name="nn") as engine:
+            session = StreamSession("s", engine, window=16, stride=8)
+            session.append([0.0] * 24)
+            final = session.close()
+            assert final["closed"] is True
+            assert final == session.describe()
+
+
+class _CountingPool:
+    """Stands in for multiprocessing.Pool: counts spawns, maps serially."""
+
+    spawned = 0
+
+    def __init__(self, processes, initializer=None, initargs=()):
+        type(self).spawned += 1
+        if initializer is not None:
+            initializer(*initargs)
+        self.terminated = False
+
+    def map(self, func, items, chunksize=1):
+        return [func(item) for item in items]
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+@pytest.fixture
+def counting_pool(monkeypatch):
+    _CountingPool.spawned = 0
+    monkeypatch.setattr("repro.core.batch.Pool", _CountingPool)
+    return _CountingPool
+
+
+class TestBatchExtractorPoolLifecycle:
+    def _series(self, n=4):
+        rng = np.random.default_rng(3)
+        return [rng.normal(size=32) for _ in range(n)]
+
+    def test_concurrent_transforms_spawn_one_pool(self, counting_pool):
+        extractor = BatchFeatureExtractor(n_jobs=2, cache=False, keep_pool=True)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                extractor._extract_batch(self._series())
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert counting_pool.spawned == 1
+        extractor.close()
+
+    def test_close_callable_while_map_runs(self, counting_pool, monkeypatch):
+        # map() runs outside the pool lock, so a concurrent close() must
+        # not deadlock; simulate the worst case by closing *from inside*
+        # the map call itself.
+        extractor = BatchFeatureExtractor(n_jobs=2, cache=False, keep_pool=True)
+        original_map = _CountingPool.map
+
+        def closing_map(pool_self, func, items, chunksize=1):
+            extractor.close()  # would deadlock if map held _pool_lock
+            return original_map(pool_self, func, items, chunksize)
+
+        monkeypatch.setattr(_CountingPool, "map", closing_map)
+        result = extractor._extract_batch(self._series())
+        assert len(result) == 4
+        assert extractor._pool is None
+
+    def test_close_terminates_and_is_idempotent(self, counting_pool):
+        extractor = BatchFeatureExtractor(n_jobs=2, cache=False, keep_pool=True)
+        extractor._extract_batch(self._series())
+        pool = extractor._pool
+        extractor.close()
+        assert pool.terminated
+        assert extractor._pool is None
+        extractor.close()  # second close is a no-op
+
+    def test_pickle_and_deepcopy_restore_the_lock(self):
+        extractor = BatchFeatureExtractor(n_jobs=2, cache=False, keep_pool=True)
+        for clone in (
+            pickle.loads(pickle.dumps(extractor)),
+            copy.deepcopy(extractor),
+        ):
+            assert clone._pool is None
+            assert clone._pool_lock is not extractor._pool_lock
+            with clone._pool_lock:  # a real, working lock
+                pass
