@@ -17,6 +17,7 @@ run            fit+evaluate any registered model on one dataset
 fit            fit a model and save it (JSON file or model store)
 predict        load a saved model and evaluate it on a split
 serve          HTTP inference server over a model store
+pipeline       serve + closed-loop drift detection and retraining
 stream         sliding-window streaming classification (local/remote)
 models         list / delete model-store entries
 =============  ==================================================
@@ -28,6 +29,7 @@ Examples::
     python -m repro predict --model-file wine.json --dataset Wine
     python -m repro fit --model mvg:A --dataset Wine --store models/ --name wine
     python -m repro serve --store models/ --port 8765
+    python -m repro pipeline --store models/ --port 8765 --min-windows 48
     python -m repro stream --store models/ --window 128 --dataset Wine
     python -m repro stream --url http://127.0.0.1:8765 --window 128 < points.txt
     python -m repro models --store models/
@@ -442,8 +444,14 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 # -- serving verbs -------------------------------------------------------------
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the HTTP inference server over a model store."""
+def _cmd_serve(args: argparse.Namespace, pipeline_config=None) -> int:
+    """Run the HTTP inference server over a model store.
+
+    With ``pipeline_config`` (the ``pipeline`` verb), a
+    :class:`repro.pipeline.PipelineController` is attached to the
+    shared state before traffic flows: stream ticks feed drift
+    detectors, and ``/v1/pipeline`` answers on both front ends.
+    """
     from repro.serve import (
         ModelStore,
         create_async_server,
@@ -478,15 +486,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.loop == "asyncio":
         server = create_async_server(store, host=args.host, port=args.port, **options)
-        try:
-            host, port = server.start_background()
-        except OSError as exc:
-            raise SystemExit(str(exc)) from None
     else:
         try:
             server = create_server(store, host=args.host, port=args.port, **options)
         except OSError as exc:
             raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    if pipeline_config is not None:
+        from repro.pipeline import PipelineController
+
+        server.state.attach_pipeline(PipelineController(store, pipeline_config))
+    if args.loop == "asyncio":
+        try:
+            host, port = server.start_background()
+        except OSError as exc:
+            server.close()
+            raise SystemExit(str(exc)) from None
+    else:
         host, port = server.server_address[:2]
     print(
         f"serving {len(names)} model(s) from {args.store} on http://{host}:{port} "
@@ -499,6 +514,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
     if args.reload_interval > 0:
         print(f"  hot reload: store polled every {args.reload_interval}s")
+    if pipeline_config is not None:
+        print(
+            "  continuous pipeline: GET/POST /v1/pipeline "
+            f"(drift threshold {pipeline_config.drift.threshold}, "
+            f"min {pipeline_config.retrain.min_windows} windows, "
+            f"cooldown {pipeline_config.cooldown_seconds}s)"
+        )
     if args.loop == "asyncio":
         # The loop runs on a background thread; park the main thread so
         # SIGINT lands here and triggers a clean shutdown.
@@ -511,6 +533,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         serve_forever(server)
     return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    """``serve`` plus the closed drift→retrain→hot-reload loop."""
+    from repro.pipeline import DriftConfig, PipelineConfig, RetrainConfig
+
+    if args.reload_interval <= 0:
+        raise SystemExit(
+            "pipeline needs hot reload to pick up retrained versions; "
+            "--reload-interval must be > 0"
+        )
+    try:
+        config = PipelineConfig(
+            drift=DriftConfig(
+                reference_window=args.drift_reference,
+                test_window=args.drift_test,
+                smoothing_span=args.smoothing_span,
+                threshold=args.drift_threshold,
+                consecutive=args.drift_consecutive,
+            ),
+            retrain=RetrainConfig(
+                min_windows=args.min_windows,
+                max_windows=args.max_windows,
+                max_attempts=args.retrain_attempts,
+                max_concurrent=args.retrain_concurrency,
+                seed=args.seed if args.seed is not None else 0,
+            ),
+            cooldown_seconds=args.cooldown,
+            enabled=not args.start_disabled,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return _cmd_serve(args, pipeline_config=config)
 
 
 def _stream_points(args: argparse.Namespace):
@@ -556,6 +611,55 @@ def _format_tick(tick: dict) -> str:
     return f"{tick['offset']}\t{tick['label']}\t{_json.dumps(tick['scores'])}"
 
 
+def _post_json_retrying(
+    endpoint: str,
+    payload: dict,
+    attempts: int,
+    rng,
+    timeout: float = 120.0,
+) -> dict:
+    """POST JSON with bounded retry on transient failures.
+
+    Connection errors (server restarting, socket reset) and 5xx
+    responses back off exponentially with jitter and retry up to
+    ``attempts`` times; 4xx responses are the client's fault and exit
+    immediately.  A long stream should survive a server hiccup — e.g.
+    a hot reload or a retrain-induced GC pause — instead of aborting
+    on the first refused connection.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    last_error = "no attempts made"
+    for attempt in range(1, max(1, attempts) + 1):
+        request = urllib.request.Request(
+            endpoint,
+            data=_json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return _json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            if exc.code < 500:
+                raise SystemExit(f"server returned {exc.code}: {detail}") from None
+            last_error = f"server returned {exc.code}: {detail}"
+        except (urllib.error.URLError, OSError) as exc:
+            last_error = f"cannot reach {endpoint}: {exc}"
+        if attempt <= max(1, attempts) - 1:
+            delay = min(5.0, 0.2 * (2 ** (attempt - 1)))
+            delay *= 1.0 + rng.uniform(-0.25, 0.25)
+            print(
+                f"# transient failure (attempt {attempt}/{attempts}), "
+                f"retrying in {delay:.2f}s: {last_error}",
+                file=sys.stderr,
+            )
+            time.sleep(delay)
+    raise SystemExit(f"giving up after {attempts} attempt(s): {last_error}")
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Stream points through a sliding window and print one label per tick.
 
@@ -568,26 +672,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     points = _stream_points(args)
     emitted = 0
     if args.url:
-        import json as _json
-        import urllib.error
-        import urllib.request
+        import random
 
         endpoint = args.url.rstrip("/") + "/v1/stream"
+        # Seeded: retry timing is reproducible run to run.
+        retry_rng = random.Random(0)
 
         def post(payload: dict) -> dict:
-            request = urllib.request.Request(
-                endpoint,
-                data=_json.dumps(payload).encode(),
-                headers={"Content-Type": "application/json"},
-            )
-            try:
-                with urllib.request.urlopen(request, timeout=120) as response:
-                    return _json.loads(response.read())
-            except urllib.error.HTTPError as exc:
-                detail = exc.read().decode(errors="replace")
-                raise SystemExit(f"server returned {exc.code}: {detail}") from None
-            except (urllib.error.URLError, OSError) as exc:
-                raise SystemExit(f"cannot reach {endpoint}: {exc}") from None
+            return _post_json_retrying(endpoint, payload, args.retries, retry_rng)
 
         create: dict = {"op": "create", "window": args.window, "stride": args.stride}
         if args.model:
@@ -806,60 +898,157 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sub, sweep=False, tuning=False)
 
+    def _add_serve_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store", required=True, metavar="DIR", help="model-store directory"
+        )
+        sub.add_argument(
+            "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+        )
+        sub.add_argument(
+            "--port",
+            type=int,
+            default=8765,
+            help="bind port (default 8765; 0 = any free port)",
+        )
+        sub.add_argument(
+            "--model",
+            default=None,
+            metavar="NAME",
+            help="default model for requests that name none (default: the only stored model)",
+        )
+        sub.add_argument(
+            "--max-batch",
+            type=int,
+            default=32,
+            metavar="N",
+            help="micro-batch size cap (default 32)",
+        )
+        sub.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=5.0,
+            metavar="MS",
+            help="micro-batch coalescing window in milliseconds (default 5)",
+        )
+        sub.add_argument(
+            "--feature-cache-size",
+            type=int,
+            default=1024,
+            metavar="N",
+            help="in-memory per-series feature LRU entries (default 1024; 0 disables)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for batched feature extraction",
+        )
+        sub.add_argument(
+            "--loop",
+            choices=("asyncio", "threads"),
+            default="asyncio",
+            help="front end: asyncio event loop (default) or thread-per-connection",
+        )
+        sub.add_argument(
+            "--reload-interval",
+            type=float,
+            default=1.0,
+            metavar="SECONDS",
+            help="hot-reload store poll interval (default 1.0; 0 disables)",
+        )
+
     sub = subparsers.add_parser("serve", help="HTTP inference server over a model store")
-    sub.add_argument(
-        "--store", required=True, metavar="DIR", help="model-store directory"
+    _add_serve_options(sub)
+
+    sub = subparsers.add_parser(
+        "pipeline",
+        help="serve with closed-loop drift detection, retraining and hot reload",
     )
-    sub.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
-    sub.add_argument(
-        "--port", type=int, default=8765, help="bind port (default 8765; 0 = any free port)"
+    _add_serve_options(sub)
+    group = sub.add_argument_group("continuous pipeline")
+    group.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.5,
+        metavar="X",
+        help="drift score at which a tick counts toward triggering (default 0.5)",
     )
-    sub.add_argument(
-        "--model",
-        default=None,
-        metavar="NAME",
-        help="default model for requests that name none (default: the only stored model)",
+    group.add_argument(
+        "--drift-reference",
+        type=int,
+        default=64,
+        metavar="N",
+        help="ticks frozen as the drift baseline (default 64)",
     )
-    sub.add_argument(
-        "--max-batch",
+    group.add_argument(
+        "--drift-test",
         type=int,
         default=32,
         metavar="N",
-        help="micro-batch size cap (default 32)",
+        help="rolling ticks compared against the baseline (default 32)",
     )
-    sub.add_argument(
-        "--max-wait-ms",
-        type=float,
-        default=5.0,
-        metavar="MS",
-        help="micro-batch coalescing window in milliseconds (default 5)",
-    )
-    sub.add_argument(
-        "--feature-cache-size",
+    group.add_argument(
+        "--smoothing-span",
         type=int,
-        default=1024,
+        default=5,
         metavar="N",
-        help="in-memory per-series feature LRU entries (default 1024; 0 disables)",
+        help="label-smoothing majority-vote span (default 5)",
     )
-    sub.add_argument(
-        "--jobs",
+    group.add_argument(
+        "--drift-consecutive",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive drifting ticks needed to trigger (default 3)",
+    )
+    group.add_argument(
+        "--min-windows",
+        type=int,
+        default=32,
+        metavar="N",
+        help="labeled windows required before retraining (default 32)",
+    )
+    group.add_argument(
+        "--max-windows",
+        type=int,
+        default=512,
+        metavar="N",
+        help="most recent windows kept per model (default 512)",
+    )
+    group.add_argument(
+        "--retrain-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fit+publish attempts per retrain job (default 3)",
+    )
+    group.add_argument(
+        "--retrain-concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent retrain jobs (default 1 — single-CPU friendly)",
+    )
+    group.add_argument(
+        "--cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="pause after a retrain before the next may trigger (default 30)",
+    )
+    group.add_argument(
+        "--seed",
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for batched feature extraction",
+        help="seed for retrained models and retry jitter (default 0)",
     )
-    sub.add_argument(
-        "--loop",
-        choices=("asyncio", "threads"),
-        default="asyncio",
-        help="front end: asyncio event loop (default) or thread-per-connection",
-    )
-    sub.add_argument(
-        "--reload-interval",
-        type=float,
-        default=1.0,
-        metavar="SECONDS",
-        help="hot-reload store poll interval (default 1.0; 0 disables)",
+    group.add_argument(
+        "--start-disabled",
+        action="store_true",
+        help="observe drift but do not trigger retrains until POST /v1/pipeline enables",
     )
 
     sub = subparsers.add_parser(
@@ -917,6 +1106,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=256,
         metavar="N",
         help="points per append request in --url mode (default 256)",
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        metavar="N",
+        help="attempts per request in --url mode before giving up on "
+        "transient connection errors/5xx (default 5; 1 = no retry)",
     )
 
     sub = subparsers.add_parser("models", help="list / delete model-store entries")
@@ -992,6 +1189,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_predict(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     if args.command == "stream":
         return _cmd_stream(args)
     if args.command == "models":

@@ -1,0 +1,54 @@
+"""Closed-loop continuous learning over the serving tier.
+
+``repro.pipeline`` connects the pieces the earlier tiers left loose:
+``/v1/stream`` sessions emit per-tick labels, ``fit --store`` writes
+versioned models, and ``StoreWatcher`` hot-loads new versions — this
+package watches the tick streams for drift
+(:mod:`~repro.pipeline.drift`), banks the streamed windows as
+self-labeled training data and retrains/publishes under bounded
+concurrency with retry (:mod:`~repro.pipeline.retrain`), all
+supervised by an explicit per-model state machine
+(:mod:`~repro.pipeline.controller`).
+
+Run it with ``python -m repro pipeline --store DIR`` (a ``serve`` with
+the controller attached), watch it through ``GET /v1/pipeline`` and
+the ``repro_pipeline_*`` metric families, and steer it with
+``POST /v1/pipeline`` (``enable`` / ``disable`` / ``force-retrain``).
+"""
+
+from repro.pipeline.controller import (
+    ACCUMULATING,
+    IDLE,
+    PUBLISHING,
+    RETRAINING,
+    STATES,
+    PipelineConfig,
+    PipelineController,
+)
+from repro.pipeline.drift import DriftConfig, DriftDetector, DriftReport, LabelSmoother
+from repro.pipeline.retrain import (
+    RetrainConfig,
+    RetrainError,
+    RetrainExecutor,
+    RetrainResult,
+    WindowAccumulator,
+)
+
+__all__ = [
+    "ACCUMULATING",
+    "IDLE",
+    "PUBLISHING",
+    "RETRAINING",
+    "STATES",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReport",
+    "LabelSmoother",
+    "PipelineConfig",
+    "PipelineController",
+    "RetrainConfig",
+    "RetrainError",
+    "RetrainExecutor",
+    "RetrainResult",
+    "WindowAccumulator",
+]

@@ -1,0 +1,452 @@
+"""The pipeline supervisor: sessions → drift detectors → retrainer.
+
+:class:`PipelineController` is the piece that closes the loop.  The
+serving tier calls :meth:`observe_tick` for every label a
+``/v1/stream`` session emits; the controller fans the tick into that
+model's :class:`~repro.pipeline.drift.DriftDetector` and
+:class:`~repro.pipeline.retrain.WindowAccumulator`, and when the
+detector triggers (and the model is out of cooldown, and the bank
+holds enough two-class training data) it submits one bounded
+:class:`~repro.pipeline.retrain.RetrainExecutor` job.  The job
+publishes a new :class:`~repro.serve.store.ModelStore` version, which
+the serving tier's ``StoreWatcher`` hot-loads on its next poll tick —
+the controller never touches engines directly; the store *is* the
+hand-off.
+
+Each model walks an explicit state machine, exposed verbatim through
+``GET /v1/pipeline`` and the ``repro_pipeline_state`` metric::
+
+    IDLE ──tick──▶ ACCUMULATING ──trigger──▶ RETRAINING ──fit done──▶
+    PUBLISHING ──verified──▶ ACCUMULATING (cooldown running)
+                    ▲                │
+                    └────retry/fail──┘
+
+Cooldowns debounce the detector (a retrain's own regime change must
+not immediately trigger the next retrain), ``enable``/``disable``
+gates triggering without losing accumulated state, and
+``force_retrain`` submits out-of-band jobs for operators.  All shared
+state is ``_GUARDED_BY`` the controller lock; the lock order is
+controller → accumulator/executor, and nothing in those callees calls
+back into the controller while holding its own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.pipeline.drift import DriftConfig, DriftDetector
+from repro.pipeline.retrain import (
+    RetrainConfig,
+    RetrainExecutor,
+    RetrainResult,
+    WindowAccumulator,
+)
+from repro.registry import REGISTRY
+from repro.serve.store import ModelStore
+
+__all__ = [
+    "ACCUMULATING",
+    "IDLE",
+    "PUBLISHING",
+    "RETRAINING",
+    "STATES",
+    "PipelineConfig",
+    "PipelineController",
+]
+
+#: Per-model pipeline states (the machine in the module docs).
+IDLE = "idle"
+ACCUMULATING = "accumulating"
+RETRAINING = "retraining"
+PUBLISHING = "publishing"
+STATES = (IDLE, ACCUMULATING, RETRAINING, PUBLISHING)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of one :class:`PipelineController`."""
+
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    retrain: RetrainConfig = field(default_factory=RetrainConfig)
+    #: Seconds after a retrain resolves before the next may trigger.
+    cooldown_seconds: float = 30.0
+    #: Whether drift triggers submit retrains (observation always runs).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )
+
+
+class _ModelLoop:
+    """One model's slice of the closed loop.
+
+    Plain state bag: every field is touched only under the owning
+    controller's lock (the accumulator additionally has its own lock
+    because stream workers and retrain jobs reach it directly).
+    """
+
+    def __init__(self, name: str, config: PipelineConfig):
+        self.name = name
+        self.detector = DriftDetector(config.drift)
+        self.accumulator = WindowAccumulator(config.retrain.max_windows)
+        self.state = IDLE
+        self.spec: str | None = None
+        self.ticks = 0
+        self.triggers = 0
+        self.retrains_fired = 0
+        self.retrains_succeeded = 0
+        self.retrains_failed = 0
+        self.versions_published = 0
+        self.last_publish_seconds: float | None = None
+        self.last_published_version: int | None = None
+        self.cooldown_until = 0.0
+        self.last_skip_reason: str | None = None
+
+
+class PipelineController:
+    """Supervisor wiring tick streams to bounded retraining (see module
+    docs).  Safe to drive from stream workers, HTTP handlers and
+    retrain worker threads concurrently.
+    """
+
+    _GUARDED_BY = {
+        "_models": "_lock",
+        "_enabled": "_lock",
+        "_closed": "_lock",
+    }
+
+    def __init__(self, store: ModelStore, config: PipelineConfig | None = None):
+        self.store = store
+        self.config = config or PipelineConfig()
+        self.executor = RetrainExecutor(store, self.config.retrain)
+        self._lock = threading.Lock()
+        self._models: dict[str, _ModelLoop] = {}
+        self._enabled = self.config.enabled
+        self._closed = False
+
+    # -- the tick path -----------------------------------------------------
+    def observe_tick(
+        self,
+        name: str,
+        version: int,
+        window: Any,
+        label: Any,
+        scores: dict[str, float] | None = None,
+    ) -> None:
+        """Fold one stream tick into ``name``'s loop.
+
+        Called by the serving tier for every label a stream session
+        emits; never raises (a broken pipeline must not fail the
+        stream append that fed it).
+        """
+        try:
+            with self._lock:
+                if self._closed:
+                    return
+                loop = self._loop(name)
+                loop.ticks += 1
+                if loop.state == IDLE:
+                    loop.state = ACCUMULATING
+                loop.accumulator.add(window, label)
+                report = loop.detector.observe(label, scores)
+                if report.triggered:
+                    loop.triggers += 1
+                    self._maybe_retrain(loop)
+        except Exception:
+            # Deliberately swallowed: the append path stays healthy even
+            # if drift bookkeeping hits an unexpected edge.
+            pass
+
+    def _loop(self, name: str) -> _ModelLoop:  # guarded-by: _lock
+        loop = self._models.get(name)
+        if loop is None:
+            loop = self._models[name] = _ModelLoop(name, self.config)
+        return loop
+
+    # -- retrain orchestration ---------------------------------------------
+    def _maybe_retrain(self, loop: _ModelLoop, force: bool = False) -> bool:  # guarded-by: _lock
+        """Submit a retrain for ``loop`` if its gates pass; returns
+        whether a job was actually queued (recording the skip reason
+        otherwise)."""
+        if not force:
+            if not self._enabled:
+                loop.last_skip_reason = "pipeline disabled"
+                return False
+            remaining = loop.cooldown_until - time.monotonic()
+            if remaining > 0:
+                loop.last_skip_reason = f"cooling down ({remaining:.1f}s left)"
+                return False
+        if loop.state in (RETRAINING, PUBLISHING):
+            loop.last_skip_reason = "retrain already in flight"
+            return False
+        if not loop.accumulator.trainable(self.config.retrain.min_windows):
+            loop.last_skip_reason = (
+                f"not trainable: {len(loop.accumulator)} windows "
+                f"(need >= {self.config.retrain.min_windows} spanning "
+                f">= 2 labels)"
+            )
+            return False
+        try:
+            spec = self._resolve_spec(loop)
+            X, y = loop.accumulator.snapshot()
+        except Exception as exc:
+            loop.last_skip_reason = f"{type(exc).__name__}: {exc}"
+            return False
+        name = loop.name
+        future = self.executor.submit(
+            name,
+            spec,
+            X,
+            y,
+            metadata={"trigger": "forced" if force else "drift"},
+            on_phase=lambda phase: self._on_phase(name, phase),
+        )
+        if future is None:
+            loop.last_skip_reason = "executor busy or closed"
+            return False
+        loop.state = RETRAINING
+        loop.retrains_fired += 1
+        loop.last_skip_reason = None
+        future.add_done_callback(lambda f: self._on_done(name, f))
+        return True
+
+    def _resolve_spec(self, loop: _ModelLoop) -> str:  # guarded-by: _lock
+        """The registry spec to rebuild ``loop``'s model from.
+
+        ``fit --store`` records the spec in version metadata; models
+        published another way fall back to structural resolution
+        (:func:`repro.registry.spec_of`) of the stored blob.
+        """
+        if loop.spec:
+            return loop.spec
+        record = self.store.record(loop.name)
+        spec = record.metadata.get("spec")
+        if not spec:
+            spec = REGISTRY.spec_of(self.store.load(loop.name))
+        loop.spec = str(spec)
+        return loop.spec
+
+    def _on_phase(self, name: str, phase: str) -> None:
+        """Retrain-job phase hook (runs on the executor worker)."""
+        with self._lock:
+            loop = self._models.get(name)
+            if loop is None:
+                return
+            if phase == "publishing":
+                loop.state = PUBLISHING
+            elif phase == "retraining":
+                loop.state = RETRAINING
+
+    def _on_done(self, name: str, future: Any) -> None:
+        """Retrain-job completion hook (runs on the executor worker)."""
+        with self._lock:
+            loop = self._models.get(name)
+            if loop is None:
+                return
+            if future.exception() is None:
+                result: RetrainResult = future.result()
+                loop.retrains_succeeded += 1
+                loop.versions_published += 1
+                loop.last_publish_seconds = result.publish_seconds
+                loop.last_published_version = result.record.version
+            else:
+                loop.retrains_failed += 1
+            loop.state = ACCUMULATING
+            loop.cooldown_until = time.monotonic() + self.config.cooldown_seconds
+
+    # -- operator surface ---------------------------------------------------
+    def enable(self) -> None:
+        with self._lock:
+            self._enabled = True
+
+    def disable(self) -> None:
+        """Stop triggering retrains; observation and state survive."""
+        with self._lock:
+            self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        with self._lock:
+            return self._enabled
+
+    def force_retrain(self, model: str | None = None) -> dict[str, Any]:
+        """Submit out-of-band retrains, bypassing drift and cooldown.
+
+        Returns ``{model: "submitted" | "skipped: <reason>"}`` without
+        waiting for the jobs — callers poll ``status()``.
+        """
+        with self._lock:
+            if model is not None:
+                if model not in self._models:
+                    # An operator may force a model no stream has touched
+                    # yet; it must still exist in the store.
+                    self.store.record(model)
+                targets = [self._loop(model)]
+            else:
+                targets = list(self._models.values())
+            outcome: dict[str, Any] = {}
+            for loop in targets:
+                if self._maybe_retrain(loop, force=True):
+                    outcome[loop.name] = "submitted"
+                else:
+                    outcome[loop.name] = f"skipped: {loop.last_skip_reason}"
+            return outcome
+
+    def status(self) -> dict[str, Any]:
+        """The whole pipeline's state, shaped for ``GET /v1/pipeline``."""
+        with self._lock:
+            models = {
+                loop.name: {
+                    "state": loop.state,
+                    "ticks": loop.ticks,
+                    "triggers": loop.triggers,
+                    "drift": loop.detector.status(),
+                    "accumulated_windows": len(loop.accumulator),
+                    "retrains": {
+                        "fired": loop.retrains_fired,
+                        "succeeded": loop.retrains_succeeded,
+                        "failed": loop.retrains_failed,
+                    },
+                    "versions_published": loop.versions_published,
+                    "last_published_version": loop.last_published_version,
+                    "last_publish_seconds": loop.last_publish_seconds,
+                    "cooldown_remaining_seconds": round(
+                        max(0.0, loop.cooldown_until - time.monotonic()), 3
+                    ),
+                    "last_skip_reason": loop.last_skip_reason,
+                }
+                for loop in self._models.values()
+            }
+            enabled = self._enabled
+        return {
+            "enabled": enabled,
+            "models": models,
+            "executor": self.executor.status(),
+            "config": {
+                "drift": {
+                    "reference_window": self.config.drift.reference_window,
+                    "test_window": self.config.drift.test_window,
+                    "smoothing_span": self.config.drift.smoothing_span,
+                    "threshold": self.config.drift.threshold,
+                    "consecutive": self.config.drift.consecutive,
+                },
+                "retrain": {
+                    "min_windows": self.config.retrain.min_windows,
+                    "max_windows": self.config.retrain.max_windows,
+                    "max_attempts": self.config.retrain.max_attempts,
+                    "max_concurrent": self.config.retrain.max_concurrent,
+                },
+                "cooldown_seconds": self.config.cooldown_seconds,
+            },
+        }
+
+    # -- metrics -------------------------------------------------------------
+    def metrics_lines(self) -> list[str]:
+        """``repro_pipeline_*`` exposition lines (a registry collector)."""
+        from repro.serve.metrics import render_family
+
+        with self._lock:
+            enabled = self._enabled
+            loops = [
+                {
+                    "name": loop.name,
+                    "state": loop.state,
+                    "ticks": loop.ticks,
+                    "triggers": loop.triggers,
+                    "drift_score": (
+                        loop.detector.last_report_.score
+                        if loop.detector.last_report_ is not None
+                        else 0.0
+                    ),
+                    "accumulated": len(loop.accumulator),
+                    "fired": loop.retrains_fired,
+                    "succeeded": loop.retrains_succeeded,
+                    "failed": loop.retrains_failed,
+                    "published": loop.versions_published,
+                    "last_publish_seconds": loop.last_publish_seconds,
+                }
+                for loop in self._models.values()
+            ]
+        loops.sort(key=lambda row: row["name"])
+        lines = render_family(
+            "repro_pipeline_enabled",
+            "gauge",
+            "Whether drift triggers may submit retrains.",
+            [("", {}, 1.0 if enabled else 0.0)],
+        )
+        lines += render_family(
+            "repro_pipeline_ticks_total",
+            "counter",
+            "Stream ticks observed by the pipeline, by model.",
+            [("", {"model": r["name"]}, r["ticks"]) for r in loops],
+        )
+        lines += render_family(
+            "repro_pipeline_drift_score",
+            "gauge",
+            "Most recent drift score (max of the detector components).",
+            [("", {"model": r["name"]}, r["drift_score"]) for r in loops],
+        )
+        lines += render_family(
+            "repro_pipeline_accumulated_windows",
+            "gauge",
+            "Labeled windows currently banked for retraining.",
+            [("", {"model": r["name"]}, r["accumulated"]) for r in loops],
+        )
+        lines += render_family(
+            "repro_pipeline_triggers_total",
+            "counter",
+            "Drift-detector trigger events, by model.",
+            [("", {"model": r["name"]}, r["triggers"]) for r in loops],
+        )
+        lines += render_family(
+            "repro_pipeline_retrains_total",
+            "counter",
+            "Retrain jobs by model and outcome.",
+            [
+                ("", {"model": r["name"], "outcome": outcome}, r[outcome])
+                for r in loops
+                for outcome in ("fired", "succeeded", "failed")
+            ],
+        )
+        lines += render_family(
+            "repro_pipeline_versions_published_total",
+            "counter",
+            "Model versions published by the retrainer, by model.",
+            [("", {"model": r["name"]}, r["published"]) for r in loops],
+        )
+        lines += render_family(
+            "repro_pipeline_last_publish_seconds",
+            "gauge",
+            "Publish+verify wall time of the most recent retrain.",
+            [
+                ("", {"model": r["name"]}, r["last_publish_seconds"])
+                for r in loops
+                if r["last_publish_seconds"] is not None
+            ],
+        )
+        lines += render_family(
+            "repro_pipeline_state",
+            "gauge",
+            "One-hot per-model pipeline state.",
+            [
+                ("", {"model": r["name"], "state": state}, 1.0 if r["state"] == state else 0.0)
+                for r in loops
+                for state in STATES
+            ],
+        )
+        return lines
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new ticks and wait for in-flight retrains to resolve."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.executor.close(wait=True)

@@ -1,0 +1,275 @@
+"""Drift detection over a stream session's per-tick classifications.
+
+A deployed classifier decays silently when the traffic it serves
+drifts away from its training distribution.  The serving tier cannot
+see ground truth online, but it *can* watch two proxies per tick:
+
+* the **score distribution** — a model pushed off its manifold gets
+  less confident (or confidently wrong in a new, differently-shaped
+  way), which moves the empirical distribution of its top-1 scores;
+* the **label stream** — the mix of emitted labels shifts, and the
+  smoothed label sequence starts churning (flipping between adjacent
+  ticks) when windows straddle an unfamiliar regime.
+
+:class:`DriftDetector` freezes a *reference* sample of the first
+``reference_window`` ticks (after arming) and compares a rolling
+*test* window of the most recent ``test_window`` ticks against it with
+three statistics, all in ``[0, 1]``:
+
+* ``score_shift`` — the two-sample Kolmogorov–Smirnov statistic
+  between the reference and test top-1 score samples;
+* ``label_shift`` — the total-variation distance between the
+  reference and test label histograms;
+* ``churn`` — the increase in adjacent-tick flips of the *smoothed*
+  label sequence (majority vote over ``smoothing_span`` ticks, which
+  suppresses the isolated flips a healthy boundary-hugging stream
+  produces) relative to the reference churn rate.
+
+The drift score is the maximum of the three; the detector *triggers*
+once the score has sat at or above ``threshold`` for ``consecutive``
+ticks — the iterate-until-converged shape of learning-based testing's
+refinement loop: keep observing until the evidence is stable, then
+fire one retrain and re-arm against the post-drift regime.
+
+Everything is pure deterministic arithmetic over the observed ticks
+(stdlib + numpy, no RNG), so the same tick sequence always produces
+the same reports — pinned by ``tests/test_pipeline_drift.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["DriftConfig", "DriftDetector", "DriftReport", "LabelSmoother"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of one :class:`DriftDetector` (all tick-denominated)."""
+
+    #: Ticks frozen as the post-arm baseline sample.
+    reference_window: int = 64
+    #: Rolling most-recent ticks compared against the baseline.
+    test_window: int = 32
+    #: Majority-vote span of the label smoother feeding the churn stat.
+    smoothing_span: int = 5
+    #: Drift-score level at which a tick counts toward triggering.
+    threshold: float = 0.5
+    #: Ticks at/above the threshold in a row needed to trigger.
+    consecutive: int = 3
+
+    def __post_init__(self) -> None:
+        if self.reference_window < 2:
+            raise ValueError(
+                f"reference_window must be >= 2, got {self.reference_window}"
+            )
+        if self.test_window < 2:
+            raise ValueError(f"test_window must be >= 2, got {self.test_window}")
+        if self.smoothing_span < 1:
+            raise ValueError(
+                f"smoothing_span must be >= 1, got {self.smoothing_span}"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+        if self.consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {self.consecutive}")
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """What one observed tick did to the detector."""
+
+    #: Ticks observed since the last (re)arm.
+    ticks: int
+    #: ``max(score_shift, label_shift, churn)`` — 0.0 while warming up.
+    score: float
+    #: Per-statistic components (empty while warming up).
+    components: dict[str, float] = field(default_factory=dict)
+    #: Whether this tick's score sits at/above the threshold.
+    drifting: bool = False
+    #: Whether this tick completed the consecutive run and fired.
+    triggered: bool = False
+
+
+class LabelSmoother:
+    """Majority vote over the last ``span`` labels of a tick stream.
+
+    Shorter prefixes vote over whatever is present, so a stream (or a
+    window) shorter than the smoothing span still smooths instead of
+    erroring.  Ties break toward the most recently seen among the tied
+    labels — deterministic, and biased toward the regime the stream is
+    entering rather than the one it is leaving.
+    """
+
+    def __init__(self, span: int):
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        self.span = int(span)
+        self._recent: deque[Any] = deque(maxlen=self.span)
+
+    def smooth(self, label: Any) -> Any:
+        """Fold ``label`` in; returns the current majority label."""
+        self._recent.append(label)
+        counts = Counter(self._recent)
+        best = max(counts.values())
+        # Most recent among the tied majority labels wins.
+        for candidate in reversed(self._recent):
+            if counts[candidate] == best:
+                return candidate
+        raise AssertionError("unreachable: deque is non-empty")
+
+    def reset(self) -> None:
+        self._recent.clear()
+
+
+def ks_statistic(reference: np.ndarray, test: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (sup CDF distance).
+
+    ``max_x |F_ref(x) - F_test(x)|`` over the pooled sample points —
+    the exact statistic, O((m+n) log(m+n)) via sorting, no SciPy.
+    """
+    if reference.size == 0 or test.size == 0:
+        return 0.0
+    ref = np.sort(reference)
+    tst = np.sort(test)
+    pooled = np.concatenate([ref, tst])
+    cdf_ref = np.searchsorted(ref, pooled, side="right") / ref.size
+    cdf_tst = np.searchsorted(tst, pooled, side="right") / tst.size
+    return float(np.max(np.abs(cdf_ref - cdf_tst)))
+
+
+def total_variation(reference: list[Any], test: list[Any]) -> float:
+    """Total-variation distance between two label samples' histograms."""
+    if not reference or not test:
+        return 0.0
+    ref_counts = Counter(reference)
+    test_counts = Counter(test)
+    labels = set(ref_counts) | set(test_counts)
+    return 0.5 * sum(
+        abs(ref_counts[l] / len(reference) - test_counts[l] / len(test))
+        for l in labels
+    )
+
+
+def churn_rate(labels: list[Any]) -> float:
+    """Fraction of adjacent pairs that flip in a label sequence."""
+    if len(labels) < 2:
+        return 0.0
+    flips = sum(a != b for a, b in zip(labels, labels[1:]))
+    return flips / (len(labels) - 1)
+
+
+class DriftDetector:
+    """Change-point detection over one model's tick stream (see module
+    docs).  Not thread-safe by itself — the pipeline controller calls
+    :meth:`observe` under its own per-model lock.
+    """
+
+    def __init__(self, config: DriftConfig | None = None):
+        self.config = config or DriftConfig()
+        self._smoother = LabelSmoother(self.config.smoothing_span)
+        self._ref_scores: list[float] = []
+        self._ref_labels: list[Any] = []
+        self._test_scores: deque[float] = deque(maxlen=self.config.test_window)
+        self._test_labels: deque[Any] = deque(maxlen=self.config.test_window)
+        self._streak = 0
+        self.ticks_ = 0
+        self.triggers_ = 0
+        self.last_report_: DriftReport | None = None
+
+    # -- observation -------------------------------------------------------
+    def observe(self, label: Any, scores: dict[str, float] | None = None) -> DriftReport:
+        """Fold one tick's ``(label, scores)`` into the detector.
+
+        ``scores`` is the tick's class-probability dict (the top-1
+        value feeds the score-shift statistic); a missing/degenerate
+        dict (generic models report ``{label: 1.0}``) simply mutes that
+        component — label shift and churn still detect drift.
+        """
+        self.ticks_ += 1
+        confidence = max(scores.values()) if scores else 1.0
+        smoothed = self._smoother.smooth(label)
+        if len(self._ref_scores) < self.config.reference_window:
+            # Still freezing the baseline: reference fills before the
+            # rolling test window starts to diverge from it.
+            self._ref_scores.append(confidence)
+            self._ref_labels.append(smoothed)
+            report = DriftReport(ticks=self.ticks_, score=0.0)
+            self.last_report_ = report
+            return report
+        self._test_scores.append(confidence)
+        self._test_labels.append(smoothed)
+        if len(self._test_labels) < self.config.test_window:
+            report = DriftReport(ticks=self.ticks_, score=0.0)
+            self.last_report_ = report
+            return report
+
+        components = {
+            "score_shift": ks_statistic(
+                np.asarray(self._ref_scores), np.asarray(self._test_scores)
+            ),
+            "label_shift": total_variation(
+                self._ref_labels, list(self._test_labels)
+            ),
+            "churn": max(
+                0.0,
+                churn_rate(list(self._test_labels)) - churn_rate(self._ref_labels),
+            ),
+        }
+        score = max(components.values())
+        drifting = score >= self.config.threshold
+        self._streak = self._streak + 1 if drifting else 0
+        triggered = self._streak >= self.config.consecutive
+        report = DriftReport(
+            ticks=self.ticks_,
+            score=score,
+            components=components,
+            drifting=drifting,
+            triggered=triggered,
+        )
+        self.last_report_ = report
+        if triggered:
+            self.triggers_ += 1
+            self.rearm()
+        return report
+
+    def rearm(self) -> None:
+        """Drop the baseline and re-freeze it from upcoming ticks.
+
+        Called automatically after a trigger (the post-drift — and
+        post-retrain — regime becomes the new normal) and by the
+        controller when a model version it did not retrain itself goes
+        live (an operator published manually).
+        """
+        self._ref_scores.clear()
+        self._ref_labels.clear()
+        self._test_scores.clear()
+        self._test_labels.clear()
+        self._smoother.reset()
+        self._streak = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def warmed_up(self) -> bool:
+        """Whether both the reference and test samples are full."""
+        return (
+            len(self._ref_scores) >= self.config.reference_window
+            and len(self._test_labels) >= self.config.test_window
+        )
+
+    def status(self) -> dict[str, Any]:
+        last = self.last_report_
+        return {
+            "ticks": self.ticks_,
+            "triggers": self.triggers_,
+            "warmed_up": self.warmed_up,
+            "drift_score": round(last.score, 6) if last else 0.0,
+            "components": (
+                {k: round(v, 6) for k, v in last.components.items()} if last else {}
+            ),
+            "streak": self._streak,
+        }

@@ -1,0 +1,385 @@
+"""Bounded-concurrency retraining: accumulate windows, fit, publish.
+
+The second stage of the closed loop.  While the drift detector watches
+a model's tick stream, a :class:`WindowAccumulator` banks the most
+recent ``(window, label)`` pairs the stream produced — self-labeled
+training data for the regime the model is *currently* serving.  When
+the detector triggers, a :class:`RetrainExecutor` job rebuilds the
+model's registry spec, fits it on the accumulated snapshot and
+publishes the result as a new SHA-256-verified :class:`ModelStore`
+version, which the serving tier's ``StoreWatcher`` hot-loads within
+one poll tick — no restart, no coordination beyond the store itself.
+
+Resilience follows the ETL-stage idioms the roadmap points at: a
+bounded worker pool (default one worker — retraining competes with
+serving for the single CPU), per-model in-flight dedup so a noisy
+detector cannot stack jobs, and retry with exponential backoff plus
+deterministic jitter around the fit→publish→verify sequence.  A
+publish is only counted as succeeded after the stored blob has been
+re-loaded through the manifest hash check, so a torn or corrupted
+write can never become the version the watcher picks up.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.registry import REGISTRY
+from repro.serve.store import ModelRecord, ModelStore
+
+__all__ = [
+    "RetrainConfig",
+    "RetrainError",
+    "RetrainExecutor",
+    "RetrainResult",
+    "WindowAccumulator",
+]
+
+
+class RetrainError(Exception):
+    """A retrain job exhausted its attempts without publishing."""
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Knobs of one :class:`RetrainExecutor`."""
+
+    #: Accumulated windows required before a trigger may retrain.
+    min_windows: int = 32
+    #: Most recent windows kept per model (older ones are evicted).
+    max_windows: int = 512
+    #: Fit→publish→verify attempts before the job fails.
+    max_attempts: int = 3
+    #: First retry delay; doubles per attempt up to the cap.
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    #: Multiplicative jitter fraction applied to each delay.
+    jitter: float = 0.25
+    #: Worker threads fitting concurrently (single CPU ⇒ default 1).
+    max_concurrent: int = 1
+    #: Seeds both the jitter stream and the rebuilt model (when it
+    #: accepts ``random_state``), keeping retrains reproducible.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_windows < 1:
+            raise ValueError(f"min_windows must be >= 1, got {self.min_windows}")
+        if self.max_windows < self.min_windows:
+            raise ValueError(
+                f"max_windows ({self.max_windows}) must be >= "
+                f"min_windows ({self.min_windows})"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+
+
+@dataclass(frozen=True)
+class RetrainResult:
+    """Outcome of one successful retrain job."""
+
+    name: str
+    spec: str
+    record: ModelRecord
+    samples: int
+    attempts: int
+    fit_seconds: float
+    publish_seconds: float
+    total_seconds: float
+
+
+class WindowAccumulator:
+    """Bounded bank of the most recent ``(window, label)`` tick pairs.
+
+    Thread-safe: stream workers ``add`` while a retrain job takes a
+    ``snapshot``.  Capacity eviction is oldest-first, so the snapshot
+    is always the freshest view of the traffic — exactly what a
+    drift-triggered retrain should learn from.
+    """
+
+    _GUARDED_BY = {
+        "_windows": "_lock",
+        "_labels": "_lock",
+        "added_": "_lock",
+    }
+
+    def __init__(self, max_windows: int):
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.max_windows = int(max_windows)
+        self._lock = threading.Lock()
+        self._windows: list[np.ndarray] = []
+        self._labels: list[Any] = []
+        self.added_ = 0
+
+    def add(self, window: np.ndarray, label: Any) -> None:
+        values = np.asarray(window, dtype=float).reshape(-1).copy()
+        with self._lock:
+            self._windows.append(values)
+            self._labels.append(label)
+            self.added_ += 1
+            if len(self._windows) > self.max_windows:
+                del self._windows[0]
+                del self._labels[0]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._windows)
+
+    def label_counts(self) -> dict[Any, int]:
+        with self._lock:
+            labels = list(self._labels)
+        counts: dict[Any, int] = {}
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def trainable(self, min_windows: int) -> bool:
+        """Enough windows *and* at least two classes to fit on."""
+        with self._lock:
+            return (
+                len(self._windows) >= min_windows
+                and len(set(self._labels)) >= 2
+            )
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copy out ``(X, y)``; windows must share one length to stack."""
+        with self._lock:
+            windows = list(self._windows)
+            labels = list(self._labels)
+        if not windows:
+            raise RetrainError("accumulator is empty")
+        lengths = {w.size for w in windows}
+        if len(lengths) != 1:
+            raise RetrainError(
+                f"accumulated windows have mixed lengths {sorted(lengths)}"
+            )
+        return np.stack(windows), np.asarray(labels)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+            self._labels.clear()
+
+
+def build_model(spec: str, seed: int) -> Any:
+    """Rebuild a registry spec for retraining, seeding when possible.
+
+    Components differ in the kwargs they accept (``mvg`` takes
+    ``random_state``/``feature_cache``, ``1nn-ed`` takes neither), so
+    preferred kwargs are peeled off on ``TypeError`` instead of being
+    hard-coded per component.
+    """
+    for kwargs in (
+        {"random_state": seed, "feature_cache": False},
+        {"random_state": seed},
+        {},
+    ):
+        try:
+            return REGISTRY.make(spec, **kwargs)
+        except TypeError:
+            continue
+    return REGISTRY.make(spec)
+
+
+class RetrainExecutor:
+    """Bounded pool running fit→publish→verify jobs (see module docs).
+
+    ``submit`` is safe to call from any thread (stream tick workers,
+    HTTP handlers, the controller); at most one job per model name is
+    in flight at a time — a second trigger while one is running is
+    dropped, which is the debounce the detectors rely on.
+    """
+
+    _GUARDED_BY = {
+        "_in_flight": "_lock",
+        "_closed": "_lock",
+        "retrains_started_": "_lock",
+        "retrains_succeeded_": "_lock",
+        "retrains_failed_": "_lock",
+        "last_error_": "_lock",
+        "last_result_": "_lock",
+        "publish_seconds_": "_lock",
+        "_rng": "_lock",
+    }
+
+    def __init__(self, store: ModelStore, config: RetrainConfig | None = None):
+        self.store = store
+        self.config = config or RetrainConfig()
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-retrain",
+        )
+        self._in_flight: set[str] = set()
+        self._closed = False
+        self._rng = random.Random(self.config.seed)
+        self.retrains_started_ = 0
+        self.retrains_succeeded_ = 0
+        self.retrains_failed_ = 0
+        self.last_error_: str | None = None
+        self.last_result_: RetrainResult | None = None
+        self.publish_seconds_: list[float] = []
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        spec: str,
+        X: np.ndarray,
+        y: np.ndarray,
+        metadata: dict[str, Any] | None = None,
+        on_phase: Callable[[str], None] | None = None,
+    ) -> Future | None:
+        """Queue one retrain of ``name`` from ``spec`` on ``(X, y)``.
+
+        Returns the job's :class:`Future` (resolving to a
+        :class:`RetrainResult`, or raising :class:`RetrainError`), or
+        ``None`` when the executor is closed or ``name`` already has a
+        job in flight.
+        """
+        with self._lock:
+            if self._closed or name in self._in_flight:
+                return None
+            self._in_flight.add(name)
+            self.retrains_started_ += 1
+        try:
+            future = self._pool.submit(
+                self._job, name, spec, X, y, dict(metadata or {}), on_phase
+            )
+        except RuntimeError:  # pool shut down between the check and here
+            with self._lock:
+                self._in_flight.discard(name)
+                self.retrains_started_ -= 1
+            return None
+        future.add_done_callback(lambda f: self._finish(name, f))
+        return future
+
+    def in_flight(self) -> set[str]:
+        with self._lock:
+            return set(self._in_flight)
+
+    # -- the job -----------------------------------------------------------
+    def _job(
+        self,
+        name: str,
+        spec: str,
+        X: np.ndarray,
+        y: np.ndarray,
+        metadata: dict[str, Any],
+        on_phase: Callable[[str], None] | None,
+    ) -> RetrainResult:
+        started = time.monotonic()
+        last_exc: Exception | None = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            try:
+                if on_phase is not None:
+                    on_phase("retraining")
+                fit_started = time.monotonic()
+                model = build_model(spec, self.config.seed)
+                model.fit(X, y)
+                fit_seconds = time.monotonic() - fit_started
+
+                if on_phase is not None:
+                    on_phase("publishing")
+                publish_started = time.monotonic()
+                record = self.store.save(
+                    model,
+                    name,
+                    metadata={
+                        **metadata,
+                        "spec": spec,
+                        "retrained": True,
+                        "samples": int(len(y)),
+                        "attempt": attempt,
+                    },
+                )
+                # Round-trip through the manifest hash check: a version
+                # the watcher could load corrupted must never count as
+                # published.
+                self.store.load(name, record.version)
+                publish_seconds = time.monotonic() - publish_started
+                return RetrainResult(
+                    name=name,
+                    spec=spec,
+                    record=record,
+                    samples=int(len(y)),
+                    attempts=attempt,
+                    fit_seconds=fit_seconds,
+                    publish_seconds=publish_seconds,
+                    total_seconds=time.monotonic() - started,
+                )
+            except Exception as exc:
+                last_exc = exc
+                if attempt < self.config.max_attempts:
+                    time.sleep(self._backoff(attempt))
+        raise RetrainError(
+            f"retrain of {name!r} ({spec}) failed after "
+            f"{self.config.max_attempts} attempts: {last_exc}"
+        ) from last_exc
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential delay with deterministic multiplicative jitter."""
+        delay = min(
+            self.config.backoff_cap_seconds,
+            self.config.backoff_base_seconds * (2 ** (attempt - 1)),
+        )
+        with self._lock:
+            spread = self._rng.uniform(-self.config.jitter, self.config.jitter)
+        return max(0.0, delay * (1.0 + spread))
+
+    def _finish(self, name: str, future: Future) -> None:
+        exc = future.exception()
+        with self._lock:
+            self._in_flight.discard(name)
+            if exc is None:
+                result: RetrainResult = future.result()
+                self.retrains_succeeded_ += 1
+                self.last_result_ = result
+                self.publish_seconds_.append(result.publish_seconds)
+            else:
+                self.retrains_failed_ += 1
+                self.last_error_ = str(exc)
+
+    # -- introspection / lifecycle -----------------------------------------
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            last = self.last_result_
+            return {
+                "started": self.retrains_started_,
+                "succeeded": self.retrains_succeeded_,
+                "failed": self.retrains_failed_,
+                "in_flight": sorted(self._in_flight),
+                "last_error": self.last_error_,
+                "last_published": (
+                    {
+                        "name": last.name,
+                        "version": last.record.version,
+                        "samples": last.samples,
+                        "attempts": last.attempts,
+                        "total_seconds": round(last.total_seconds, 6),
+                    }
+                    if last is not None
+                    else None
+                ),
+            }
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for in-flight ones."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)

@@ -1,6 +1,6 @@
 """HTTP serving core: shared routing/state plus the threaded front end.
 
-Two front ends expose the same six endpoints over a
+Two front ends expose the same endpoints over a
 :class:`~repro.serve.store.ModelStore`:
 
 * this module's :class:`InferenceServer` — a stdlib
@@ -30,6 +30,11 @@ byte-identical JSON bodies.
     ``op: "append"`` (``session``, ``points``) → one label per stride
     once the window fills, features maintained incrementally;
     ``op: "status"`` / ``op: "close"``.
+``GET /v1/pipeline`` / ``POST /v1/pipeline``
+    The continuous pipeline (:mod:`repro.pipeline`), when one is
+    attached (``python -m repro pipeline``): status of every model's
+    drift→retrain loop, and control ops ``enable`` / ``disable`` /
+    ``force-retrain``; 404 when the server runs without a controller.
 ``GET /v1/models``
     The store manifest: every stored version with hash and metadata.
 ``GET /healthz``
@@ -288,8 +293,8 @@ class ServerState:
 
     # Every mutable map the two front ends share, with the lock that
     # guards it (enforced by `repro check` lock-discipline).  _watcher
-    # is deliberately absent: it is set once during single-threaded
-    # startup and only cleared by close().
+    # and _pipeline are deliberately absent: both are set once during
+    # single-threaded startup and only cleared by close().
     _GUARDED_BY = {
         "_loaded": "_lock",
         "_retired": "_lock",
@@ -330,6 +335,7 @@ class ServerState:
             tuple[float, tuple[str, int], tuple[InferenceEngine, MicroBatcher]]
         ] = []
         self._watcher: StoreWatcher | None = None
+        self._pipeline: Any | None = None
         #: How long the manifest snapshot below may serve the hot path
         #: before a fresh read notices new versions.
         self.catalog_ttl_seconds = 1.0
@@ -549,6 +555,25 @@ class ServerState:
     def watcher(self) -> "StoreWatcher | None":
         return self._watcher
 
+    # -- continuous pipeline -----------------------------------------------
+    def attach_pipeline(self, controller: Any) -> None:
+        """Wire a :class:`repro.pipeline.PipelineController` in.
+
+        Called once during single-threaded startup (like
+        :meth:`start_watcher`): stream ticks start feeding the
+        controller's drift detectors, ``/v1/pipeline`` starts
+        answering, and the ``repro_pipeline_*`` families join the
+        ``/metrics`` scrape.
+        """
+        if self._pipeline is not None:
+            raise RuntimeError("a pipeline controller is already attached")
+        self._pipeline = controller
+        self.metrics.registry.add_collector(controller.metrics_lines)
+
+    @property
+    def pipeline(self) -> Any | None:
+        return self._pipeline
+
     # -- streaming sessions ------------------------------------------------
     def stream_executor(self) -> ThreadPoolExecutor:
         """The single worker all sessions' appends run on (lazy)."""
@@ -584,6 +609,14 @@ class ServerState:
         instead of failing every append.
         """
         engine, _ = self.engine_for(requested, version)
+        pipeline = self._pipeline
+        observer = None
+        if pipeline is not None:
+            observer = (
+                lambda win, label, scores: pipeline.observe_tick(
+                    engine.name, engine.version, win, label, scores
+                )
+            )
         try:
             session = StreamSession(
                 uuid.uuid4().hex[:16],
@@ -593,6 +626,7 @@ class ServerState:
                 liveness=lambda: self.ensure_version_live(
                     engine.name, engine.version
                 ),
+                observer=observer,
             )
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
@@ -692,7 +726,10 @@ class ServerState:
                 "enabled": watcher is not None,
                 "interval_seconds": watcher.interval_seconds if watcher else None,
                 "ticks": watcher.ticks_ if watcher else 0,
+                "errors": watcher.errors_ if watcher else 0,
+                "last_error": watcher.last_error_ if watcher else None,
             },
+            "pipeline": self._pipeline is not None,
         }
 
     def render_metrics(self) -> str:
@@ -816,14 +853,35 @@ class ServerState:
                 [("", {}, ticks)],
             )
         )
+        watcher = self._watcher
+        if watcher is not None:
+            lines.extend(
+                render_family(
+                    "repro_serve_watcher_ticks_total",
+                    "counter",
+                    "Hot-reload watcher poll ticks.",
+                    [("", {}, watcher.ticks_)],
+                )
+            )
+            lines.extend(
+                render_family(
+                    "repro_serve_watcher_errors_total",
+                    "counter",
+                    "Watcher poll/reload passes that raised (watcher kept ticking).",
+                    [("", {}, watcher.errors_)],
+                )
+            )
         return lines
 
     def close(self) -> None:
-        """Stop the watcher, stream worker and every engine pool,
-        including retired pairs still draining."""
+        """Stop the watcher, pipeline, stream worker and every engine
+        pool, including retired pairs still draining."""
         if self._watcher is not None:
             self._watcher.stop()
             self._watcher = None
+        if self._pipeline is not None:
+            pipeline, self._pipeline = self._pipeline, None
+            pipeline.close()
         with self._lock:
             pairs = list(self._loaded.values())
             pairs.extend(pair for _, _, pair in self._retired)
@@ -860,6 +918,13 @@ class StoreWatcher:
         self.state = state
         self.interval_seconds = float(interval_seconds)
         self.ticks_ = 0
+        #: Ticks whose reload pass raised (bad version, torn manifest,
+        #: transient IO).  The watcher keeps ticking regardless; the
+        #: count and the last error surface in /healthz and /metrics
+        #: (``repro_serve_watcher_errors_total``) so a store that is
+        #: *persistently* failing does not fail silently.
+        self.errors_ = 0
+        self.last_error_: str | None = None
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-watcher", daemon=True
@@ -877,8 +942,9 @@ class StoreWatcher:
         while not self._stop.wait(self.interval_seconds):
             try:
                 self.state.reload_tick()
-            except Exception:  # noqa: BLE001 — transient store glitch; next tick retries
-                pass
+            except Exception as exc:  # noqa: BLE001 — transient store glitch; next tick retries
+                self.errors_ += 1
+                self.last_error_ = f"{type(exc).__name__}: {exc}"
             self.ticks_ += 1
 
 
@@ -1011,6 +1077,51 @@ def _route_stream(state: ServerState, body: bytes | None) -> Response | PendingR
     return PendingResponse([future], lambda results: results[0])
 
 
+def _require_pipeline(state: ServerState) -> Any:
+    pipeline = state.pipeline
+    if pipeline is None:
+        raise ApiError(
+            404,
+            "no continuous pipeline attached; start the server with "
+            "`python -m repro pipeline --store DIR`",
+        )
+    return pipeline
+
+
+def _route_pipeline_status(state: ServerState, body: bytes | None) -> Response:
+    return json_response(200, _require_pipeline(state).status())
+
+
+def _route_pipeline_control(state: ServerState, body: bytes | None) -> Response:
+    """``{"op": "enable" | "disable" | "force-retrain", "model"?: str}``.
+
+    ``force-retrain`` only *submits* (the handler runs on the asyncio
+    front end's loop thread and must not block on a fit); callers poll
+    ``GET /v1/pipeline`` for the outcome.
+    """
+    pipeline = _require_pipeline(state)
+    payload = parse_json_body(body)
+    op = payload.get("op")
+    if op == "enable":
+        pipeline.enable()
+        return json_response(200, {"op": op, "enabled": True})
+    if op == "disable":
+        pipeline.disable()
+        return json_response(200, {"op": op, "enabled": False})
+    if op == "force-retrain":
+        model = payload.get("model")
+        if model is not None and not isinstance(model, str):
+            raise ApiError(400, '"model" must be a string')
+        # An unknown model raises ModelNotFoundError → 404 via
+        # response_for_exception, same as every other route.
+        outcome = pipeline.force_retrain(model)
+        return json_response(200, {"op": op, "models": outcome})
+    raise ApiError(
+        400,
+        f"unknown pipeline op {op!r} (expected enable/disable/force-retrain)",
+    )
+
+
 def _route_models(state: ServerState, body: bytes | None) -> Response:
     records = state.store.list_models()
     return json_response(
@@ -1034,6 +1145,8 @@ ROUTES: dict[tuple[str, str], Callable[[ServerState, bytes | None], Any]] = {
     ("POST", "/v1/classify"): _route_classify,
     ("POST", "/v1/batch"): _route_batch,
     ("POST", "/v1/stream"): _route_stream,
+    ("GET", "/v1/pipeline"): _route_pipeline_status,
+    ("POST", "/v1/pipeline"): _route_pipeline_control,
     ("GET", "/v1/models"): _route_models,
     ("GET", "/healthz"): _route_health,
     ("GET", "/metrics"): _route_metrics,

@@ -94,6 +94,12 @@ class StreamSession:
         Optional hook called before processing an append; it raises
         :class:`ModelRetiredError` when the pinned model version is no
         longer live.
+    observer:
+        Optional ``observer(window, label, scores)`` hook called once
+        per tick with a copy of the classified window and its result —
+        the continuous pipeline's drift detectors hang off this.
+        Observer failures are swallowed: a broken observer must not
+        fail the client's append.
     """
 
     # Appends run on the stream worker while status/close/sweep come
@@ -116,6 +122,7 @@ class StreamSession:
         window: int,
         stride: int = 1,
         liveness: Callable[[], None] | None = None,
+        observer: Callable[[np.ndarray, Any, dict[str, float]], None] | None = None,
     ):
         if not isinstance(window, int) or isinstance(window, bool):
             raise ValueError(f'"window" must be an integer, got {window!r}')
@@ -132,6 +139,7 @@ class StreamSession:
         self.window = window
         self.stride = stride
         self._liveness = liveness
+        self._observer = observer
         if engine.is_mvg:
             self._extractor: StreamingFeatureExtractor | None = (
                 StreamingFeatureExtractor(window, engine.feature_config)
@@ -171,6 +179,11 @@ class StreamSession:
                     label, scores = self._tick()
                     self.ticks_ += 1
                     self._next_tick_at += self.stride
+                    if self._observer is not None:
+                        try:
+                            self._observer(self._window_values(), label, scores)
+                        except Exception:  # noqa: BLE001 — see class docs
+                            pass
                     results.append(
                         {
                             "offset": self.points_received_,
@@ -239,6 +252,12 @@ class StreamSession:
             self._extractor.push(value)
         else:
             self._ring.push(value)
+
+    def _window_values(self) -> np.ndarray:  # guarded-by: _lock
+        """A copy of the current window's raw values (observer hand-off)."""
+        if self._extractor is not None:
+            return np.array(self._extractor.window_values(), dtype=float)
+        return np.array(self._ring.values(), dtype=float)
 
     def _tick(self) -> ClassifyResult:  # guarded-by: _lock
         if self._extractor is not None:

@@ -450,3 +450,193 @@ class TestLegacyCommandsStillWork:
         code = main(["fig2", "--results-dir", str(sandbox)])
         assert code == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestStreamRetry:
+    """Remote-mode retry: transient errors back off and retry, client
+    errors exit immediately, exhaustion gives up with the last error."""
+
+    @staticmethod
+    def _response(payload):
+        import io
+
+        class _Resp(io.BytesIO):
+            status = 200
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        return _Resp(json.dumps(payload).encode())
+
+    @staticmethod
+    def _http_error(code, detail=b"boom"):
+        import io
+        import urllib.error
+
+        return urllib.error.HTTPError(
+            "http://x/v1/stream", code, "err", {}, io.BytesIO(detail)
+        )
+
+    def _patch_sleep(self, monkeypatch):
+        import repro.__main__ as cli
+
+        slept = []
+        monkeypatch.setattr(cli.time, "sleep", slept.append)
+        return slept
+
+    def test_transient_failures_are_retried_with_backoff(
+        self, monkeypatch, capsys
+    ):
+        import random
+        import urllib.error
+
+        from repro.__main__ import _post_json_retrying
+
+        slept = self._patch_sleep(monkeypatch)
+        calls = []
+
+        def urlopen(request, timeout):
+            calls.append(request)
+            if len(calls) == 1:
+                raise urllib.error.URLError("connection refused")
+            if len(calls) == 2:
+                raise self._http_error(503)
+            return self._response({"ok": True})
+
+        monkeypatch.setattr("urllib.request.urlopen", urlopen)
+        result = _post_json_retrying(
+            "http://x/v1/stream", {"op": "status"}, attempts=5, rng=random.Random(0)
+        )
+        assert result == {"ok": True}
+        assert len(calls) == 3
+        assert len(slept) == 2
+        assert 0 < slept[0] <= 0.2 * 1.25
+        assert slept[1] > slept[0]  # exponential growth under jitter
+        err = capsys.readouterr().err
+        assert err.count("# transient failure") == 2
+        assert "503" in err
+
+    def test_client_errors_exit_immediately(self, monkeypatch):
+        import random
+
+        from repro.__main__ import _post_json_retrying
+
+        self._patch_sleep(monkeypatch)
+        calls = []
+
+        def urlopen(request, timeout):
+            calls.append(request)
+            raise self._http_error(400, b'{"error": "bad window"}')
+
+        monkeypatch.setattr("urllib.request.urlopen", urlopen)
+        with pytest.raises(SystemExit, match="server returned 400.*bad window"):
+            _post_json_retrying(
+                "http://x/v1/stream", {}, attempts=5, rng=random.Random(0)
+            )
+        assert len(calls) == 1  # no retry on the client's own fault
+
+    def test_exhausted_attempts_give_up(self, monkeypatch):
+        import random
+        import urllib.error
+
+        from repro.__main__ import _post_json_retrying
+
+        slept = self._patch_sleep(monkeypatch)
+        calls = []
+
+        def urlopen(request, timeout):
+            calls.append(request)
+            raise urllib.error.URLError("down")
+
+        monkeypatch.setattr("urllib.request.urlopen", urlopen)
+        with pytest.raises(SystemExit, match=r"giving up after 3 attempt\(s\)"):
+            _post_json_retrying(
+                "http://x/v1/stream", {}, attempts=3, rng=random.Random(0)
+            )
+        assert len(calls) == 3
+        assert len(slept) == 2  # no sleep after the final attempt
+
+    def test_stream_url_mode_survives_a_transient_hiccup(
+        self, monkeypatch, capsys
+    ):
+        import io
+        import urllib.error
+
+        self._patch_sleep(monkeypatch)
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 2 3 4 5 6 7 8 9 10"))
+        requests = []
+
+        def urlopen(request, timeout):
+            body = json.loads(request.data)
+            requests.append(body["op"])
+            if body["op"] == "create":
+                return self._response(
+                    {
+                        "created": True,
+                        "session": "s1",
+                        "model": "nn",
+                        "version": 1,
+                        "window": 8,
+                        "stride": 1,
+                    }
+                )
+            if body["op"] == "append":
+                if requests.count("append") == 1:
+                    raise urllib.error.URLError("server hiccup")
+                return self._response(
+                    {
+                        "results": [
+                            {"offset": 8, "label": 1, "scores": {"1": 1.0}},
+                            {"offset": 9, "label": 1, "scores": {"1": 1.0}},
+                            {"offset": 10, "label": 0, "scores": {"0": 1.0}},
+                        ],
+                        "received": 10,
+                        "filled": True,
+                    }
+                )
+            return self._response({"closed": True})
+
+        monkeypatch.setattr("urllib.request.urlopen", urlopen)
+        code = main(["stream", "--url", "http://127.0.0.1:1", "--window", "8"])
+        assert code == 0
+        captured = capsys.readouterr()
+        ticks = captured.out.strip().splitlines()
+        assert len(ticks) == 3
+        assert ticks[0].split("\t")[:2] == ["8", "1"]
+        assert "# transient failure" in captured.err
+        # create, failed append, retried append, close
+        assert requests == ["create", "append", "append", "close"]
+
+
+class TestPipelineVerb:
+    def test_requires_hot_reload(self):
+        with pytest.raises(SystemExit, match="reload-interval must be > 0"):
+            main(
+                [
+                    "pipeline",
+                    "--store", "unused",
+                    "--reload-interval", "0",
+                ]
+            )
+
+    def test_bad_drift_knobs_exit_cleanly(self):
+        with pytest.raises(SystemExit, match="threshold"):
+            main(
+                [
+                    "pipeline",
+                    "--store", "unused",
+                    "--drift-threshold", "7",
+                ]
+            )
+        with pytest.raises(SystemExit, match="min_windows"):
+            main(
+                [
+                    "pipeline",
+                    "--store", "unused",
+                    "--max-windows", "4",
+                    "--min-windows", "8",
+                ]
+            )

@@ -1,0 +1,269 @@
+"""Drift-detection edge cases: stationary streams must never trigger,
+abrupt drift must trigger fast, gradual drift must still trigger, and
+degenerate geometries (window shorter than the smoothing span) must
+smooth instead of erroring.  Everything here is deterministic — the
+detector uses no RNG, so identical tick sequences pin identical
+reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.drift import (
+    DriftConfig,
+    DriftDetector,
+    LabelSmoother,
+    churn_rate,
+    ks_statistic,
+    total_variation,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = DriftConfig()
+        assert config.reference_window == 64
+        assert config.test_window == 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reference_window": 1},
+            {"test_window": 1},
+            {"smoothing_span": 0},
+            {"threshold": 0.0},
+            {"threshold": 1.5},
+            {"consecutive": 0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftConfig(**kwargs)
+
+
+class TestLabelSmoother:
+    def test_majority_wins(self):
+        smoother = LabelSmoother(span=3)
+        assert smoother.smooth("a") == "a"
+        assert smoother.smooth("a") == "a"
+        assert smoother.smooth("b") == "a"  # 2 a vs 1 b
+
+    def test_tie_breaks_to_most_recent(self):
+        smoother = LabelSmoother(span=4)
+        for label in ("a", "a", "b", "b"):
+            smoothed = smoother.smooth(label)
+        assert smoothed == "b"  # 2-2 tie: the entering regime wins
+
+    def test_span_one_is_passthrough(self):
+        smoother = LabelSmoother(span=1)
+        assert [smoother.smooth(l) for l in "abab"] == list("abab")
+
+    def test_prefix_shorter_than_span_still_smooths(self):
+        # A stream shorter than the smoothing span votes over what is
+        # present — no error, no padding artifacts.
+        smoother = LabelSmoother(span=50)
+        assert smoother.smooth(0) == 0
+        assert smoother.smooth(1) == 1  # 1-1 tie, most recent
+        assert smoother.smooth(0) == 0  # 2-1 majority
+
+    def test_reset_forgets_history(self):
+        smoother = LabelSmoother(span=5)
+        for _ in range(5):
+            smoother.smooth("a")
+        smoother.reset()
+        assert smoother.smooth("b") == "b"
+
+    def test_bad_span_raises(self):
+        with pytest.raises(ValueError):
+            LabelSmoother(span=0)
+
+
+class TestStatistics:
+    def test_ks_identical_samples_is_zero(self):
+        sample = np.array([0.1, 0.5, 0.9, 0.3])
+        assert ks_statistic(sample, sample.copy()) == 0.0
+
+    def test_ks_disjoint_samples_is_one(self):
+        low = np.linspace(0.0, 0.2, 20)
+        high = np.linspace(0.8, 1.0, 20)
+        assert ks_statistic(low, high) == 1.0
+
+    def test_ks_empty_sample_is_zero(self):
+        assert ks_statistic(np.array([]), np.array([0.5])) == 0.0
+
+    def test_total_variation_bounds(self):
+        assert total_variation(["a"] * 4, ["a"] * 6) == 0.0
+        assert total_variation(["a"] * 4, ["b"] * 6) == 1.0
+        assert total_variation(["a", "b"], ["a", "a", "b", "b"]) == 0.0
+
+    def test_churn_rate(self):
+        assert churn_rate([1, 1, 1, 1]) == 0.0
+        assert churn_rate([1, 0, 1, 0]) == 1.0
+        assert churn_rate([1]) == 0.0
+
+
+def _drive(detector, labels, confidences):
+    """Feed (label, {label: confidence}) pairs; return all reports."""
+    return [
+        detector.observe(label, {str(label): conf})
+        for label, conf in zip(labels, confidences)
+    ]
+
+
+class TestDriftDetector:
+    def test_stationary_stream_never_triggers(self):
+        # Confidence wobbles around a fixed distribution and the label
+        # never changes: 500 ticks must not produce a single trigger.
+        config = DriftConfig(
+            reference_window=32, test_window=16, smoothing_span=3,
+            threshold=0.5, consecutive=3,
+        )
+        detector = DriftDetector(config)
+        rng = np.random.default_rng(0)
+        confidences = 0.8 + 0.05 * rng.standard_normal(500)
+        reports = _drive(detector, [0] * 500, np.clip(confidences, 0.0, 1.0))
+        assert detector.triggers_ == 0
+        assert not any(r.triggered for r in reports)
+        assert detector.warmed_up
+        # Small-window sampling noise may spike a lone tick over the
+        # threshold — the consecutive-run debounce is what keeps the
+        # detector quiet.  Drifting ticks must stay rare.
+        drifting = sum(r.drifting for r in reports)
+        assert drifting / len(reports) < 0.05
+
+    def test_abrupt_label_drift_triggers(self):
+        config = DriftConfig(
+            reference_window=8, test_window=4, smoothing_span=1,
+            threshold=0.5, consecutive=2,
+        )
+        detector = DriftDetector(config)
+        _drive(detector, [0] * 12, [0.9] * 12)  # warm up: ref + test full
+        assert detector.warmed_up
+        reports = _drive(detector, [1] * 6, [0.9] * 6)
+        assert detector.triggers_ == 1
+        triggered = [r for r in reports if r.triggered]
+        assert len(triggered) == 1
+        assert triggered[0].components["label_shift"] >= config.threshold
+
+    def test_score_only_drift_triggers(self):
+        # Label never changes; only the confidence distribution moves.
+        config = DriftConfig(
+            reference_window=16, test_window=8, smoothing_span=1,
+            threshold=0.5, consecutive=2,
+        )
+        detector = DriftDetector(config)
+        rng = np.random.default_rng(1)
+        warm = np.clip(0.9 + 0.02 * rng.standard_normal(24), 0.0, 1.0)
+        _drive(detector, [0] * 24, warm)
+        shifted = np.clip(0.55 + 0.02 * rng.standard_normal(12), 0.0, 1.0)
+        reports = _drive(detector, [0] * 12, shifted)
+        assert detector.triggers_ == 1
+        fired = next(r for r in reports if r.triggered)
+        assert fired.components["score_shift"] >= config.threshold
+        assert fired.components["label_shift"] == 0.0
+
+    def test_abrupt_beats_gradual_to_the_trigger(self):
+        config = DriftConfig(
+            reference_window=16, test_window=8, smoothing_span=1,
+            threshold=0.5, consecutive=3,
+        )
+
+        def ticks_to_trigger(confidences):
+            detector = DriftDetector(config)
+            for i, conf in enumerate(confidences):
+                if detector.observe(0, {"0": conf}).triggered:
+                    return i
+            raise AssertionError("never triggered")
+
+        # A noisy (non-degenerate) reference, so the KS statistic grows
+        # with how far the test sample has moved, not on first touch.
+        rng = np.random.default_rng(2)
+        warm = list(np.clip(rng.normal(0.8, 0.05, size=24), 0.0, 1.0))
+        abrupt = warm + [0.4] * 80
+        gradual = warm + list(np.linspace(0.8, 0.4, 80))
+        assert ticks_to_trigger(abrupt) < ticks_to_trigger(gradual)
+
+    def test_gradual_drift_still_triggers(self):
+        config = DriftConfig(
+            reference_window=16, test_window=8, smoothing_span=3,
+            threshold=0.5, consecutive=3,
+        )
+        detector = DriftDetector(config)
+        _drive(detector, [0] * 24, [0.9] * 24)
+        # Labels bleed from 0 to 1 over 40 ticks: 0001 0011 0111 ...
+        bleed = [1 if (i * 7) % 40 < i else 0 for i in range(40)]
+        _drive(detector, bleed + [1] * 20, [0.9] * 60)
+        assert detector.triggers_ >= 1
+
+    def test_window_shorter_than_smoothing_span(self):
+        # smoothing_span far larger than both windows: the smoother
+        # votes over short prefixes and the detector still works.
+        config = DriftConfig(
+            reference_window=4, test_window=2, smoothing_span=50,
+            threshold=0.5, consecutive=1,
+        )
+        detector = DriftDetector(config)
+        _drive(detector, [0] * 6, [0.9] * 6)
+        assert detector.warmed_up
+        # With a span of 50, flipping the raw label takes a while to
+        # flip the smoothed majority — drift shows up later but shows.
+        reports = _drive(detector, [1] * 12, [0.9] * 12)
+        assert detector.triggers_ == 1
+        assert any(r.triggered for r in reports)
+
+    def test_warmup_reports_are_quiet(self):
+        config = DriftConfig(reference_window=8, test_window=4)
+        detector = DriftDetector(config)
+        reports = _drive(detector, [0] * 11, [0.9] * 11)  # 8 ref + 3 test
+        assert not detector.warmed_up
+        assert all(r.score == 0.0 and r.components == {} for r in reports)
+
+    def test_trigger_rearms_the_detector(self):
+        config = DriftConfig(
+            reference_window=8, test_window=4, smoothing_span=1,
+            threshold=0.5, consecutive=2,
+        )
+        detector = DriftDetector(config)
+        _drive(detector, [0] * 12, [0.9] * 12)
+        _drive(detector, [1] * 6, [0.9] * 6)
+        assert detector.triggers_ == 1
+        assert not detector.warmed_up  # baseline dropped, re-freezing
+        assert detector.status()["streak"] == 0
+        # The post-drift regime becomes the new normal: steady label-1
+        # traffic re-warms without a second trigger.
+        _drive(detector, [1] * 40, [0.9] * 40)
+        assert detector.triggers_ == 1
+        assert detector.warmed_up
+
+    def test_missing_scores_mute_score_shift_only(self):
+        config = DriftConfig(
+            reference_window=8, test_window=4, smoothing_span=1,
+            threshold=0.5, consecutive=2,
+        )
+        detector = DriftDetector(config)
+        for label in [0] * 12 + [1] * 6:
+            report = detector.observe(label, scores=None)
+        assert detector.triggers_ == 1
+        assert report.ticks == 18
+
+    def test_same_sequence_same_reports(self):
+        config = DriftConfig(
+            reference_window=16, test_window=8, smoothing_span=3,
+            threshold=0.4, consecutive=2,
+        )
+        rng = np.random.default_rng(7)
+        labels = list(rng.integers(0, 2, size=120))
+        confidences = list(np.clip(rng.normal(0.8, 0.1, size=120), 0.0, 1.0))
+        first = _drive(DriftDetector(config), labels, confidences)
+        second = _drive(DriftDetector(config), labels, confidences)
+        assert first == second
+
+    def test_status_shape(self):
+        detector = DriftDetector(DriftConfig(reference_window=4, test_window=2))
+        _drive(detector, [0] * 7, [0.9] * 7)
+        status = detector.status()
+        assert status["ticks"] == 7
+        assert status["triggers"] == 0
+        assert status["warmed_up"] is True
+        assert set(status["components"]) == {"score_shift", "label_shift", "churn"}
+        assert isinstance(status["drift_score"], float)

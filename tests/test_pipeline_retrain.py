@@ -1,0 +1,254 @@
+"""Retrain executor: accumulation bounds, publish+verify, retry with
+backoff, failure accounting, and the per-model in-flight debounce."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pipeline.retrain import (
+    RetrainConfig,
+    RetrainError,
+    RetrainExecutor,
+    RetrainResult,
+    WindowAccumulator,
+    build_model,
+)
+from repro.serve.store import ModelStore
+
+
+@pytest.fixture
+def training_data():
+    rng = np.random.default_rng(0)
+    X = np.concatenate(
+        [rng.normal(0.0, 0.3, size=(8, 16)), rng.normal(4.0, 0.3, size=(8, 16))]
+    )
+    y = np.repeat([0, 1], 8)
+    return X, y
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ModelStore(tmp_path / "store")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_windows": 0},
+            {"min_windows": 10, "max_windows": 5},
+            {"max_attempts": 0},
+            {"backoff_base_seconds": -1.0},
+            {"jitter": 1.5},
+            {"max_concurrent": 0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetrainConfig(**kwargs)
+
+
+class TestWindowAccumulator:
+    def test_eviction_is_oldest_first(self):
+        acc = WindowAccumulator(max_windows=3)
+        for i in range(5):
+            acc.add(np.full(4, float(i)), i)
+        assert len(acc) == 3
+        assert acc.added_ == 5
+        X, y = acc.snapshot()
+        assert list(y) == [2, 3, 4]
+        assert X[0][0] == 2.0
+
+    def test_trainable_needs_volume_and_two_classes(self):
+        acc = WindowAccumulator(max_windows=10)
+        for _ in range(5):
+            acc.add(np.zeros(4), "a")
+        assert not acc.trainable(3)  # one class only
+        acc.add(np.ones(4), "b")
+        assert acc.trainable(3)
+        assert not acc.trainable(100)  # not enough windows
+
+    def test_label_counts(self):
+        acc = WindowAccumulator(max_windows=10)
+        acc.add(np.zeros(4), "a")
+        acc.add(np.zeros(4), "a")
+        acc.add(np.zeros(4), "b")
+        assert acc.label_counts() == {"a": 2, "b": 1}
+
+    def test_snapshot_copies(self):
+        acc = WindowAccumulator(max_windows=4)
+        source = np.ones(4)
+        acc.add(source, 0)
+        source[:] = 99.0  # caller mutates after the fact
+        acc.add(np.zeros(4), 1)
+        X, _ = acc.snapshot()
+        assert X[0][0] == 1.0
+
+    def test_empty_snapshot_raises(self):
+        with pytest.raises(RetrainError, match="empty"):
+            WindowAccumulator(max_windows=4).snapshot()
+
+    def test_mixed_window_lengths_raise(self):
+        acc = WindowAccumulator(max_windows=4)
+        acc.add(np.zeros(4), 0)
+        acc.add(np.zeros(8), 1)
+        with pytest.raises(RetrainError, match="mixed lengths"):
+            acc.snapshot()
+
+    def test_clear(self):
+        acc = WindowAccumulator(max_windows=4)
+        acc.add(np.zeros(4), 0)
+        acc.clear()
+        assert len(acc) == 0
+
+
+class TestBuildModel:
+    def test_kwarg_peeling_covers_plain_components(self, training_data):
+        # 1nn-ed takes neither random_state nor feature_cache; the
+        # peeling loop must still construct it.
+        X, y = training_data
+        model = build_model("1nn-ed", seed=0)
+        model.fit(X, y)
+        assert list(model.predict(X[:1])) == [0]
+
+    def test_seeded_components_get_the_seed(self):
+        model = build_model("mvg:A", seed=7)
+        assert getattr(model, "random_state", 7) == 7
+
+
+class TestRetrainExecutor:
+    def test_fit_publish_verify_round_trip(self, store, training_data):
+        X, y = training_data
+        executor = RetrainExecutor(
+            store, RetrainConfig(min_windows=4, backoff_base_seconds=0.01)
+        )
+        try:
+            future = executor.submit("nn", "1nn-ed", X, y, metadata={"k": "v"})
+            result = future.result(timeout=30)
+        finally:
+            executor.close()
+        assert isinstance(result, RetrainResult)
+        assert result.attempts == 1
+        assert result.record.version == 1
+        assert result.record.metadata["spec"] == "1nn-ed"
+        assert result.record.metadata["retrained"] is True
+        assert result.record.metadata["samples"] == 16
+        assert result.record.metadata["k"] == "v"
+        # The published blob really loads back through the hash check.
+        reloaded = store.load("nn", result.record.version)
+        assert list(reloaded.predict(X[:2])) == [0, 0]
+        status = executor.status()
+        assert status["succeeded"] == 1 and status["failed"] == 0
+        assert status["last_published"]["version"] == 1
+
+    def test_transient_publish_failure_is_retried(
+        self, store, training_data, monkeypatch
+    ):
+        X, y = training_data
+        real_save = store.save
+        failures = {"left": 1}
+
+        def flaky_save(*args, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("disk hiccup")
+            return real_save(*args, **kwargs)
+
+        monkeypatch.setattr(store, "save", flaky_save)
+        executor = RetrainExecutor(
+            store,
+            RetrainConfig(max_attempts=3, backoff_base_seconds=0.001, jitter=0.0),
+        )
+        try:
+            result = executor.submit("nn", "1nn-ed", X, y).result(timeout=30)
+        finally:
+            executor.close()
+        assert result.attempts == 2
+        assert executor.retrains_succeeded_ == 1
+        assert store.record("nn").version == 1
+
+    def test_exhausted_attempts_raise_and_count(
+        self, store, training_data, monkeypatch
+    ):
+        X, y = training_data
+        monkeypatch.setattr(
+            store, "save", lambda *a, **k: (_ for _ in ()).throw(OSError("down"))
+        )
+        executor = RetrainExecutor(
+            store,
+            RetrainConfig(max_attempts=2, backoff_base_seconds=0.001, jitter=0.0),
+        )
+        try:
+            future = executor.submit("nn", "1nn-ed", X, y)
+            with pytest.raises(RetrainError, match="after 2 attempts"):
+                future.result(timeout=30)
+        finally:
+            executor.close()
+        assert executor.retrains_failed_ == 1
+        assert executor.retrains_succeeded_ == 0
+        assert "down" in executor.last_error_
+        assert executor.in_flight() == set()
+
+    def test_in_flight_dedup_drops_second_submit(
+        self, store, training_data, monkeypatch
+    ):
+        X, y = training_data
+        release = threading.Event()
+
+        class SlowModel:
+            def fit(self, X, y):
+                release.wait(timeout=30)
+                return self
+
+            def predict(self, X):
+                return np.zeros(len(X), dtype=int)
+
+        monkeypatch.setattr(
+            "repro.pipeline.retrain.build_model", lambda spec, seed: SlowModel()
+        )
+        executor = RetrainExecutor(
+            store,
+            RetrainConfig(
+                max_concurrent=2, max_attempts=1, backoff_base_seconds=0.001
+            ),
+        )
+        try:
+            first = executor.submit("nn", "1nn-ed", X, y)
+            assert first is not None
+            assert executor.in_flight() == {"nn"}
+            assert executor.submit("nn", "1nn-ed", X, y) is None  # debounced
+            assert executor.submit("other", "1nn-ed", X, y) is not None
+            release.set()
+            # The stub is not persistable — the job fails, which is fine:
+            # this test pins the debounce, not the publish.
+            with pytest.raises(RetrainError):
+                first.result(timeout=30)
+        finally:
+            release.set()
+            executor.close()
+        assert executor.retrains_started_ == 2
+        assert executor.in_flight() == set()
+
+    def test_submit_after_close_returns_none(self, store, training_data):
+        X, y = training_data
+        executor = RetrainExecutor(store)
+        executor.close()
+        assert executor.submit("nn", "1nn-ed", X, y) is None
+        assert executor.retrains_started_ == 0
+
+    def test_backoff_is_deterministic_per_seed(self, store):
+        config = RetrainConfig(
+            backoff_base_seconds=0.1, backoff_cap_seconds=1.0, jitter=0.25, seed=3
+        )
+        a = RetrainExecutor(store, config)
+        b = RetrainExecutor(store, config)
+        try:
+            delays_a = [a._backoff(i) for i in range(1, 5)]
+            delays_b = [b._backoff(i) for i in range(1, 5)]
+        finally:
+            a.close()
+            b.close()
+        assert delays_a == delays_b
+        assert all(d >= 0.0 for d in delays_a)
+        assert delays_a[1] > delays_a[0] * 1.2  # exponential under the cap
