@@ -20,6 +20,7 @@ serve          HTTP inference server over a model store
 pipeline       serve + closed-loop drift detection and retraining
 stream         sliding-window streaming classification (local/remote)
 models         list / delete model-store entries
+db             query / stats / gc over the experiment ledger
 =============  ==================================================
 
 Examples::
@@ -33,6 +34,9 @@ Examples::
     python -m repro stream --store models/ --window 128 --dataset Wine
     python -m repro stream --url http://127.0.0.1:8765 --window 128 < points.txt
     python -m repro models --store models/
+    python -m repro db query --dataset BeetleFly --order-by error
+    python -m repro db stats --store models/
+    python -m repro db gc --store models/           # dry run
     python -m repro table2 --jobs 4 --datasets BeetleFly,BirdChicken
 
 Every command accepts declarative run flags (``--jobs``, ``--datasets``,
@@ -48,6 +52,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.api.config import RunConfig
 
@@ -337,6 +342,53 @@ def _make_model(spec: str):
         raise SystemExit(message) from None
 
 
+def _run_settings(args: argparse.Namespace, config: RunConfig, dataset: str) -> dict:
+    """The identifying settings of one ``run``/``fit`` invocation — the
+    input of its ledger config hash."""
+    return {
+        "model": args.model,
+        "dataset": dataset,
+        "orientation": args.orientation,
+        "seed": config.seed,
+        "full_grid": config.full_grid,
+        "tuned": not args.no_tune,
+    }
+
+
+def _record_cli_run(
+    kind: str,
+    config: RunConfig,
+    settings: dict,
+    **row: object,
+) -> None:
+    """Append one ``run``/``fit`` row to the results-directory ledger.
+
+    Best-effort by design: a missing or broken ledger warns and the verb
+    still succeeds — provenance must never fail the run it describes.
+    """
+    from repro.experiments.harness import results_dir
+    from repro.ledger import Ledger, config_fingerprint
+
+    ledger = Ledger.attach(results_dir(config) / "ledger.db")
+    if ledger is None:
+        return
+    try:
+        row_id = ledger.record(
+            kind,
+            label=str(settings["model"]),
+            model=str(settings["model"]),
+            dataset=str(settings["dataset"]),
+            seed=config.seed,
+            config_hash=config_fingerprint(settings),
+            config=settings,
+            **row,
+        )
+    finally:
+        ledger.close()
+    if row_id is not None:
+        print(f"ledger:   run #{row_id} recorded in {ledger.path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """Fit a registry model on a dataset's train split, report test error."""
     from repro.ml.metrics import error_rate
@@ -361,6 +413,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(f"error:    {error:.6g}  (accuracy {1.0 - error:.6g})")
     print(f"runtime:  fit {fit_seconds:.2f}s, predict {predict_seconds:.2f}s")
+    _record_cli_run(
+        "run",
+        config,
+        _run_settings(args, config, split.name),
+        error=float(error),
+        metrics={
+            "fit_seconds": round(fit_seconds, 6),
+            "predict_seconds": round(predict_seconds, 6),
+        },
+        wall_seconds=fit_seconds + predict_seconds,
+    )
     return 0
 
 
@@ -387,15 +450,25 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     config = build_run_config(args)
     split = _load_split(args.dataset, args.orientation)
     model = _configure_model(_make_model(args.model), split, config, tune=not args.no_tune)
+    t0 = time.perf_counter()
     model.fit(split.train.X, split.train.y)
+    fit_seconds = time.perf_counter() - t0
     train_error = error_rate(split.train.y, model.predict(split.train.X))
     print(f"fitted {args.model} on {split.name} (train error {train_error:.6g})")
+    settings = _run_settings(args, config, split.name)
+    record = None
+    artifact = None
     try:
         if args.out:
-            print(f"saved to {save_model(model, args.out)}")
+            artifact = str(save_model(model, args.out))
+            print(f"saved to {artifact}")
         if args.store:
+            from repro.ledger import config_fingerprint
             from repro.serve import ModelStore
 
+            # The stored metadata carries the full provenance triple
+            # (dataset, seed, config hash) so the store ledger's publish
+            # row can answer "where did this version come from".
             record = ModelStore(args.store).save(
                 model,
                 args.name,
@@ -404,8 +477,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                     "dataset": split.name,
                     "orientation": args.orientation,
                     "train_error": round(train_error, 6),
+                    "seed": config.seed,
+                    "config_hash": config_fingerprint(settings),
                 },
             )
+            artifact = str(Path(args.store) / "blobs" / record.name / f"v{record.version}.json")
             print(
                 f"stored as {record.name} v{record.version} in {args.store} "
                 f"(sha256 {record.sha256[:12]}…)"
@@ -415,6 +491,20 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             f"{exc}; persistable models include mvg:* and xgboost/rf/tree/logreg "
             "pipelines (see repro.ml.persistence)"
         ) from None
+    _record_cli_run(
+        "fit",
+        config,
+        settings,
+        error=float(train_error),
+        metrics={"train_error": round(train_error, 6), "fit_seconds": round(fit_seconds, 6)},
+        artifact=artifact,
+        wall_seconds=fit_seconds,
+        meta=(
+            {"store": str(args.store), "name": record.name, "version": record.version}
+            if record is not None
+            else None
+        ),
+    )
     return 0
 
 
@@ -509,7 +599,7 @@ def _cmd_serve(args: argparse.Namespace, pipeline_config=None) -> int:
     )
     print(
         "  POST /v1/classify   POST /v1/batch   POST /v1/stream   "
-        "GET /v1/models   GET /healthz   GET /metrics"
+        "GET /v1/models   GET /v1/runs   GET /healthz   GET /metrics"
     )
     print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
     if args.reload_interval > 0:
@@ -1170,6 +1260,91 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show each rule's full convention notes",
     )
+
+    sub = subparsers.add_parser(
+        "db", help="query the experiment ledger (ledger.db)"
+    )
+    dbsub = sub.add_subparsers(dest="db_command", required=True)
+
+    def _add_db_target(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--db",
+            default=None,
+            metavar="FILE",
+            help="ledger database path (overrides --store/--results-dir)",
+        )
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="use a model store's ledger (<DIR>/ledger.db)",
+        )
+        p.add_argument(
+            "--results-dir",
+            default=None,
+            metavar="DIR",
+            help="use a results directory's ledger (<DIR>/ledger.db; "
+            "default ./results)",
+        )
+        p.add_argument(
+            "--format",
+            choices=("table", "json"),
+            default="table",
+            help="output format (default table)",
+        )
+
+    dbq = dbsub.add_parser("query", help="filter/sort ledger rows")
+    _add_db_target(dbq)
+    dbq.add_argument("--kind", default=None, help="row kind (run/sweep/eval/fit/publish/drift/delete/gc)")
+    dbq.add_argument("--label", default=None, help="sweep or store-model name")
+    dbq.add_argument("--model", default=None, metavar="SPEC", help="registry spec / method name")
+    dbq.add_argument("--dataset", default=None, help="archive dataset name")
+    dbq.add_argument("--seed", type=int, default=None, help="exact seed")
+    dbq.add_argument("--search", default=None, metavar="TEXT", help="full-text search over row metadata")
+    dbq.add_argument(
+        "--order-by",
+        default=None,
+        metavar="COLUMN",
+        help="sort column (e.g. error, accuracy, created_at; default: newest first)",
+    )
+    dbq.add_argument("--limit", type=int, default=50, metavar="N", help="max rows (default 50)")
+    dbq.add_argument(
+        "--best-per-dataset",
+        action="store_true",
+        help="one winning row (lowest error) per dataset across all matching runs",
+    )
+
+    dbs = dbsub.add_parser("stats", help="aggregate ledger statistics")
+    _add_db_target(dbs)
+
+    dbg = dbsub.add_parser(
+        "gc", help="collect store blobs no ledger row or manifest references"
+    )
+    dbg.add_argument(
+        "--store", required=True, metavar="DIR", help="model-store directory to scan"
+    )
+    dbg.add_argument(
+        "--db",
+        default=None,
+        metavar="FILE",
+        help="ledger consulted for liveness (default <store>/ledger.db)",
+    )
+    dbg.add_argument(
+        "--delete",
+        action="store_true",
+        help="actually delete orphans (default: dry run, report only)",
+    )
+    dbg.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report without deleting (the default; explicit for scripts)",
+    )
+    dbg.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default table)",
+    )
     return parser
 
 
@@ -1199,6 +1374,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_check(args)
     if args.command == "list-rules":
         return _cmd_list_rules(args)
+    if args.command == "db":
+        from repro.ledger.cli import run_db
+
+        return run_db(args)
     config = build_run_config(args)
     commands = ALL_COMMANDS if args.command == "all" else (args.command,)
     for command in commands:

@@ -1,6 +1,6 @@
 """Project-invariant static analysis (``repro check``).
 
-A stdlib-``ast`` lint framework plus five checkers for the invariants
+A stdlib-``ast`` lint framework plus six checkers for the invariants
 this codebase's correctness actually rests on.  Pure stdlib — it parses
 source, it never imports the code under analysis — so it runs in any
 environment, including before heavyweight dependencies are installed.
@@ -40,6 +40,11 @@ Rules
     calls unseeded ``random``/``np.random`` module-level RNGs — the
     streaming==batch bit-identical feature guarantee depends on it.
 
+``ledger-access``
+    The run ledger (``ledger.db``) is touched only through
+    :mod:`repro.ledger` — direct ``sqlite3.connect`` elsewhere bypasses
+    its WAL/timeout/migration contract.
+
 Suppressions
 ------------
 A trailing ``# repro: allow[rule-id] reason`` pragma exempts its line
@@ -68,6 +73,7 @@ from repro.analysis.core import (
 from repro.analysis.rules_async import AsyncBlockingRule
 from repro.analysis.rules_determinism import DeterminismRule
 from repro.analysis.rules_io import DurableWriteRule, EnvMutationRule
+from repro.analysis.rules_ledger import LedgerAccessRule
 from repro.analysis.rules_locks import LockDisciplineRule
 
 __all__ = [
@@ -77,6 +83,7 @@ __all__ = [
     "DurableWriteRule",
     "EnvMutationRule",
     "Finding",
+    "LedgerAccessRule",
     "LockDisciplineRule",
     "ModuleContext",
     "OUTPUT_VERSION",
@@ -100,6 +107,7 @@ def default_rules() -> list[Rule]:
         DeterminismRule(),
         DurableWriteRule(),
         EnvMutationRule(),
+        LedgerAccessRule(),
         LockDisciplineRule(),
     ]
     return sorted(rules, key=lambda rule: rule.id)

@@ -1,0 +1,61 @@
+"""Ledger encapsulation rule.
+
+``ledger-access``
+    The run ledger (``ledger.db``) has exactly one owner:
+    :mod:`repro.ledger`.  Its connection handling encodes the
+    invariants everything else relies on — WAL journaling, busy
+    timeouts, schema migrations, the warn-and-degrade write contract —
+    and a stray ``sqlite3.connect`` elsewhere silently opts out of all
+    of them (a rollback-journal connection can even deadlock against
+    the WAL writers).  This rule flags ``sqlite3.connect(...)`` calls
+    and ``from sqlite3 import ...`` anywhere outside ``repro/ledger/``;
+    a justified direct connection takes a
+    ``# repro: allow[ledger-access]`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+__all__ = ["LedgerAccessRule"]
+
+
+class LedgerAccessRule(Rule):
+    id = "ledger-access"
+    summary = (
+        "sqlite3 connections are owned by repro.ledger — no direct "
+        "sqlite3.connect outside repro/ledger/"
+    )
+    details = __doc__ or ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return "ledger" not in ctx.path.parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "sqlite3":
+                names = ", ".join(alias.name for alias in node.names)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'from sqlite3 import {names}' outside repro/ledger/ "
+                    "(go through repro.ledger.Ledger)",
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "connect"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "sqlite3"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "'sqlite3.connect(...)' outside repro/ledger/ bypasses "
+                        "the ledger's WAL/timeout/migration contract "
+                        "(go through repro.ledger.Ledger)",
+                    )

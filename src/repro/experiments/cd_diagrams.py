@@ -8,6 +8,11 @@ groups — with 39 datasets the CDs are 0.5307 (k=3) and 0.7511 (k=4),
 exactly the values printed in the paper.
 
 Run with ``python -m repro.experiments.cd_diagrams fig6`` (or fig7).
+
+Results round-trip through :func:`repro.experiments.harness.cache_load`
+/ :func:`cache_store`, which record to and read back from the results
+ledger (:mod:`repro.ledger`) first, with the flat JSON cache files kept
+as a fallback for pre-ledger results directories.
 """
 
 from __future__ import annotations

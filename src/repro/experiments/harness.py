@@ -23,7 +23,7 @@ import time
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.metrics import error_rate
 from repro.ml.model_selection import GridSearchCV
 from repro.ml.resample import RandomOverSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ledger import Ledger
 
 
 @dataclass
@@ -112,13 +115,48 @@ def results_dir(config: RunConfig | None = None) -> Path:
     return path
 
 
+def ledger_for(config: RunConfig | None = None, create: bool = True) -> "Ledger | None":
+    """The results-directory ledger, or ``None`` when unavailable.
+
+    Callers own the handle (``close()`` it); a corrupt or unopenable
+    ledger degrades to ``None`` with a warning — sweeps must keep
+    working without provenance.
+    """
+    from repro.ledger import Ledger
+
+    return Ledger.attach(results_dir(config) / "ledger.db", create=create)
+
+
 def cache_load(name: str, config: RunConfig | None = None) -> dict | None:
     """Load a cached result blob, or None when absent or unreadable.
+
+    The ledger is the primary source: the most recent sweep recorded
+    under ``name`` is returned payload-verbatim (``cd_diagrams``,
+    ``summary`` and every sweep read cross-run results this way instead
+    of re-walking JSON).  The legacy ``results/<name>.json`` blob is the
+    fallback for results directories predating the ledger.
 
     A corrupt or truncated cache (interrupted write, disk trouble) is
     reported as a warning and treated as a miss, so the sweep recomputes
     instead of crashing; the next :func:`cache_store` overwrites it.
     """
+    from repro.ledger import LedgerError
+
+    ledger = ledger_for(config, create=False)
+    if ledger is not None:
+        try:
+            payload = ledger.sweep_payload(name)
+        except LedgerError as exc:
+            warnings.warn(
+                f"ignoring unreadable ledger {ledger.path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            payload = None
+        finally:
+            ledger.close()
+        if payload is not None:
+            return payload
     path = results_dir(config) / f"{name}.json"
     if not path.is_file():
         return None
@@ -170,9 +208,23 @@ def cache_store(name: str, payload: dict, config: RunConfig | None = None) -> Pa
     Concurrent sweeps sharing a results directory can therefore never
     observe each other's half-written caches — they see the old blob or
     the new one, nothing in between.
+
+    The sweep is also recorded in the results-directory ledger (one
+    ``sweep`` row carrying the payload, plus one ``eval`` row per
+    (dataset, method) cell), so cross-run queries — best config per
+    dataset across sweeps under different seeds — survive the JSON
+    file's last-writer-wins overwrite.  Ledger trouble degrades to a
+    warning; the sweep itself has already succeeded.
     """
     path = results_dir(config) / f"{name}.json"
-    return atomic_write_json(path, payload, indent=1, sort_keys=True)
+    written = atomic_write_json(path, payload, indent=1, sort_keys=True)
+    ledger = ledger_for(config)
+    if ledger is not None:
+        try:
+            ledger.record_sweep(name, payload, artifact=str(written))
+        finally:
+            ledger.close()
+    return written
 
 
 def batch_extractor(

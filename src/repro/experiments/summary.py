@@ -8,6 +8,11 @@ rewrites EXPERIMENTS.md with a paper-vs-measured record for every table
 and figure: win counts, Wilcoxon p-values, CD diagram ranks and the
 runtime comparison, each annotated with the paper's corresponding
 numbers and whether the qualitative conclusion is reproduced.
+
+Reads go through :func:`repro.experiments.harness.cache_load`, which is
+ledger-first (:mod:`repro.ledger`) with the legacy JSON files as
+fallback; the closing "Run ledger" section queries the ledger directly
+for cross-seed coverage and best-configuration-per-dataset.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api.config import RunConfig
-from repro.experiments.harness import cache_load
+from repro.experiments.harness import cache_load, ledger_for
 from repro.ioutil import atomic_write_text
 from repro.stats.comparison import pairwise_comparison
 from repro.stats.friedman import friedman_test
@@ -208,6 +213,45 @@ KNOWN_DEVIATIONS = """## Known deviations
 """
 
 
+def ledger_section(config: RunConfig | None = None) -> list[str]:
+    """Cross-run record pulled from the results ledger (no JSON reads).
+
+    Unlike the sweep caches — which are last-writer-wins per
+    experiment — the ledger keeps every recorded run, so this section
+    can report coverage across seeds and the best configuration per
+    dataset directly from SQL.
+    """
+    ledger = ledger_for(config, create=False)
+    if ledger is None:
+        return [
+            "No run ledger yet — sweeps and `run`/`fit` verbs record to",
+            "`<results>/ledger.db` as they complete (`repro db stats`).",
+        ]
+    try:
+        stats = ledger.stats()
+        best = ledger.query().kind("eval").best_per_dataset()
+    finally:
+        ledger.close()
+    kinds = ", ".join(f"{k}={n}" for k, n in stats["by_kind"].items()) or "none"
+    lines = [
+        f"Ledger `{stats['path']}` (schema v{stats['schema_version']}): "
+        f"{stats['rows']} rows ({kinds}); "
+        f"{stats['models'] or 0} methods x {stats['datasets'] or 0} datasets, "
+        f"seeds {stats['seeds']}.",
+    ]
+    if best:
+        lines += [
+            "",
+            "| dataset | best method | seed | error |",
+            "|---|---|---|---|",
+        ]
+        lines += [
+            f"| {row.dataset} | {row.model} | {row.seed} | {row.error:.4f} |"
+            for row in best
+        ]
+    return lines
+
+
 def build(config: RunConfig | None = None) -> str:
     """The complete EXPERIMENTS.md content."""
     sections = [HEADER]
@@ -237,6 +281,8 @@ def build(config: RunConfig | None = None) -> str:
         "`pytest benchmarks/` or `python -m repro all`.  Figures 3-5 are\n"
         "projections of the Table 2 sweep; Figures 8-9 of Table 3.\n"
     )
+    sections.append("\n## Run ledger\n")
+    sections.append("\n".join(ledger_section(config)))
     sections.append(KNOWN_DEVIATIONS)
     return "\n".join(sections) + "\n"
 

@@ -1,0 +1,37 @@
+"""``repro.ledger`` — the SQLite-backed experiment and model ledger.
+
+One ``ledger.db`` per results directory (sweeps, ``run``/``fit``) and
+per model store (publishes, deletes, drift events) records every run as
+a row with config hash, dataset, seed, metrics, artifact path, wall
+time and parent-run provenance.  See :mod:`repro.ledger.db` for the
+schema and degradation contract, :mod:`repro.ledger.query` for the
+fluent query builder, :mod:`repro.ledger.gc` for orphan-artifact
+collection and :mod:`repro.ledger.cli` for the ``repro db`` verbs.
+
+Pure stdlib (``sqlite3`` + ``json``): importable before numpy is.
+This package is the only place in the tree allowed to call
+``sqlite3.connect`` (enforced by the ``ledger-access`` rule of
+:mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+from repro.ledger.db import (
+    SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    RunRow,
+    config_fingerprint,
+)
+from repro.ledger.gc import collect_garbage
+from repro.ledger.query import LedgerQuery
+
+__all__ = [
+    "Ledger",
+    "LedgerError",
+    "LedgerQuery",
+    "RunRow",
+    "SCHEMA_VERSION",
+    "collect_garbage",
+    "config_fingerprint",
+]

@@ -1,0 +1,216 @@
+"""The ``repro db`` CLI verbs: ``query``, ``stats``, ``gc``.
+
+Implements the handlers behind ``python -m repro db ...`` (the parser
+lives in :mod:`repro.__main__` next to every other verb).  All three
+resolve the target database the same way: an explicit ``--db PATH``
+wins, ``--store DIR`` means ``DIR/ledger.db``, otherwise the results
+directory (``--results-dir`` flag, else the ``REPRO_RESULTS_DIR``
+back-compat shim, else ``./results``) supplies ``ledger.db``.
+
+Pure stdlib and read-mostly: ``query``/``stats`` never create a
+database, and ``gc`` is dry-run unless ``--delete`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.api.config import RunConfig
+from repro.ledger.db import Ledger, LedgerError, RunRow
+from repro.ledger.gc import collect_garbage
+
+__all__ = ["resolve_db_path", "run_db"]
+
+
+def resolve_db_path(args: argparse.Namespace) -> Path:
+    """Where the verb's ledger lives (see module docs for precedence)."""
+    if getattr(args, "db", None):
+        return Path(args.db)
+    store = getattr(args, "store", None)
+    if store:
+        return Path(store) / "ledger.db"
+    results_dir = getattr(args, "results_dir", None)
+    if results_dir is not None:
+        config = RunConfig(results_dir=results_dir)
+    else:
+        config = RunConfig.from_env(warn=False)
+    return config.resolved_results_dir() / "ledger.db"
+
+
+def _open(path: Path) -> Ledger:
+    try:
+        return Ledger(path, create=False)
+    except LedgerError as exc:
+        raise SystemExit(
+            f"{exc} (runs record there once a sweep, `run`/`fit` verb or "
+            "model-store publish has completed)"
+        ) from None
+
+
+_TABLE_COLUMNS = (
+    "id", "kind", "label", "model", "dataset", "seed",
+    "error", "accuracy", "config_hash", "created_at",
+)
+
+
+def _cell(row: dict[str, Any], column: str) -> str:
+    value = row.get(column)
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _print_rows(rows: list[RunRow], out: Any) -> None:
+    grid = [list(_TABLE_COLUMNS)]
+    grid += [[_cell(row.to_json(), c) for c in _TABLE_COLUMNS] for row in rows]
+    widths = [max(len(line[i]) for line in grid) for i in range(len(_TABLE_COLUMNS))]
+    for index, line in enumerate(grid):
+        print("  ".join(cell.ljust(w) for cell, w in zip(line, widths)).rstrip(), file=out)
+        if index == 0:
+            print("  ".join("-" * w for w in widths), file=out)
+
+
+def _cmd_query(args: argparse.Namespace, out: Any) -> int:
+    path = resolve_db_path(args)
+    ledger = _open(path)
+    try:
+        query = ledger.query()
+        if args.kind:
+            query.kind(args.kind)
+        if args.label:
+            query.label(args.label)
+        if args.model:
+            query.model(args.model)
+        if args.dataset:
+            query.dataset(args.dataset)
+        if args.seed is not None:
+            query.seed(args.seed)
+        if args.search:
+            query.search(args.search)
+        try:
+            if args.best_per_dataset:
+                rows = query.best_per_dataset()[: args.limit]
+            else:
+                if args.order_by:
+                    query.order_by(args.order_by)
+                else:
+                    query.order_by("id", descending=True)
+                rows = query.limit(args.limit).all()
+        except (LedgerError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+    finally:
+        ledger.close()
+    if args.format == "json":
+        payload = {
+            "db": str(path),
+            "count": len(rows),
+            "rows": [row.to_json() for row in rows],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        if not rows:
+            print(f"{path}: no matching rows", file=out)
+        else:
+            _print_rows(rows, out)
+            print(f"\n{len(rows)} row(s) from {path}", file=out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out: Any) -> int:
+    path = resolve_db_path(args)
+    ledger = _open(path)
+    try:
+        try:
+            stats = ledger.stats()
+        except LedgerError as exc:
+            raise SystemExit(str(exc)) from None
+    finally:
+        ledger.close()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"ledger:   {stats['path']}", file=out)
+    print(
+        f"schema:   v{stats['schema_version']}  "
+        f"(fts {'on' if stats['fts'] else 'off'}, "
+        f"{stats['size_bytes']} bytes)",
+        file=out,
+    )
+    kinds = ", ".join(f"{k}={n}" for k, n in stats["by_kind"].items()) or "none"
+    print(f"rows:     {stats['rows']}  ({kinds})", file=out)
+    print(
+        f"coverage: {stats['models'] or 0} models x "
+        f"{stats['datasets'] or 0} datasets, seeds {stats['seeds']}",
+        file=out,
+    )
+    best = stats["best"]
+    if best is not None:
+        print(
+            f"best:     #{best['id']} {best['model'] or best['label']} on "
+            f"{best['dataset']} (error {best['error']:.6g})",
+            file=out,
+        )
+    latest = stats["latest"]
+    if latest is not None:
+        print(
+            f"latest:   #{latest['id']} {latest['kind']} "
+            f"{latest['label'] or latest['model'] or ''} at {latest['created_at']}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace, out: Any) -> int:
+    if args.delete and getattr(args, "dry_run", False):
+        raise SystemExit("--delete and --dry-run are mutually exclusive")
+    store = Path(args.store)
+    if not store.is_dir():
+        raise SystemExit(f"no model store at {store}")
+    db_path = Path(args.db) if args.db else store / "ledger.db"
+    ledger = Ledger.attach(db_path, create=False)
+    try:
+        report = collect_garbage(store, ledger, delete=args.delete)
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 1 if report.get("error") else 0
+    if report.get("error"):
+        print(f"gc: {report['error']}", file=sys.stderr)
+        return 1
+    mode = "dry run — pass --delete to collect" if report["dry_run"] else "deleted"
+    print(
+        f"{report['store']}: {report['scanned']} blob(s) scanned, "
+        f"{report['live']} live, {len(report['orphans'])} orphan(s), "
+        f"{report['bytes_reclaimable']} bytes reclaimable ({mode})",
+        file=out,
+    )
+    for entry in report["orphans"]:
+        status = "deleted" if entry["path"] in report["deleted"] else "orphan"
+        print(f"  [{status}] {entry['path']} ({entry['size_bytes']} bytes)", file=out)
+    for entry in report["protected"]:
+        print(
+            f"  [protected] {entry['path']} — live ledger publish row but "
+            "missing from the manifest; not collected",
+            file=out,
+        )
+    return 0
+
+
+def run_db(args: argparse.Namespace, out: Any = None) -> int:
+    """Dispatch one parsed ``repro db <verb>`` invocation."""
+    out = sys.stdout if out is None else out
+    if args.db_command == "query":
+        return _cmd_query(args, out)
+    if args.db_command == "stats":
+        return _cmd_stats(args, out)
+    if args.db_command == "gc":
+        return _cmd_gc(args, out)
+    raise SystemExit(f"unknown db command {args.db_command!r}")

@@ -1,0 +1,134 @@
+"""Garbage collection of orphaned model-store artifacts.
+
+A :class:`~repro.serve.store.ModelStore` can legitimately accumulate
+blob files its manifest no longer references: a crash between blob and
+manifest writes, or a ``delete()`` whose best-effort unlink failed.
+The ledger knows the history of every publish and delete, so GC can
+tell *safe* orphans (no live ledger row references the file, and the
+manifest does not either) from inconsistencies (a live ``publish`` row
+points at a file the manifest dropped — kept and reported, never
+deleted).
+
+Dry-run by default: :func:`collect_garbage` only reports unless
+``delete=True``, and every actual deletion is itself recorded as a
+``gc`` row so the ledger stays the full history.
+
+The manifest is read directly (plain JSON) rather than through
+:class:`~repro.serve.store.ModelStore` so this package stays pure
+stdlib and importable anywhere the analysis framework is.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ledger.db import Ledger, LedgerError
+
+__all__ = ["collect_garbage"]
+
+
+def _manifest_blobs(root: Path) -> set[Path] | None:
+    """Blob paths the store manifest still references, or ``None`` when
+    the manifest is unreadable (GC must then refuse to delete anything)."""
+    try:
+        with open(root / "manifest.json") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        return set()
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    referenced: set[Path] = set()
+    models = manifest.get("models") if isinstance(manifest, dict) else None
+    if not isinstance(models, dict):
+        return None
+    for name, entry in models.items():
+        for version in (entry.get("versions") or {}):
+            referenced.add((root / "blobs" / name / f"v{version}.json").resolve())
+    return referenced
+
+
+def _live_ledger_artifacts(ledger: Ledger | None) -> set[str]:
+    """Artifact paths with a ``publish`` row not superseded by a
+    ``delete``/``gc`` row — the ledger's notion of "still referenced"."""
+    if ledger is None:
+        return set()
+    try:
+        published = ledger._select_column(
+            "SELECT DISTINCT artifact FROM runs "
+            "WHERE kind = 'publish' AND artifact IS NOT NULL"
+        )
+        dead = ledger._select_column(
+            "SELECT DISTINCT artifact FROM runs "
+            "WHERE kind IN ('delete', 'gc') AND artifact IS NOT NULL"
+        )
+    except LedgerError:
+        return set()
+    return set(published) - set(dead)
+
+
+def collect_garbage(
+    store_root: str | Path,
+    ledger: Ledger | None = None,
+    *,
+    delete: bool = False,
+) -> dict[str, Any]:
+    """Scan a store for orphaned blobs; optionally delete them.
+
+    A blob is an *orphan* when the manifest does not reference it; it is
+    *collectable* only when additionally no live ledger ``publish`` row
+    points at it.  Returns a report dict; with ``delete=True`` the
+    collectable orphans are unlinked and recorded as ``gc`` rows.
+    """
+    root = Path(store_root)
+    referenced = _manifest_blobs(root)
+    report: dict[str, Any] = {
+        "store": str(root),
+        "dry_run": not delete,
+        "scanned": 0,
+        "live": 0,
+        "orphans": [],
+        "protected": [],
+        "deleted": [],
+        "bytes_reclaimable": 0,
+    }
+    if referenced is None:
+        report["error"] = "unreadable store manifest; refusing to collect"
+        return report
+    live_artifacts = _live_ledger_artifacts(ledger)
+    blob_dir = root / "blobs"
+    for path in sorted(blob_dir.glob("*/v*.json")) if blob_dir.is_dir() else []:
+        report["scanned"] += 1
+        resolved = path.resolve()
+        if resolved in referenced:
+            report["live"] += 1
+            continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        entry = {"path": str(path), "size_bytes": size}
+        if str(path) in live_artifacts or str(resolved) in live_artifacts:
+            # The ledger says this version was published and never
+            # deleted, yet the manifest dropped it — an inconsistency
+            # worth surfacing, not silently reaping.
+            report["protected"].append(entry)
+            continue
+        report["orphans"].append(entry)
+        report["bytes_reclaimable"] += size
+        if delete:
+            try:
+                path.unlink()
+            except OSError as exc:
+                entry["error"] = str(exc)
+                continue
+            report["deleted"].append(str(path))
+            if ledger is not None:
+                ledger.record(
+                    "gc",
+                    label=path.parent.name,
+                    artifact=str(path),
+                    meta={"size_bytes": size},
+                )
+    return report

@@ -1,0 +1,188 @@
+"""Fluent, parameterised query builder over the ledger's runs table.
+
+Chainable filters compose into one SELECT::
+
+    ledger.query().model("mvg:G").dataset("BeetleFly") \\
+          .order_by("accuracy").limit(10).all()
+
+Every value travels as a bound parameter and order-by columns are
+checked against a whitelist, so no user input is ever interpolated into
+SQL.  ``search()`` uses the FTS5 side table when the ledger has one and
+falls back to ``LIKE`` otherwise — same results surface, different
+plan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db -> query)
+    from repro.ledger.db import Ledger, RunRow
+
+__all__ = ["LedgerQuery"]
+
+#: Columns order_by() accepts (anything else is a programming error).
+ORDERABLE = frozenset(
+    {
+        "id",
+        "kind",
+        "label",
+        "model",
+        "dataset",
+        "seed",
+        "config_hash",
+        "error",
+        "accuracy",
+        "wall_seconds",
+        "created_at",
+    }
+)
+
+#: Columns where "best first" means descending.
+_DESC_BY_DEFAULT = frozenset({"accuracy", "id", "created_at", "wall_seconds"})
+
+
+class LedgerQuery:
+    """One composable SELECT over ``runs`` (built by ``Ledger.query()``).
+
+    Instances are mutable builders — each filter returns ``self`` — and
+    single-use by convention: build, then call :meth:`all`,
+    :meth:`first`, :meth:`count` or :meth:`best_per_dataset`.
+    """
+
+    def __init__(self, ledger: "Ledger"):
+        self._ledger = ledger
+        self._where: list[str] = []
+        self._params: list[Any] = []
+        self._order: str | None = None
+        self._limit: int | None = None
+        self._offset: int | None = None
+
+    # -- filters -----------------------------------------------------------
+    def _eq(self, column: str, value: Any) -> "LedgerQuery":
+        self._where.append(f"{column} = ?")
+        self._params.append(value)
+        return self
+
+    def kind(self, kind: str) -> "LedgerQuery":
+        return self._eq("kind", str(kind))
+
+    def label(self, label: str) -> "LedgerQuery":
+        return self._eq("label", str(label))
+
+    def model(self, model: str) -> "LedgerQuery":
+        return self._eq("model", str(model))
+
+    def dataset(self, dataset: str) -> "LedgerQuery":
+        return self._eq("dataset", str(dataset))
+
+    def seed(self, seed: int) -> "LedgerQuery":
+        return self._eq("seed", int(seed))
+
+    def config_hash(self, fingerprint: str) -> "LedgerQuery":
+        return self._eq("config_hash", str(fingerprint))
+
+    def parent(self, run_id: int) -> "LedgerQuery":
+        return self._eq("parent_id", int(run_id))
+
+    def since(self, created_at: str) -> "LedgerQuery":
+        """Rows created at/after an ISO-8601 UTC timestamp."""
+        self._where.append("created_at >= ?")
+        self._params.append(str(created_at))
+        return self
+
+    def search(self, text: str) -> "LedgerQuery":
+        """Full-text filter over the textual columns (FTS5 or LIKE)."""
+        from repro.ledger.db import FTS_COLUMNS
+
+        if self._ledger.fts_enabled:
+            self._where.append(
+                "id IN (SELECT rowid FROM runs_fts WHERE runs_fts MATCH ?)"
+            )
+            # Quote the term so ledger-style tokens with ':' or '-'
+            # (model specs, dataset names) are literals, not FTS syntax.
+            self._params.append('"' + str(text).replace('"', '""') + '"')
+        else:
+            like = "(" + " OR ".join(f"{c} LIKE ?" for c in FTS_COLUMNS) + ")"
+            self._where.append(like)
+            self._params.extend([f"%{text}%"] * len(FTS_COLUMNS))
+        return self
+
+    # -- shaping -----------------------------------------------------------
+    def order_by(self, column: str, descending: bool | None = None) -> "LedgerQuery":
+        """Sort by one whitelisted column.
+
+        ``descending=None`` picks the natural "best first" direction:
+        descending for ``accuracy``/``id``/``created_at``/
+        ``wall_seconds``, ascending (best error is smallest) otherwise.
+        """
+        if column not in ORDERABLE:
+            raise ValueError(
+                f"cannot order by {column!r}; expected one of {sorted(ORDERABLE)}"
+            )
+        if descending is None:
+            descending = column in _DESC_BY_DEFAULT
+        direction = "DESC" if descending else "ASC"
+        # NULLs last either way: a row without the metric never outranks
+        # one that has it.
+        self._order = f"{column} IS NULL, {column} {direction}, id ASC"
+        return self
+
+    def limit(self, n: int) -> "LedgerQuery":
+        self._limit = max(0, int(n))
+        return self
+
+    def offset(self, n: int) -> "LedgerQuery":
+        self._offset = max(0, int(n))
+        return self
+
+    # -- execution ---------------------------------------------------------
+    def _clauses(self) -> tuple[str, tuple]:
+        sql = ""
+        if self._where:
+            sql += " WHERE " + " AND ".join(self._where)
+        return sql, tuple(self._params)
+
+    def all(self) -> list["RunRow"]:
+        where, params = self._clauses()
+        sql = "SELECT * FROM runs" + where
+        sql += f" ORDER BY {self._order}" if self._order else " ORDER BY id ASC"
+        if self._limit is not None:
+            sql += f" LIMIT {self._limit}"
+            if self._offset:
+                sql += f" OFFSET {self._offset}"
+        return self._ledger._select(sql, params)
+
+    def first(self) -> "RunRow | None":
+        rows = self.limit(1).all()
+        return rows[0] if rows else None
+
+    def count(self) -> int:
+        where, params = self._clauses()
+        value = self._ledger._select_value(
+            "SELECT COUNT(*) FROM runs" + where, params
+        )
+        return int(value or 0)
+
+    def best_per_dataset(self, metric: str = "error") -> list["RunRow"]:
+        """The winning row per dataset under the current filters.
+
+        "Winning" is minimal ``error`` (or maximal ``accuracy`` with
+        ``metric="accuracy"``); ties break toward the oldest row.  This
+        is the cross-run question the ledger exists to answer — e.g.
+        best config per dataset across two sweeps run under different
+        seeds — without re-reading any sweep JSON.
+        """
+        if metric not in ("error", "accuracy"):
+            raise ValueError(f"metric must be 'error' or 'accuracy', got {metric!r}")
+        agg = "MIN" if metric == "error" else "MAX"
+        where, params = self._clauses()
+        base = f"dataset IS NOT NULL AND {metric} IS NOT NULL"
+        full = f" WHERE {base}" + (f" AND ({' AND '.join(self._where)})" if self._where else "")
+        # sqlite guarantees the bare columns come from the row that
+        # achieves the single min()/max() aggregate in each group.
+        sql = (
+            f"SELECT *, {agg}({metric}) AS best_{metric} FROM runs{full} "
+            "GROUP BY dataset ORDER BY dataset ASC"
+        )
+        return self._ledger._select(sql, params)

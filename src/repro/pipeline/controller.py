@@ -199,12 +199,19 @@ class PipelineController:
             loop.last_skip_reason = f"{type(exc).__name__}: {exc}"
             return False
         name = loop.name
+        drift_row = self._record_drift(loop, forced=force)
+        metadata: dict[str, Any] = {
+            "trigger": "forced" if force else "drift",
+            "source_windows": int(len(y)),
+        }
+        if drift_row is not None:
+            metadata["ledger_parent"] = drift_row
         future = self.executor.submit(
             name,
             spec,
             X,
             y,
-            metadata={"trigger": "forced" if force else "drift"},
+            metadata=metadata,
             on_phase=lambda phase: self._on_phase(name, phase),
         )
         if future is None:
@@ -215,6 +222,35 @@ class PipelineController:
         loop.last_skip_reason = None
         future.add_done_callback(lambda f: self._on_done(name, f))
         return True
+
+    def _record_drift(self, loop: _ModelLoop, forced: bool) -> int | None:  # guarded-by: _lock
+        """Ledger the drift event (or forced trigger) behind a retrain.
+
+        The returned row id becomes ``ledger_parent`` of the publish row
+        the retrain eventually writes, so ``repro db`` and ``/v1/runs``
+        can walk a model version back to what triggered it.  Best-effort:
+        a missing or broken ledger degrades to ``None``.
+        """
+        ledger = self.store.ledger
+        if ledger is None:
+            return None
+        report = loop.detector.last_report_
+        metrics: dict[str, float] = {}
+        if report is not None:
+            metrics["score"] = float(report.score)
+            for key, value in report.components.items():
+                metrics[f"component_{key}"] = float(value)
+        return ledger.record(
+            "drift",
+            label=loop.name,
+            metrics=metrics or None,
+            meta={
+                "forced": bool(forced),
+                "ticks": int(loop.ticks),
+                "triggers": int(loop.triggers),
+                "windows": len(loop.accumulator),
+            },
+        )
 
     def _resolve_spec(self, loop: _ModelLoop) -> str:  # guarded-by: _lock
         """The registry spec to rebuild ``loop``'s model from.

@@ -306,6 +306,7 @@ class RetrainExecutor:
                         "retrained": True,
                         "samples": int(len(y)),
                         "attempt": attempt,
+                        "seed": self.config.seed,
                     },
                 )
                 # Round-trip through the manifest hash check: a version

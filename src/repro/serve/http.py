@@ -37,6 +37,10 @@ byte-identical JSON bodies.
     ``force-retrain``; 404 when the server runs without a controller.
 ``GET /v1/models``
     The store manifest: every stored version with hash and metadata.
+``GET /v1/runs``
+    Newest rows of the store's run ledger (:mod:`repro.ledger`) —
+    publish rows link back to the drift row that triggered them via
+    ``parent_id``; 503 when the store has no usable ledger.
 ``GET /healthz``
     Liveness plus engine/batcher counters.
 ``GET /metrics``
@@ -356,6 +360,7 @@ class ServerState:
         self._stream_ticks_closed = 0
         self.metrics = ServingMetrics()
         self.metrics.registry.add_collector(self._collect_runtime_metrics)
+        self.metrics.registry.add_collector(self._collect_ledger_metrics)
 
     # -- model resolution --------------------------------------------------
     def _catalog_snapshot(self, refresh: bool = False) -> dict:
@@ -873,6 +878,54 @@ class ServerState:
             )
         return lines
 
+    def _collect_ledger_metrics(self) -> list[str]:
+        """``repro_ledger_*`` families from the store's run ledger.
+
+        A store without a ledger (or one that degraded to ``None``)
+        reports ``repro_ledger_available 0`` and nothing else — scrapes
+        must never fail because bookkeeping did.
+        """
+        ledger = self.store.ledger
+        lines = render_family(
+            "repro_ledger_available",
+            "gauge",
+            "Whether the store's run ledger opened (1) or degraded (0).",
+            [("", {}, 1 if ledger is not None else 0)],
+        )
+        if ledger is None:
+            return lines
+        counters = ledger.counters()
+        try:
+            rows = ledger.row_count()
+        except Exception:
+            rows = None
+        lines.extend(
+            render_family(
+                "repro_ledger_records_total",
+                "counter",
+                "Rows this server process wrote to the run ledger.",
+                [("", {}, counters["records"])],
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_ledger_errors_total",
+                "counter",
+                "Ledger writes that degraded to a warning.",
+                [("", {}, counters["errors"])],
+            )
+        )
+        if rows is not None:
+            lines.extend(
+                render_family(
+                    "repro_ledger_rows",
+                    "gauge",
+                    "Total rows currently in the run ledger.",
+                    [("", {}, rows)],
+                )
+            )
+        return lines
+
     def close(self) -> None:
         """Stop the watcher, pipeline, stream worker and every engine
         pool, including retired pairs still draining."""
@@ -898,6 +951,7 @@ class ServerState:
         for engine, batcher in pairs:
             batcher.close()
             engine.close()
+        self.store.close_ledger()
 
 
 class StoreWatcher:
@@ -1133,6 +1187,34 @@ def _route_models(state: ServerState, body: bytes | None) -> Response:
     )
 
 
+def _route_runs(state: ServerState, body: bytes | None) -> Response:
+    """Read-only view of the store ledger's newest rows.
+
+    Publish rows carry ``parent_id`` pointing at the drift row that
+    triggered the retrain, so clients can walk a served model version
+    back to its provenance without shell access to ``repro db``.
+    """
+    ledger = state.store.ledger
+    if ledger is None:
+        raise ApiError(
+            503, f"run ledger unavailable for store {state.store.root}"
+        )
+    from repro.ledger import LedgerError
+
+    try:
+        rows = ledger.query().order_by("id", descending=True).limit(100).all()
+    except LedgerError as exc:
+        raise ApiError(503, f"run ledger unreadable: {exc}") from None
+    return json_response(
+        200,
+        {
+            "store": str(state.store.root),
+            "count": len(rows),
+            "runs": [row.to_json() for row in rows],
+        },
+    )
+
+
 def _route_health(state: ServerState, body: bytes | None) -> Response:
     return json_response(200, state.health())
 
@@ -1148,6 +1230,7 @@ ROUTES: dict[tuple[str, str], Callable[[ServerState, bytes | None], Any]] = {
     ("GET", "/v1/pipeline"): _route_pipeline_status,
     ("POST", "/v1/pipeline"): _route_pipeline_control,
     ("GET", "/v1/models"): _route_models,
+    ("GET", "/v1/runs"): _route_runs,
     ("GET", "/healthz"): _route_health,
     ("GET", "/metrics"): _route_metrics,
 }

@@ -119,6 +119,32 @@ class ModelStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self._lock = threading.Lock()
+        self._ledger: Any | None = None
+        self._ledger_resolved = False
+
+    @property
+    def ledger(self) -> Any | None:
+        """Lazy handle on the store's ``<root>/ledger.db``, or ``None``.
+
+        Every publish/delete is recorded there (provenance for
+        ``repro db`` and ``GET /v1/runs``).  A ledger that cannot be
+        opened — corrupt file, read-only store — degrades to ``None``
+        with a warning: the store's own contract is never weakened by
+        its bookkeeping.
+        """
+        if not self._ledger_resolved:
+            from repro.ledger import Ledger
+
+            self._ledger = Ledger.attach(self.root / "ledger.db")
+            self._ledger_resolved = True
+        return self._ledger
+
+    def close_ledger(self) -> None:
+        """Release the ledger handle (reopened lazily on next use)."""
+        ledger, self._ledger = self._ledger, None
+        self._ledger_resolved = False
+        if ledger is not None:
+            ledger.close()
 
     # -- manifest plumbing -------------------------------------------------
     @property
@@ -195,7 +221,35 @@ class ModelStore:
             entry["latest"] = version
             entry["last_version"] = version
             self._write_manifest(manifest)
+        self._record_publish(record, path)
         return record
+
+    def _record_publish(self, record: ModelRecord, path: Path) -> None:
+        """Ledger a publish, linking back to its trigger via
+        ``metadata["ledger_parent"]`` (a drift row id, when the pipeline
+        retrained) so ``repro db`` can walk version -> drift event."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        meta = dict(record.metadata)
+        parent = meta.pop("ledger_parent", None)
+        seed = meta.get("seed")
+        ledger.record(
+            "publish",
+            label=record.name,
+            model=meta.get("spec"),
+            dataset=meta.get("dataset"),
+            seed=int(seed) if seed is not None else None,
+            config_hash=meta.get("config_hash"),
+            error=meta.get("train_error"),
+            artifact=str(path),
+            parent=parent,
+            meta={
+                "version": record.version,
+                "sha256": record.sha256,
+                "metadata": meta,
+            },
+        )
 
     @staticmethod
     def parse_selector(version: int | str) -> int | None:
@@ -312,8 +366,17 @@ class ModelStore:
             else:
                 del manifest["models"][name]
             self._write_manifest(manifest)
+        ledger = self.ledger
         for v in doomed:
+            path = self._blob_path(name, v)
+            if ledger is not None:
+                ledger.record(
+                    "delete",
+                    label=name,
+                    artifact=str(path),
+                    meta={"version": v},
+                )
             try:
-                self._blob_path(name, v).unlink()
+                path.unlink()
             except OSError:
                 pass  # manifest no longer references it; orphan is harmless

@@ -12,6 +12,7 @@ from repro.analysis import (
     DurableWriteRule,
     EnvMutationRule,
     Finding,
+    LedgerAccessRule,
     LockDisciplineRule,
     analyze_source,
 )
@@ -571,5 +572,72 @@ class TestDeterminism:
                 return sum(v for v in set(s))  # repro: allow[determinism] order-free
             """,
             path="repro/graph/mod.py",
+        )
+        assert findings == []
+
+
+class TestLedgerAccess:
+    def test_sqlite3_connect_flagged_outside_ledger(self):
+        findings = check(
+            LedgerAccessRule(),
+            """
+            import sqlite3
+
+            def open_db(path):
+                return sqlite3.connect(path)
+            """,
+            path="repro/serve/mod.py",
+        )
+        assert len(findings) == 1
+        assert "sqlite3.connect" in messages(findings)
+        assert "repro.ledger.Ledger" in messages(findings)
+
+    def test_from_import_flagged_outside_ledger(self):
+        findings = check(
+            LedgerAccessRule(),
+            """
+            from sqlite3 import connect
+
+            def open_db(path):
+                return connect(path)
+            """,
+            path="repro/experiments/mod.py",
+        )
+        assert len(findings) == 1
+        assert "from sqlite3 import connect" in messages(findings)
+
+    def test_ledger_package_exempt(self):
+        source = """
+            import sqlite3
+
+            def open_db(path):
+                return sqlite3.connect(path)
+            """
+        findings = check(LedgerAccessRule(), source, path="repro/ledger/db.py")
+        assert findings == []
+
+    def test_plain_import_without_connect_passes(self):
+        findings = check(
+            LedgerAccessRule(),
+            """
+            import sqlite3
+
+            def error_type():
+                return sqlite3.Error
+            """,
+            path="repro/serve/mod.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            LedgerAccessRule(),
+            """
+            import sqlite3
+
+            def probe(path):
+                return sqlite3.connect(path)  # repro: allow[ledger-access] probe
+            """,
+            path="repro/tools/mod.py",
         )
         assert findings == []

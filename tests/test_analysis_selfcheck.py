@@ -22,7 +22,7 @@ def test_src_repro_is_clean():
     assert scanned > 50
 
 
-def test_default_rules_cover_the_five_checkers():
+def test_default_rules_cover_the_six_checkers():
     ids = [rule.id for rule in default_rules()]
     assert ids == sorted(ids)
     assert set(ids) == {
@@ -30,5 +30,6 @@ def test_default_rules_cover_the_five_checkers():
         "determinism",
         "durable-write",
         "env-mutation",
+        "ledger-access",
         "lock-discipline",
     }

@@ -1,0 +1,267 @@
+"""Core run-ledger behavior: schema, queries, sweeps, stats and GC."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.ledger import (
+    Ledger,
+    LedgerError,
+    SCHEMA_VERSION,
+    collect_garbage,
+    config_fingerprint,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    handle = Ledger(tmp_path / "ledger.db")
+    yield handle
+    handle.close()
+
+
+class TestSchema:
+    def test_fresh_database_is_at_current_version(self, ledger):
+        version = ledger._select_value("PRAGMA user_version")
+        assert version == SCHEMA_VERSION
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "ledger.db"
+        first = Ledger(path)
+        first.record("run", label="a")
+        first.close()
+        second = Ledger(path)
+        assert second.row_count() == 1
+        assert second._select_value("PRAGMA user_version") == SCHEMA_VERSION
+        second.close()
+
+    def test_old_version_migrates_forward(self, tmp_path):
+        path = tmp_path / "ledger.db"
+        handle = Ledger(path)
+        handle.record("run", label="pre-migration")
+        # Rewind the version stamp: reopening must replay migrations
+        # harmlessly (all statements are IF NOT EXISTS) and restamp.
+        with handle._lock:
+            handle._conn.execute("PRAGMA user_version=1")
+            handle._conn.commit()
+        handle.close()
+        upgraded = Ledger(path)
+        assert upgraded._select_value("PRAGMA user_version") == SCHEMA_VERSION
+        assert upgraded.row_count() == 1
+        upgraded.close()
+
+    def test_create_false_on_missing_file_raises(self, tmp_path):
+        with pytest.raises(LedgerError):
+            Ledger(tmp_path / "nope.db", create=False)
+
+    def test_attach_missing_without_create_is_silent_none(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert Ledger.attach(tmp_path / "nope.db", create=False) is None
+
+
+class TestRecord:
+    def test_round_trip_preserves_json_columns(self, ledger):
+        row_id = ledger.record(
+            "run",
+            label="cli",
+            model="mvg:G",
+            dataset="BeetleFly",
+            seed=7,
+            config_hash="abc123",
+            config={"seed": 7, "full_grid": False},
+            error=0.15,
+            metrics={"fit_seconds": 1.5},
+            artifact="results/x.json",
+            wall_seconds=2.0,
+            meta={"note": "hello"},
+        )
+        row = ledger.get(row_id)
+        assert row.model == "mvg:G"
+        assert row.dataset == "BeetleFly"
+        assert row.seed == 7
+        assert row.config == {"seed": 7, "full_grid": False}
+        assert row.metrics == {"fit_seconds": 1.5}
+        assert row.meta == {"note": "hello"}
+        assert row.created_at  # ISO stamp present
+
+    def test_accuracy_derived_from_error(self, ledger):
+        row = ledger.get(ledger.record("run", error=0.25))
+        assert row.accuracy == pytest.approx(0.75)
+
+    def test_parent_provenance_link(self, ledger):
+        drift = ledger.record("drift", label="m")
+        publish = ledger.record("publish", label="m", parent=drift)
+        assert ledger.get(publish).parent_id == drift
+
+    def test_write_counters(self, ledger):
+        ledger.record("run")
+        ledger.record("run")
+        assert ledger.counters() == {"records": 2, "errors": 0}
+
+
+class TestQuery:
+    def _seed_rows(self, ledger):
+        ledger.record("eval", model="G", dataset="BeetleFly", seed=0, error=0.10)
+        ledger.record("eval", model="B", dataset="BeetleFly", seed=0, error=0.20)
+        ledger.record("eval", model="G", dataset="BirdChicken", seed=0, error=0.30)
+        ledger.record("run", model="G", dataset="BeetleFly", seed=1, error=0.05)
+
+    def test_filters_compose(self, ledger):
+        self._seed_rows(ledger)
+        rows = ledger.query().kind("eval").dataset("BeetleFly").all()
+        assert {row.model for row in rows} == {"G", "B"}
+        assert ledger.query().kind("eval").model("G").count() == 2
+        assert ledger.query().seed(1).count() == 1
+
+    def test_order_by_whitelist(self, ledger):
+        self._seed_rows(ledger)
+        errors = [r.error for r in ledger.query().kind("eval").order_by("error").all()]
+        assert errors == sorted(errors)
+        with pytest.raises(ValueError):
+            ledger.query().order_by("error; DROP TABLE runs")
+
+    def test_accuracy_orders_descending_by_default(self, ledger):
+        self._seed_rows(ledger)
+        rows = ledger.query().kind("eval").order_by("accuracy").all()
+        assert rows[0].error == pytest.approx(0.10)
+
+    def test_limit_offset_first(self, ledger):
+        self._seed_rows(ledger)
+        assert len(ledger.query().limit(2).all()) == 2
+        first = ledger.query().order_by("id", descending=False).first()
+        assert first.id == 1
+
+    def test_best_per_dataset(self, ledger):
+        self._seed_rows(ledger)
+        best = ledger.query().kind("eval").best_per_dataset()
+        assert [(r.dataset, r.model) for r in best] == [
+            ("BeetleFly", "G"),
+            ("BirdChicken", "G"),
+        ]
+
+    def test_search_finds_textual_fields(self, ledger):
+        self._seed_rows(ledger)
+        hits = ledger.search("BirdChicken")
+        assert hits and all(row.dataset == "BirdChicken" for row in hits)
+
+    def test_like_fallback_matches_fts(self, ledger):
+        self._seed_rows(ledger)
+        fts_hits = {r.id for r in ledger.query().search("BeetleFly").all()}
+        ledger.fts_enabled = False
+        like_hits = {r.id for r in ledger.query().search("BeetleFly").all()}
+        assert like_hits == fts_hits != set()
+
+
+class TestSweep:
+    PAYLOAD = {
+        "datasets": ["BeetleFly", "BirdChicken"],
+        "errors": {"G": [0.05, 0.20], "B": [0.10, 0.15]},
+        "settings": {"seed": 0},
+    }
+
+    def test_payload_round_trips_verbatim(self, ledger):
+        ledger.record_sweep("table2", self.PAYLOAD)
+        loaded = ledger.sweep_payload("table2")
+        assert loaded == self.PAYLOAD
+        assert json.dumps(loaded, sort_keys=True) == json.dumps(
+            self.PAYLOAD, sort_keys=True
+        )
+
+    def test_eval_rows_link_to_sweep_parent(self, ledger):
+        parent = ledger.record_sweep("table2", self.PAYLOAD)
+        evals = ledger.query().kind("eval").all()
+        assert len(evals) == 4
+        assert all(row.parent_id == parent for row in evals)
+        assert all(row.config_hash for row in evals)
+
+    def test_every_seed_stays_queryable(self, ledger):
+        other = {**self.PAYLOAD, "settings": {"seed": 7}}
+        ledger.record_sweep("table2", self.PAYLOAD)
+        ledger.record_sweep("table2", other)
+        # latest payload wins for the cache reader...
+        assert ledger.sweep_payload("table2")["settings"]["seed"] == 7
+        # ...but both sweeps' rows remain (unlike the JSON file).
+        assert ledger.query().kind("sweep").label("table2").count() == 2
+        assert sorted(
+            {row.seed for row in ledger.query().kind("eval").all()}
+        ) == [0, 7]
+
+
+class TestStats:
+    def test_stats_shape(self, ledger):
+        ledger.record_sweep("table2", TestSweep.PAYLOAD)
+        stats = ledger.stats()
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["rows"] == 5
+        assert stats["by_kind"] == {"eval": 4, "sweep": 1}
+        assert stats["models"] == 2
+        assert stats["datasets"] == 2
+        assert stats["seeds"] == [0]
+        assert stats["best"]["error"] == pytest.approx(0.05)
+        assert stats["latest"]["id"] == 5
+
+    def test_empty_ledger_stats(self, ledger):
+        stats = ledger.stats()
+        assert stats["rows"] == 0
+        assert stats["best"] is None
+        assert stats["latest"] is None
+
+
+def test_config_fingerprint_is_stable_and_order_free():
+    a = config_fingerprint({"seed": 1, "grid": False})
+    b = config_fingerprint({"grid": False, "seed": 1})
+    assert a == b and len(a) == 12
+    assert config_fingerprint({"seed": 2, "grid": False}) != a
+
+
+class TestGarbageCollection:
+    def _store_with_orphan(self, tmp_path):
+        root = tmp_path / "store"
+        blob_dir = root / "blobs" / "m"
+        blob_dir.mkdir(parents=True)
+        live = blob_dir / "v1.json"
+        live.write_text("{}")
+        orphan = blob_dir / "v2.json"
+        orphan.write_text('{"orphan": true}')
+        manifest = {
+            "format": 1,
+            "models": {"m": {"latest": 1, "last_version": 2, "versions": {"1": {}}}},
+        }
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        return root, live, orphan
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        root, live, orphan = self._store_with_orphan(tmp_path)
+        report = collect_garbage(root)
+        assert report["dry_run"] is True
+        assert report["live"] == 1
+        assert [e["path"] for e in report["orphans"]] == [str(orphan)]
+        assert orphan.exists()
+
+    def test_delete_unlinks_and_records_gc_rows(self, tmp_path):
+        root, live, orphan = self._store_with_orphan(tmp_path)
+        ledger = Ledger(root / "ledger.db")
+        report = collect_garbage(root, ledger, delete=True)
+        assert report["deleted"] == [str(orphan)]
+        assert not orphan.exists() and live.exists()
+        gc_rows = ledger.query().kind("gc").all()
+        assert [row.artifact for row in gc_rows] == [str(orphan)]
+        ledger.close()
+
+    def test_live_publish_row_protects_manifest_dropped_blob(self, tmp_path):
+        root, live, orphan = self._store_with_orphan(tmp_path)
+        ledger = Ledger(root / "ledger.db")
+        ledger.record("publish", label="m", artifact=str(orphan))
+        report = collect_garbage(root, ledger, delete=True)
+        assert [e["path"] for e in report["protected"]] == [str(orphan)]
+        assert report["deleted"] == [] and orphan.exists()
+        ledger.close()
+
+    def test_unreadable_manifest_refuses(self, tmp_path):
+        root, _, orphan = self._store_with_orphan(tmp_path)
+        (root / "manifest.json").write_text("{not json")
+        report = collect_garbage(root, delete=True)
+        assert "error" in report
+        assert orphan.exists()

@@ -1,0 +1,242 @@
+"""The ``repro db`` verbs and the CLI write paths that feed them."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.ledger import Ledger
+
+
+@pytest.fixture
+def sandbox(monkeypatch, tmp_path):
+    for name in (
+        "REPRO_DATASETS",
+        "REPRO_MAX_DATASETS",
+        "REPRO_JOBS",
+        "REPRO_RESULTS_DIR",
+        "REPRO_FULL_GRID",
+    ):
+        monkeypatch.delenv(name, raising=False)
+    return tmp_path
+
+
+def seeded_ledger(results_dir):
+    """Two table2 sweeps under different seeds — the cross-run shape the
+    ledger exists to answer queries about."""
+    ledger = Ledger(results_dir / "ledger.db")
+    ledger.record_sweep(
+        "table2",
+        {
+            "datasets": ["BeetleFly", "BirdChicken"],
+            "errors": {"G": [0.05, 0.30], "B": [0.10, 0.25]},
+            "settings": {"seed": 0},
+        },
+    )
+    ledger.record_sweep(
+        "table2",
+        {
+            "datasets": ["BeetleFly", "BirdChicken"],
+            "errors": {"G": [0.15, 0.10], "B": [0.20, 0.35]},
+            "settings": {"seed": 7},
+        },
+    )
+    ledger.close()
+
+
+class TestQueryVerb:
+    def test_best_per_dataset_across_two_seeded_sweeps(self, capsys, sandbox):
+        """Acceptance: best config per dataset across two sweeps run
+        under different seeds, answered by SQL — no sweep JSON exists."""
+        seeded_ledger(sandbox)
+        assert not list(sandbox.glob("*.json"))
+        code = main(
+            [
+                "db",
+                "query",
+                "--results-dir",
+                str(sandbox),
+                "--kind",
+                "eval",
+                "--best-per-dataset",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        winners = {
+            row["dataset"]: (row["model"], row["seed"], row["error"])
+            for row in payload["rows"]
+        }
+        # BeetleFly's best came from the seed-0 sweep, BirdChicken's
+        # from the seed-7 sweep — a cross-run answer by construction.
+        assert winners == {
+            "BeetleFly": ("G", 0, 0.05),
+            "BirdChicken": ("G", 7, 0.1),
+        }
+
+    def test_filters_and_table_format(self, capsys, sandbox):
+        seeded_ledger(sandbox)
+        code = main(
+            [
+                "db",
+                "query",
+                "--results-dir",
+                str(sandbox),
+                "--kind",
+                "eval",
+                "--dataset",
+                "BeetleFly",
+                "--seed",
+                "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BeetleFly" in out and "BirdChicken" not in out
+        assert "2 row(s)" in out
+
+    def test_search_filter(self, capsys, sandbox):
+        seeded_ledger(sandbox)
+        code = main(
+            [
+                "db",
+                "query",
+                "--results-dir",
+                str(sandbox),
+                "--search",
+                "BirdChicken",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] > 0
+        assert all(
+            "BirdChicken" in json.dumps(row) for row in payload["rows"]
+        )
+
+    def test_missing_ledger_exits_with_hint(self, sandbox):
+        with pytest.raises(SystemExit, match="no ledger"):
+            main(["db", "query", "--results-dir", str(sandbox)])
+
+
+class TestStatsVerb:
+    def test_stats_summarises_both_sweeps(self, capsys, sandbox):
+        seeded_ledger(sandbox)
+        code = main(["db", "stats", "--results-dir", str(sandbox), "--format", "json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["by_kind"] == {"eval": 8, "sweep": 2}
+        assert stats["seeds"] == [0, 7]
+        assert stats["best"]["error"] == 0.05
+
+
+class TestRunVerbRecords:
+    def test_run_records_a_ledger_row(self, capsys, sandbox):
+        code = main(
+            [
+                "run",
+                "--model",
+                "1nn-ed",
+                "--dataset",
+                "BeetleFly",
+                "--results-dir",
+                str(sandbox),
+            ]
+        )
+        assert code == 0
+        assert "ledger:" in capsys.readouterr().out
+        ledger = Ledger(sandbox / "ledger.db", create=False)
+        try:
+            row = ledger.query().kind("run").first()
+            assert row.model == "1nn-ed"
+            assert row.dataset == "BeetleFly"
+            assert row.error is not None
+            assert row.config_hash
+            assert row.config["model"] == "1nn-ed"
+        finally:
+            ledger.close()
+
+
+class TestFitStoreProvenance:
+    def test_fit_store_metadata_carries_provenance(self, capsys, sandbox):
+        """Regression: a published model must say where it came from —
+        dataset, seed and config hash in the store record, plus a fit
+        row in the results ledger and a publish row in the store's."""
+        from repro.serve import ModelStore
+
+        store_dir = sandbox / "store"
+        code = main(
+            [
+                "fit",
+                "--model",
+                "1nn-ed",
+                "--dataset",
+                "BeetleFly",
+                "--store",
+                str(store_dir),
+                "--name",
+                "beetle",
+                "--results-dir",
+                str(sandbox),
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        record = ModelStore(store_dir).record("beetle")
+        assert record.metadata["dataset"] == "BeetleFly"
+        assert record.metadata["seed"] == 3
+        assert len(record.metadata["config_hash"]) == 12
+        assert record.metadata["spec"] == "1nn-ed"
+
+        results_ledger = Ledger(sandbox / "ledger.db", create=False)
+        try:
+            fit_row = results_ledger.query().kind("fit").first()
+            assert fit_row.dataset == "BeetleFly"
+            assert fit_row.seed == 3
+            assert fit_row.meta["name"] == "beetle"
+        finally:
+            results_ledger.close()
+
+        store_ledger = Ledger(store_dir / "ledger.db", create=False)
+        try:
+            publish = store_ledger.query().kind("publish").first()
+            assert publish.label == "beetle"
+            assert publish.dataset == "BeetleFly"
+            assert publish.seed == 3
+            assert publish.config_hash == record.metadata["config_hash"]
+            assert publish.artifact.endswith("v1.json")
+        finally:
+            store_ledger.close()
+
+
+class TestGcVerb:
+    def test_gc_dry_run_then_delete(self, capsys, sandbox):
+        store_dir = sandbox / "store"
+        blob_dir = store_dir / "blobs" / "m"
+        blob_dir.mkdir(parents=True)
+        orphan = blob_dir / "v1.json"
+        orphan.write_text("{}")
+        (store_dir / "manifest.json").write_text(
+            json.dumps({"format": 1, "models": {}})
+        )
+        code = main(["db", "gc", "--store", str(store_dir), "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 orphan(s)" in out and "dry run" in out
+        assert orphan.exists()
+
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["db", "gc", "--store", str(store_dir), "--dry-run", "--delete"])
+
+        code = main(["db", "gc", "--store", str(store_dir), "--delete"])
+        assert code == 0
+        assert not orphan.exists()
+
+    def test_gc_missing_store_exits(self, sandbox):
+        with pytest.raises(SystemExit, match="no model store"):
+            main(["db", "gc", "--store", str(sandbox / "nope")])
