@@ -9,7 +9,9 @@ Two classes of nondeterminism can silently break that guarantee:
   process (hash randomisation).  A feature vector assembled from such
   a loop is not reproducible.  Dicts preserve insertion order in
   Python ≥ 3.7 and are not flagged; sets (literals, ``set()`` /
-  ``frozenset()`` calls, and set-operator results) are.
+  ``frozenset()`` calls, set-operator results, and calls of the
+  set-returning methods ``intersection`` / ``union`` / ``difference``
+  / ``symmetric_difference``) are.
 * **unseeded global RNGs** — ``random.random()`` / ``np.random.rand()``
   draw from interpreter-global state.  Policy is explicit generators:
   ``np.random.default_rng(seed)`` / ``random.Random(seed)`` threaded
@@ -45,13 +47,23 @@ _SEEDED_CONSTRUCTORS = {
 #: Directories whose modules compute features.
 _SCOPED_DIRS = {"graph", "core"}
 
+#: Set-returning method names: ``x.intersection(y)`` yields a set for
+#: every builtin receiver that has the method, so iterating the call
+#: result is unordered regardless of what ``x`` is.  Added when the
+#: delta-maintained metric states (``graph/incremental_metrics.py``)
+#: brought common-neighbourhood set algebra onto the feature path.
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+
 
 def _is_set_expr(node: ast.expr) -> bool:
     """Conservatively: does this expression evaluate to a set?"""
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _SET_METHODS
     if isinstance(node, ast.BinOp) and isinstance(
         node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
     ):

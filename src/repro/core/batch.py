@@ -43,7 +43,7 @@ CACHE_SUBDIR = "feature_cache"
 #: of feature extraction change (new formulas, changed normalisation,
 #: reordered columns) so stale vectors from older code can never be
 #: served; layout-preserving refactors don't need a bump.
-FEATURE_CACHE_VERSION = 1
+FEATURE_CACHE_VERSION = 2  # v2: exact-integer assortativity, dense-matvec eigencentrality
 
 # Worker-side state, set once per worker by the pool initializer so the
 # config is not re-pickled with every task.

@@ -37,6 +37,29 @@ _STAT_LABELS = {
 _MOTIF_KEYS = tuple(MOTIF_NAMES)
 
 
+def assemble_feature_dict(
+    motifs, stats: dict[str, float] | None, extended: dict[str, float] | None
+) -> dict[str, float]:
+    """Labelled feature dict from already-computed metric values.
+
+    The single assembly point both extraction paths share: the batch
+    path (:func:`graph_feature_dict`) feeds it values from the stateless
+    metric functions, the streaming path
+    (:class:`repro.core.streaming.StreamingFeatureExtractor`) from its
+    delta-maintained metric banks — so label set and ordering cannot
+    drift between the two.
+    """
+    out = {
+        f"P(M{key[1:]})": value
+        for key, value in motifs.probability_distributions().items()
+    }
+    if stats is not None:
+        out.update({_STAT_LABELS[key]: value for key, value in stats.items()})
+    if extended is not None:
+        out.update(extended)
+    return out
+
+
 def graph_feature_dict(
     graph: Graph, include_stats: bool = True, include_extended: bool = False
 ) -> dict[str, float]:
@@ -45,19 +68,14 @@ def graph_feature_dict(
     ``include_extended`` adds the Section-6 future-work features
     (degree entropy, bipartivity, centrality, clustering statistics).
     """
-    motifs = count_motifs(graph)
-    out = {
-        f"P(M{key[1:]})": value
-        for key, value in motifs.probability_distributions().items()
-    }
-    if include_stats:
-        stats = graph_statistics(graph)
-        out.update({_STAT_LABELS[key]: value for key, value in stats.items()})
+    stats = graph_statistics(graph) if include_stats else None
     if include_extended:
         from repro.graph.extended_metrics import extended_graph_statistics
 
-        out.update(extended_graph_statistics(graph))
-    return out
+        extended = extended_graph_statistics(graph)
+    else:
+        extended = None
+    return assemble_feature_dict(count_motifs(graph), stats, extended)
 
 
 #: Reference (pure-Python) builders; the fast path must stay

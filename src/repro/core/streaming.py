@@ -20,13 +20,17 @@ visibility graphs from scratch:
   generalised fractional-PAA regime) fall back to a full batch build of
   that scale's graphs — correct, just not incremental.
 
-Graph *construction* is the incrementally-maintained part; the graph
-*metrics* extracted per tick (motif counts, k-core, assortativity) are
-globally coupled — a one-point change can move any of them — so they
-are recomputed by the exact same functions the batch extractor calls,
-on the incrementally-maintained graphs.  That shared code path is what
-makes bit-identity a structural property rather than a numerical
-accident: once the window graphs are equal, the features are equal.
+Graph *construction* and graph *metrics* are both delta-maintained:
+each sliding graph feeds its push/evict edge deltas to an
+:class:`~repro.graph.incremental_metrics.IncrementalMetricBank`, whose
+states fold them into O(degree)-local accumulators (motif primitives,
+degree moments, k-core drift) and derive the per-tick values through
+the *same* final reductions the batch metric functions use.  That
+shared derivation is what makes bit-identity a structural property
+rather than a numerical accident: equal window graphs give equal
+integer accumulators give equal floats.  Scales the PAA alignment
+cannot serve keep using the batch metric functions on freshly built
+graphs — the same values, just recomputed.
 
 The per-window vector also shares the batch cache identity
 (:func:`repro.core.batch.series_cache_key` of the window under the same
@@ -36,14 +40,20 @@ one-shot classify traffic reuse each other's work.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.features import _build_scale_graphs, graph_feature_dict
+from repro.core.features import (
+    _build_scale_graphs,
+    assemble_feature_dict,
+    graph_feature_dict,
+)
 from repro.core.multiscale import paa
 from repro.graph.incremental import SlidingGraphWindow
+from repro.graph.incremental_metrics import IncrementalMetricBank
 
 __all__ = [
     "SlidingWindowBuffer",
@@ -178,16 +188,37 @@ def feature_layout_width(window: int, config: FeatureConfig) -> int:
     return len(plan) * len(config.graph_types()) * _per_graph_width(config)
 
 
+class _PhaseClock:
+    """Accumulator splitting a tick's wall clock into phases.
+
+    Metric banks add the time their ``apply`` spends folding deltas (it
+    runs *inside* the graph-maintenance pushes); the extractor then
+    reassigns that share from the graph phase to the metric phase.
+    """
+
+    __slots__ = ("applied",)
+
+    now = staticmethod(time.perf_counter)
+
+    def __init__(self) -> None:
+        self.applied = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.applied += elapsed
+
+
 @dataclass
 class _ScaleSlot:
-    """One phase of one downscaled scale: its sliding graphs plus the
-    global index of the next raw block to fold in."""
+    """One phase of one downscaled scale: its sliding graphs, their
+    metric banks, plus the global index of the next raw block to fold
+    in."""
 
     graphs: SlidingGraphWindow
     next_start: int
+    banks: dict[str, IncrementalMetricBank] = field(default_factory=dict)
 
     def reset(self, start: int) -> None:
-        self.graphs.clear()
+        self.graphs.clear()  # emits "clear" deltas: the banks reset too
         self.next_start = start
 
 
@@ -241,11 +272,19 @@ class StreamingFeatureExtractor:
             )
             self._scales.append(_ScaleState(scale, length, block, streamable))
         self._ring = SlidingWindowBuffer(self.window)
+        self._phase_clock = _PhaseClock()
         self.feature_names_: list[str] | None = None
         #: Introspection: slots advanced incrementally vs full scale
         #: rebuilds (the fallback path) over this extractor's lifetime.
         self.incremental_ticks_ = 0
         self.full_builds_ = 0
+        #: Completed :meth:`features` calls (lets callers detect whether
+        #: a tick actually extracted or was served from a cache).
+        self.features_served_ = 0
+        #: Wall-clock split of the last :meth:`features` call:
+        #: ``graph`` (window/PAA upkeep + visibility-graph maintenance)
+        #: vs ``metrics`` (delta folding + metric value derivation).
+        self.last_phase_seconds_: dict[str, float] = {"graph": 0.0, "metrics": 0.0}
 
     # -- the point stream --------------------------------------------------
     @property
@@ -284,52 +323,73 @@ class StreamingFeatureExtractor:
         window = self._ring.view()  # raises until the window fills
         start = self._ring.count - self.window
         graph_types = self.config.graph_types()
+        clock = self._phase_clock
+        clock.applied = 0.0
+        t0 = clock.now()
+        sources = [
+            self._scale_sources(
+                state,
+                window if state.scale == 0 else paa(window, state.length),
+                start,
+            )
+            for state in self._scales
+        ]
+        t1 = clock.now()
         values: list[float] = []
         names: list[str] = []
-        for state in self._scales:
-            scaled = window if state.scale == 0 else paa(window, state.length)
-            graphs = self._scale_graphs(state, scaled, start)
+        for state, scale_sources in zip(self._scales, sources):
             prefix_scale = f"T{state.scale}"
             for graph_type in graph_types:
-                features = graph_feature_dict(
-                    graphs[graph_type],
-                    include_stats=self.config.include_stats,
-                    include_extended=self.config.include_extended,
-                )
+                features = scale_sources[graph_type]()
                 prefix = f"{prefix_scale} {graph_type.upper()}"
                 for label, value in features.items():
                     names.append(f"{prefix} {label}")
                     values.append(value)
+        t2 = clock.now()
+        # Delta folding ran inside the maintenance pushes; reassign its
+        # share so the split reads graph-upkeep vs metric work.
+        self.last_phase_seconds_ = {
+            "graph": (t1 - t0) - clock.applied,
+            "metrics": (t2 - t1) + clock.applied,
+        }
+        self.features_served_ += 1
         if self.feature_names_ is None:
             self.feature_names_ = names
         return np.asarray(values, dtype=np.float64)
 
-    def _scale_graphs(
+    def _scale_sources(
         self, state: _ScaleState, scaled: np.ndarray, start: int
     ) -> dict:
-        """This scale's graphs for the window starting at ``start``.
+        """Feature-dict thunks per graph type for the window at ``start``.
 
         Streamable scales advance the phase slot matching the window's
-        block alignment; others rebuild from the scaled series.  Graphs
-        are handed to the metric extractors in adjacency-set ``Graph``
-        form — the O(edges) conversion is trivial next to motif
-        counting, and the set-based neighbourhood loops (triangles,
-        4-cliques, k-core) are an order of magnitude faster than
-        NumPy-row membership tests.
+        block alignment; its metric banks fold the resulting edge deltas
+        as they happen, so the thunks only derive final values — no
+        graph materialisation, no batch recomputation.  Non-streamable
+        scales rebuild the scale's graphs and fall back to the batch
+        metric functions (same values, recomputed).
         """
         graph_types = self.config.graph_types()
         if not state.streamable:
             self.full_builds_ += 1
-            return _build_scale_graphs(
+            graphs = _build_scale_graphs(
                 np.ascontiguousarray(scaled), graph_types, fast=True
             )
+            return {
+                kind: (
+                    lambda g=graphs[kind]: graph_feature_dict(
+                        g,
+                        include_stats=self.config.include_stats,
+                        include_extended=self.config.include_extended,
+                    )
+                )
+                for kind in graph_types
+            }
         block = state.block
         phase = start % block
         slot = state.slots.get(phase)
         if slot is None:
-            slot = state.slots[phase] = _ScaleSlot(
-                SlidingGraphWindow(graph_types, window=state.length), start
-            )
+            slot = state.slots[phase] = self._new_slot(state, start)
         if slot.next_start < start or slot.next_start > start + self.window:
             # This phase fell a whole window behind (large stride or a
             # long gap between feature calls): start it over.
@@ -339,4 +399,31 @@ class StreamingFeatureExtractor:
             slot.graphs.push(scaled[(slot.next_start - start) // block])
             slot.next_start += block
         self.incremental_ticks_ += 1
-        return {kind: slot.graphs.graph(kind) for kind in graph_types}
+        return {
+            kind: (lambda bank=slot.banks[kind]: self._bank_features(bank))
+            for kind in graph_types
+        }
+
+    def _new_slot(self, state: _ScaleState, start: int) -> _ScaleSlot:
+        """A phase slot with one metric bank per graph kind, subscribed
+        before any point is pushed so the banks see every delta."""
+        slot = _ScaleSlot(
+            SlidingGraphWindow(self.config.graph_types(), window=state.length), start
+        )
+        for kind, svg in slot.graphs.graphs.items():
+            slot.banks[kind] = IncrementalMetricBank(
+                svg,
+                need_motifs=True,
+                need_stats=self.config.include_stats,
+                need_extended=self.config.include_extended,
+                phase_clock=self._phase_clock,
+            )
+        return slot
+
+    def _bank_features(self, bank: IncrementalMetricBank) -> dict[str, float]:
+        """One graph's feature dict from its delta-maintained bank —
+        the streaming twin of :func:`~repro.core.features.graph_feature_dict`."""
+        motifs = bank.motifs()
+        stats = bank.statistics() if self.config.include_stats else None
+        extended = bank.extended() if self.config.include_extended else None
+        return assemble_feature_dict(motifs, stats, extended)

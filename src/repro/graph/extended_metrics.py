@@ -25,33 +25,46 @@ import numpy as np
 from repro.graph.adjacency import Graph
 
 
-def degree_entropy(graph: Graph) -> float:
-    """Shannon entropy (nats) of the degree distribution."""
-    if graph.n_vertices == 0:
+def degree_entropy_from_degrees(degrees: np.ndarray) -> float:
+    """Shannon entropy (nats) of a degree array — the shared final
+    reduction of the batch and delta-maintained paths (the streaming
+    tier feeds it the incrementally maintained window degree array, so
+    the two are bit-identical by construction)."""
+    if degrees.size == 0:
         return 0.0
-    degrees = graph.degrees()
     _, counts = np.unique(degrees, return_counts=True)
     p = counts / counts.sum()
     return float(-(p * np.log(p)).sum())
 
 
+def degree_entropy(graph: Graph) -> float:
+    """Shannon entropy (nats) of the degree distribution."""
+    return degree_entropy_from_degrees(graph.degrees())
+
+
+def degree_variance_from_degrees(degrees: np.ndarray) -> float:
+    """Variance of a degree array — shared batch/streaming reduction."""
+    if degrees.size == 0:
+        return 0.0
+    return float(degrees.var())
+
+
 def degree_variance(graph: Graph) -> float:
     """Variance of the degree sequence (degree heterogeneity)."""
-    if graph.n_vertices == 0:
-        return 0.0
-    return float(graph.degrees().var())
+    return degree_variance_from_degrees(graph.degrees())
 
 
 def _adjacency_matrix(graph: Graph) -> np.ndarray:
     n = graph.n_vertices
     A = np.zeros((n, n))
-    for u, v in graph.edges():
-        A[u, v] = 1.0
-        A[v, u] = 1.0
+    edges = graph.edge_array()
+    if edges.size:
+        A[edges[:, 0], edges[:, 1]] = 1.0
+        A[edges[:, 1], edges[:, 0]] = 1.0
     return A
 
 
-def bipartivity(graph: Graph) -> float:
+def bipartivity(graph: Graph, adjacency: np.ndarray | None = None) -> float:
     """Estrada–Rodríguez-Velázquez spectral bipartivity index.
 
     ``b = sum_i cosh(lambda_i) / sum_i exp(lambda_i)`` over the adjacency
@@ -59,11 +72,17 @@ def bipartivity(graph: Graph) -> float:
     for bipartite graphs and decreases towards 1/2 as odd cycles
     accumulate.  Uses a dense eigendecomposition (fine at visibility-
     graph sizes) with max-shift normalisation to avoid overflow.
+
+    ``adjacency`` lets callers that need several spectral metrics (see
+    :func:`extended_graph_statistics`) build the dense matrix once and
+    share it instead of rebuilding it per metric.
     """
     n = graph.n_vertices
     if n == 0 or graph.n_edges == 0:
         return 1.0
-    eigenvalues = np.linalg.eigvalsh(_adjacency_matrix(graph))
+    if adjacency is None:
+        adjacency = _adjacency_matrix(graph)
+    eigenvalues = np.linalg.eigvalsh(adjacency)
     lam_max = eigenvalues.max()
     # Both exponents are <= 0 after shifting by lambda_max, since the
     # spectrum of an undirected graph satisfies |lambda| <= lambda_max.
@@ -73,29 +92,31 @@ def bipartivity(graph: Graph) -> float:
 
 
 def eigenvector_centrality_stats(
-    graph: Graph, max_iter: int = 200, tol: float = 1e-10
+    graph: Graph,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+    adjacency: np.ndarray | None = None,
 ) -> tuple[float, float, float]:
     """``(max, mean, std)`` of the eigenvector centrality (power iteration).
 
     Disconnected graphs use the dominant component implicitly through
-    the power iteration; empty graphs return zeros.
+    the power iteration; empty graphs return zeros.  Iterates on the
+    dense adjacency matrix (``adjacency`` if supplied, else built once
+    here): the matrix is invariant to edge iteration order, so the
+    float reduction is deterministic across graph builders and between
+    the batch and streaming tiers — and BLAS ``gemv`` beats scatter-add
+    at visibility-graph sizes anyway.
     """
     n = graph.n_vertices
     if n == 0 or graph.n_edges == 0:
         return (0.0, 0.0, 0.0)
-    # Canonical (sorted) edge order: the accumulation below is a float
-    # reduction and must not depend on adjacency-set iteration order,
-    # which differs between the reference and fast graph builders.
-    edges = graph.edge_array()
-    edges = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
-    heads, tails = edges[:, 0], edges[:, 1]
+    if adjacency is None:
+        adjacency = _adjacency_matrix(graph)
     x = np.full(n, 1.0 / np.sqrt(n))
     for _ in range(max_iter):
         # Iterate on A + I: same eigenvectors, but the spectral shift
         # breaks the +/-lambda oscillation of bipartite graphs.
-        nxt = x.copy()
-        np.add.at(nxt, heads, x[tails])
-        np.add.at(nxt, tails, x[heads])
+        nxt = adjacency @ x + x
         norm = np.linalg.norm(nxt)
         if norm == 0.0:
             return (0.0, 0.0, 0.0)
@@ -147,10 +168,20 @@ def closeness_centrality_stats(
     return (float(values.mean()), float(values.max()))
 
 
+def transitivity_from_counts(triangle_edge_sum: int, wedges: int) -> float:
+    """Global clustering from exact integer counts: ``triangle_edge_sum``
+    is the sum over edges of endpoint co-degrees (three per triangle),
+    ``wedges`` is ``sum_v C(deg_v, 2)``.  Shared final reduction of the
+    batch and delta-maintained paths."""
+    if wedges == 0:
+        return 0.0
+    return float(triangle_edge_sum / float(wedges))
+
+
 def transitivity(graph: Graph) -> float:
     """Global clustering coefficient: 3 * triangles / wedges."""
     degrees = graph.degrees()
-    wedges = float(np.sum(degrees * (degrees - 1) // 2))
+    wedges = int(np.sum(degrees * (degrees - 1) // 2))
     if wedges == 0:
         return 0.0
     triangles = 0
@@ -159,7 +190,24 @@ def transitivity(graph: Graph) -> float:
         if len(nu) > len(nv):
             nu, nv = nv, nu
         triangles += sum(1 for w in nu if w in nv)
-    return float(triangles / wedges)  # each triangle counted once per edge = 3x
+    # Each triangle is counted once per edge = 3x.
+    return transitivity_from_counts(triangles, wedges)
+
+
+def average_clustering_from_counts(links_per_vertex, degrees) -> float:
+    """Mean local clustering from per-vertex triangle (closed-pair)
+    counts and degrees — shared batch/streaming reduction, accumulated
+    in vertex order so the two paths are bit-identical."""
+    n = len(degrees)
+    if n == 0:
+        return 0.0
+    total = 0.0
+    for u in range(n):
+        k = int(degrees[u])
+        if k < 2:
+            continue
+        total += 2.0 * int(links_per_vertex[u]) / (k * (k - 1))
+    return float(total / n)
 
 
 def average_clustering(graph: Graph) -> float:
@@ -167,30 +215,34 @@ def average_clustering(graph: Graph) -> float:
     n = graph.n_vertices
     if n == 0:
         return 0.0
-    total = 0.0
+    links = np.zeros(n, dtype=np.int64)
     for u in range(n):
         nbrs = sorted(graph.adjacency(u))
-        k = len(nbrs)
-        if k < 2:
+        if len(nbrs) < 2:
             continue
-        links = 0
+        count = 0
         for i, a in enumerate(nbrs):
             adj_a = graph.adjacency(a)
             for b in nbrs[i + 1 :]:
                 if b in adj_a:
-                    links += 1
-        total += 2.0 * links / (k * (k - 1))
-    return float(total / n)
+                    count += 1
+        links[u] = count
+    return average_clustering_from_counts(links, graph.degrees())
 
 
 def extended_graph_statistics(graph: Graph) -> dict[str, float]:
-    """All future-work features, keyed by display label."""
-    ev_max, ev_mean, ev_std = eigenvector_centrality_stats(graph)
+    """All future-work features, keyed by display label.
+
+    The dense adjacency matrix both spectral metrics need is built once
+    here and shared, instead of per metric.
+    """
+    adjacency = _adjacency_matrix(graph) if graph.n_edges else None
+    ev_max, ev_mean, ev_std = eigenvector_centrality_stats(graph, adjacency=adjacency)
     close_mean, close_max = closeness_centrality_stats(graph)
     return {
         "DegEntropy": degree_entropy(graph),
         "DegVariance": degree_variance(graph),
-        "Bipartivity": bipartivity(graph),
+        "Bipartivity": bipartivity(graph, adjacency=adjacency),
         "EigCentMax": ev_max,
         "EigCentMean": ev_mean,
         "EigCentStd": ev_std,

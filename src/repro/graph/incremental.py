@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.graph.adjacency import Graph
 from repro.graph.fast import CSRGraph
+from repro.graph.incremental_metrics import CLEAR_DELTA, GraphDelta
 
 _EMPTY_ROW = np.empty(0, dtype=np.int64)
 
@@ -96,6 +97,7 @@ class SlidingVisibilityGraph:
         "_m",
         "_stack",
         "_rmax",
+        "_listeners",
     )
 
     def __init__(self, kind: str, window: int | None = None):
@@ -127,6 +129,9 @@ class SlidingVisibilityGraph:
         # slope over the points pushed after it (``_rmax``).
         self._stack: deque[int] = deque()
         self._rmax: dict[int, float] = {}
+        #: Delta subscribers (e.g. metric banks), called once per
+        #: push/evict/clear with the :class:`GraphDelta` describing it.
+        self._listeners: list = []
 
     # -- sizes -------------------------------------------------------------
     def __len__(self) -> int:
@@ -145,6 +150,21 @@ class SlidingVisibilityGraph:
     def values(self) -> np.ndarray:
         """Window values, oldest first (a copy)."""
         return self._buf[self._lo - self._base : self._hi - self._base].copy()
+
+    def degree_array(self) -> np.ndarray:
+        """Window degrees, oldest first — the incrementally maintained
+        accumulator behind the streaming degree statistics.
+
+        A *view* into internal storage: read it and let go (the next
+        push may reallocate); never write through it.
+        """
+        return self._deg[self._lo - self._base : self._hi - self._base]
+
+    def subscribe(self, listener) -> None:
+        """Register a callable receiving one :class:`GraphDelta` per
+        push (``add``), evict (``remove``) and clear — the edge-delta
+        stream the incremental metric states consume."""
+        self._listeners.append(listener)
 
     # -- updates -----------------------------------------------------------
     def push(self, value: float) -> int:
@@ -181,6 +201,10 @@ class SlidingVisibilityGraph:
                 deg[k - base] += 1
                 dirty.add(k)
             self._m += n_new
+        if self._listeners:
+            delta = GraphDelta("add", g, left)
+            for listener in self._listeners:
+                listener(delta)
         return int(n_new)
 
     def evict(self) -> None:
@@ -207,6 +231,10 @@ class SlidingVisibilityGraph:
         if self._stack and self._stack[0] == i:
             self._stack.popleft()
             self._rmax.pop(i, None)
+        if self._listeners:
+            delta = GraphDelta("remove", i, np.asarray(neighbours, dtype=np.int64))
+            for listener in self._listeners:
+                listener(delta)
 
     def clear(self) -> None:
         """Reset to an empty window (global indices keep counting up)."""
@@ -219,6 +247,8 @@ class SlidingVisibilityGraph:
         self._rmax.clear()
         self._m = 0
         self._lo = self._hi
+        for listener in self._listeners:
+            listener(CLEAR_DELTA)
 
     # -- materialisation ---------------------------------------------------
     def csr(self) -> CSRGraph:

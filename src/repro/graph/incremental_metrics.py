@@ -1,0 +1,683 @@
+"""Delta-maintained graph metrics for the streaming tier.
+
+The batch metric layer (:mod:`repro.graph.metrics`,
+:mod:`repro.graph.motifs`, :mod:`repro.graph.extended_metrics`) is a set
+of stateless functions over a finished graph.  On a stride-1 sliding
+window those functions dominate the online tick: the window graph is
+maintained incrementally (:mod:`repro.graph.incremental`), but every
+globally-coupled metric was recomputed from scratch per tick.
+
+This module re-expresses those metrics as **states** fed by the edge
+delta stream the sliding structures emit:
+
+* :class:`GraphDelta` — one vertex-level event (``add`` with the edges
+  the new point created, ``remove`` with the edges the evicted point
+  owned, or ``clear``).
+* :class:`MetricState` — the two-method protocol every state implements:
+  ``apply(delta)`` folds one event into O(degree)-local accumulators,
+  ``value()`` derives the metric through the *same* final reduction the
+  batch function uses.  Integer metrics are therefore exactly equal and
+  derived floats bit-identical to batch, by construction — property
+  tested on every prefix and window in
+  ``tests/test_incremental_metrics_property.py``.
+* :class:`IncrementalMetricBank` — per-graph bundle that subscribes to a
+  :class:`~repro.graph.incremental.SlidingVisibilityGraph` and exposes
+  drop-in replacements for :func:`~repro.graph.metrics.graph_statistics`,
+  :func:`~repro.graph.motifs.count_motifs` and
+  :func:`~repro.graph.extended_metrics.extended_graph_statistics`.
+
+Cost model per tick (one evict + one push): every accumulator update is
+local to the changed vertex's neighbourhood — O(degree) set/dict work
+for the degree moments and triangle/codegree tables, O(degree^2) for the
+4-clique increments — versus the batch layer's full O(n + m·d) sweep.
+Degeneracy is the one metric without a cheap local delta; it moves by at
+most one per vertex event (removing a vertex lowers no core number by
+more than one, and the reverse bounds insertion), so
+:class:`KCoreState` tracks a drift radius and re-certifies with a
+binary search of vectorized k-core peels over ``[last - drift,
+last + drift]``.  Spectral metrics (bipartivity, eigencentrality,
+closeness) are recomputed from the incrementally maintained CSR — they
+are already cheap relative to the old motif recomputation and stay
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.graph.extended_metrics import (
+    _adjacency_matrix,
+    average_clustering_from_counts,
+    bipartivity,
+    closeness_centrality_stats,
+    degree_entropy_from_degrees,
+    degree_variance_from_degrees,
+    eigenvector_centrality_stats,
+    transitivity_from_counts,
+)
+from repro.graph.fast import CSRGraph
+from repro.graph.metrics import (
+    assortativity_from_sums,
+    degree_statistics_from_degrees,
+    density_from_counts,
+)
+from repro.graph.motifs import MotifCounts, MotifPrimitives, motifs_from_primitives
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One vertex-level change to a sliding window graph.
+
+    ``op`` is ``"add"`` (``vertex`` entered with edges to ``neighbors``),
+    ``"remove"`` (``vertex`` left, destroying its edges to ``neighbors``
+    — the sliding structures evict the oldest point, whose surviving
+    neighbours are exactly its right-adjacency), or ``"clear"`` (window
+    reset; ``vertex``/``neighbors`` are meaningless).  Vertex ids are
+    the sliding structures' *global* indices: they never repeat, so
+    states may key dictionaries by them without collision.
+    """
+
+    op: str
+    vertex: int
+    neighbors: np.ndarray
+
+
+#: A ``clear`` event, shared (the payload carries no information).
+CLEAR_DELTA = GraphDelta("clear", -1, _EMPTY)
+
+
+class MetricState(Protocol):
+    """Protocol for delta-maintained metrics.
+
+    ``apply`` folds one :class:`GraphDelta` into internal accumulators;
+    ``value`` derives the current metric.  States must accept any legal
+    event sequence (interleaved adds/removes/clears) and must keep
+    ``value()`` equal to the corresponding batch function applied to the
+    current graph.
+    """
+
+    def apply(self, delta: GraphDelta) -> None: ...
+
+    def value(self): ...
+
+
+class DensityState:
+    """Vertex/edge counters; ``value()`` == :func:`~repro.graph.metrics.density`."""
+
+    __slots__ = ("_n", "_m")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._m = 0
+
+    def apply(self, delta: GraphDelta) -> None:
+        if delta.op == "add":
+            self._n += 1
+            self._m += delta.neighbors.size
+        elif delta.op == "remove":
+            self._n -= 1
+            self._m -= delta.neighbors.size
+        else:
+            self._n = 0
+            self._m = 0
+
+    def value(self) -> float:
+        return density_from_counts(self._n, self._m)
+
+
+class DegreeStatisticsState:
+    """``(max, min, mean)`` degree over the window.
+
+    The running accumulator — the window degree array — already lives in
+    the sliding graph structure, maintained O(degree) per event; this
+    state borrows it through ``degrees_provider`` and applies the shared
+    batch reduction (:func:`~repro.graph.metrics.degree_statistics_from_degrees`),
+    so ``apply`` has nothing left to fold.
+    """
+
+    __slots__ = ("_degrees",)
+
+    def __init__(self, degrees_provider: Callable[[], np.ndarray]) -> None:
+        self._degrees = degrees_provider
+
+    def apply(self, delta: GraphDelta) -> None:
+        pass
+
+    def value(self) -> tuple[float, float, float]:
+        return degree_statistics_from_degrees(self._degrees())
+
+
+class AssortativityState:
+    """Exact integer moment sums for degree assortativity.
+
+    Maintains ``m``, ``d2 = sum deg^2``, ``d3 = sum deg^3`` and
+    ``e_prod = sum_e deg_u deg_v`` under single-edge updates (each
+    O(degree): adding an edge at ``u`` raises every ``u``-incident
+    product by its neighbour's degree).  ``value()`` feeds them to
+    :func:`~repro.graph.metrics.assortativity_from_sums` — the same
+    final reduction the batch path uses, so the float is bit-identical.
+    """
+
+    __slots__ = ("_adj", "_m", "_d2", "_d3", "_e_prod")
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self._adj: dict[int, set[int]] = {}
+        self._m = 0
+        self._d2 = 0
+        self._d3 = 0
+        self._e_prod = 0
+
+    def apply(self, delta: GraphDelta) -> None:
+        if delta.op == "add":
+            v = delta.vertex
+            self._adj[v] = set()
+            for nb in delta.neighbors.tolist():
+                self._add_edge(v, nb)
+        elif delta.op == "remove":
+            v = delta.vertex
+            for nb in delta.neighbors.tolist():
+                self._remove_edge(v, nb)
+            del self._adj[v]
+        else:
+            self._reset()
+
+    def _add_edge(self, u: int, w: int) -> None:
+        adj = self._adj
+        au, aw = adj[u], adj[w]
+        du, dw = len(au), len(aw)
+        self._d2 += 2 * (du + dw) + 2
+        self._d3 += 3 * du * (du + 1) + 3 * dw * (dw + 1) + 2
+        s = 0
+        for y in au:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        self._e_prod += s + (du + 1) * (dw + 1)
+        au.add(w)
+        aw.add(u)
+        self._m += 1
+
+    def _remove_edge(self, u: int, w: int) -> None:
+        adj = self._adj
+        au, aw = adj[u], adj[w]
+        au.discard(w)
+        aw.discard(u)
+        self._m -= 1
+        du, dw = len(au), len(aw)
+        self._d2 -= 2 * (du + dw) + 2
+        self._d3 -= 3 * du * (du + 1) + 3 * dw * (dw + 1) + 2
+        s = 0
+        for y in au:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        self._e_prod -= s + (du + 1) * (dw + 1)
+
+    def value(self) -> float:
+        return assortativity_from_sums(self._m, self._d2, self._d3, self._e_prod)
+
+
+class MotifState:
+    """All motif primitives of :class:`~repro.graph.motifs.MotifPrimitives`
+    as running accumulators under single-edge updates.
+
+    Per edge ``(u, w)`` the update is neighbourhood-local: degree-moment
+    deltas are closed forms in the endpoint degrees, the codegree table
+    (non-induced 4-cycle numerator) shifts only for pairs through ``u``
+    or ``w``, and the triangle tables (per-edge ``tri_e``, per-vertex
+    ``tri_v``) shift only on the common neighbourhood — which also
+    yields the new 4-cliques by direct enumeration, exactly as the batch
+    counter does per edge.  ``value()`` hands the primitives to
+    :func:`~repro.graph.motifs.motifs_from_primitives`, the identical
+    closed-form derivation the batch path uses, so equal primitives give
+    equal counts in exact integers (and
+    :func:`~repro.graph.motifs._validate`'s partition checks run on
+    every call as a safety net).
+    """
+
+    __slots__ = (
+        "_adj",
+        "_tri_v",
+        "_tri_e",
+        "_codeg",
+        "_n",
+        "_m",
+        "_t",
+        "_w",
+        "_deg_c3",
+        "_d2",
+        "_e_prod",
+        "_td",
+        "_paired",
+        "_tri_pair",
+        "_k4",
+    )
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self._adj: dict[int, set[int]] = {}
+        #: Triangles through each vertex (absent == 0).
+        self._tri_v: dict[int, int] = {}
+        #: Triangles through each edge, keyed ``(min, max)`` (absent == 0).
+        self._tri_e: dict[tuple[int, int], int] = {}
+        #: Common-neighbour counts per vertex pair (absent == 0).
+        self._codeg: dict[tuple[int, int], int] = {}
+        self._n = 0
+        self._m = 0
+        self._t = 0  # triangles
+        self._w = 0  # sum_v C(deg_v, 2)
+        self._deg_c3 = 0  # sum_v C(deg_v, 3)
+        self._d2 = 0  # sum_v deg_v^2
+        self._e_prod = 0  # sum_e deg_u * deg_v
+        self._td = 0  # sum_v tri_v * deg_v
+        self._paired = 0  # sum_pairs C(codeg, 2)  (== 2 * non-induced C4)
+        self._tri_pair = 0  # sum_e C(tri_e, 2)
+        self._k4 = 0
+
+    def apply(self, delta: GraphDelta) -> None:
+        if delta.op == "add":
+            v = delta.vertex
+            self._adj[v] = set()
+            self._n += 1
+            for nb in delta.neighbors.tolist():
+                self._add_edge(v, nb)
+        elif delta.op == "remove":
+            v = delta.vertex
+            for nb in delta.neighbors.tolist():
+                self._remove_edge(v, nb)
+            del self._adj[v]
+            self._tri_v.pop(v, None)
+            self._n -= 1
+        else:
+            self._reset()
+
+    def _add_edge(self, u: int, w: int) -> None:
+        adj = self._adj
+        au, aw = adj[u], adj[w]
+        du, dw = len(au), len(aw)
+        tv = self._tri_v
+        # Degree moments: deg(u): du -> du + 1, deg(w): dw -> dw + 1.
+        self._w += du + dw
+        self._deg_c3 += du * (du - 1) // 2 + dw * (dw - 1) // 2
+        self._d2 += 2 * (du + dw) + 2
+        # Every edge at u (resp. w) has its u-side degree raised by one,
+        # and the new edge contributes its own endpoint product.
+        s = 0
+        for y in au:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        self._e_prod += s + (du + 1) * (dw + 1)
+        # tri_v * deg: the endpoint degrees rose with tri_v unchanged so far.
+        self._td += tv.get(u, 0) + tv.get(w, 0)
+        # Codegrees: u becomes a new common neighbour of (w, x) for every
+        # prior neighbour x of u, and symmetrically.  C(c+1,2) - C(c,2) = c.
+        codeg = self._codeg
+        for x in au:  # repro: allow[determinism] exact integer sum, order-free
+            key = (w, x) if w < x else (x, w)
+            c = codeg.get(key, 0)
+            self._paired += c
+            codeg[key] = c + 1
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            key = (u, y) if u < y else (y, u)
+            c = codeg.get(key, 0)
+            self._paired += c
+            codeg[key] = c + 1
+        # Triangles closed by the new edge: one per common neighbour.
+        common = au & aw
+        t = len(common)
+        if t:
+            self._t += t
+            tri_e = self._tri_e
+            tri_e[(u, w) if u < w else (w, u)] = t
+            self._tri_pair += t * (t - 1) // 2
+            k4 = 0
+            clist = sorted(common)
+            for idx, c in enumerate(clist):
+                key = (u, c) if u < c else (c, u)
+                e = tri_e.get(key, 0)
+                self._tri_pair += e
+                tri_e[key] = e + 1
+                key = (w, c) if w < c else (c, w)
+                e = tri_e.get(key, 0)
+                self._tri_pair += e
+                tri_e[key] = e + 1
+                tv[c] = tv.get(c, 0) + 1
+                ac = adj[c]
+                self._td += len(ac)
+                # New 4-cliques {u, w, c, c2}: adjacent pairs of common
+                # neighbours, enumerated exactly as the batch counter does.
+                for c2 in clist[idx + 1 :]:
+                    if c2 in ac:
+                        k4 += 1
+            self._k4 += k4
+            tv[u] = tv.get(u, 0) + t
+            tv[w] = tv.get(w, 0) + t
+            self._td += t * (du + 1) + t * (dw + 1)
+        au.add(w)
+        aw.add(u)
+        self._m += 1
+
+    def _remove_edge(self, u: int, w: int) -> None:
+        # Exact mirror of _add_edge: after detaching the edge, the local
+        # degrees equal the pre-add values, so every delta negates.
+        adj = self._adj
+        au, aw = adj[u], adj[w]
+        au.discard(w)
+        aw.discard(u)
+        self._m -= 1
+        du, dw = len(au), len(aw)
+        tv = self._tri_v
+        common = au & aw
+        t = len(common)
+        if t:
+            self._t -= t
+            tri_e = self._tri_e
+            del tri_e[(u, w) if u < w else (w, u)]
+            self._tri_pair -= t * (t - 1) // 2
+            k4 = 0
+            clist = sorted(common)
+            for idx, c in enumerate(clist):
+                key = (u, c) if u < c else (c, u)
+                e = tri_e[key] - 1
+                self._tri_pair -= e
+                if e:
+                    tri_e[key] = e
+                else:
+                    del tri_e[key]
+                key = (w, c) if w < c else (c, w)
+                e = tri_e[key] - 1
+                self._tri_pair -= e
+                if e:
+                    tri_e[key] = e
+                else:
+                    del tri_e[key]
+                nv = tv[c] - 1
+                if nv:
+                    tv[c] = nv
+                else:
+                    del tv[c]
+                ac = adj[c]
+                self._td -= len(ac)
+                for c2 in clist[idx + 1 :]:
+                    if c2 in ac:
+                        k4 += 1
+            self._k4 -= k4
+            for v in (u, w):
+                nv = tv[v] - t
+                if nv:
+                    tv[v] = nv
+                else:
+                    del tv[v]
+            self._td -= t * (du + 1) + t * (dw + 1)
+        codeg = self._codeg
+        for x in au:  # repro: allow[determinism] exact integer sum, order-free
+            key = (w, x) if w < x else (x, w)
+            c = codeg[key] - 1
+            self._paired -= c
+            if c:
+                codeg[key] = c
+            else:
+                del codeg[key]
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            key = (u, y) if u < y else (y, u)
+            c = codeg[key] - 1
+            self._paired -= c
+            if c:
+                codeg[key] = c
+            else:
+                del codeg[key]
+        self._w -= du + dw
+        self._deg_c3 -= du * (du - 1) // 2 + dw * (dw - 1) // 2
+        self._d2 -= 2 * (du + dw) + 2
+        s = 0
+        for y in au:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        for y in aw:  # repro: allow[determinism] exact integer sum, order-free
+            s += len(adj[y])
+        self._e_prod -= s + (du + 1) * (dw + 1)
+        self._td -= tv.get(u, 0) + tv.get(w, 0)
+
+    def primitives(self) -> MotifPrimitives:
+        """Current aggregates in the batch layer's primitive vocabulary."""
+        return MotifPrimitives(
+            n=self._n,
+            m=self._m,
+            triangles=self._t,
+            wedges_noninduced=self._w,
+            degree_choose3=self._deg_c3,
+            k4=self._k4,
+            cycles_noninduced=self._paired // 2,
+            tri_pair_sum=self._tri_pair,
+            tailed_noninduced=self._td - 6 * self._t,
+            paths_noninduced=self._e_prod - self._d2 + self._m - 3 * self._t,
+            m33=self._n * self._m - self._d2 + 3 * self._t,
+        )
+
+    def value(self) -> MotifCounts:
+        return motifs_from_primitives(self.primitives())
+
+    def triangle_edge_sum(self) -> int:
+        """Sum over edges of endpoint co-degrees (three per triangle) —
+        the transitivity numerator the batch path accumulates."""
+        return 3 * self._t
+
+    def wedge_sum(self) -> int:
+        """``sum_v C(deg_v, 2)`` — the transitivity denominator."""
+        return self._w
+
+    def local_triangles(self, lo: int, hi: int) -> np.ndarray:
+        """Per-vertex triangle counts for global vertices ``lo..hi-1``,
+        in window order (the batch ``average_clustering`` link counts)."""
+        tv = self._tri_v
+        return np.fromiter(
+            (tv.get(g, 0) for g in range(lo, hi)), dtype=np.int64, count=hi - lo
+        )
+
+
+#: Beyond this many unaccounted vertex events the bounded k-core repair
+#: range is wide enough that a full-range binary search is no slower.
+_KCORE_FULL_REPAIR_DRIFT = 32
+
+
+def _csr_rows_of(indptr: np.ndarray, indices: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Concatenated CSR rows of ``vs`` (vectorized gather)."""
+    starts = indptr[vs]
+    lens = indptr[vs + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return _EMPTY
+    shift = np.cumsum(lens) - lens
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(shift, lens)
+    return indices[np.repeat(starts, lens) + offsets]
+
+
+def _has_kcore(csr: CSRGraph, degrees: np.ndarray, k: int) -> bool:
+    """Whether a non-empty ``k``-core survives iterative peeling."""
+    if k <= 0:
+        return csr.n_vertices > 0
+    deg = degrees.astype(np.int64, copy=True)
+    alive = np.ones(deg.size, dtype=bool)
+    kill = deg < k
+    while kill.any():
+        alive &= ~kill
+        if not alive.any():
+            return False
+        nbrs = _csr_rows_of(csr.indptr, csr.indices, np.nonzero(kill)[0])
+        if nbrs.size:
+            deg -= np.bincount(nbrs, minlength=deg.size)
+        kill = alive & (deg < k)
+    return True
+
+
+class KCoreState:
+    """Degeneracy by bounded lazy repair.
+
+    A single vertex insertion or deletion moves the degeneracy by at
+    most one (removing a vertex cannot drop any subgraph's minimum
+    degree by more than one, and insertion is its inverse), so after
+    ``drift`` unaccounted events the true value lies in ``[last - drift,
+    last + drift]``.  ``value()`` re-certifies with a binary search of
+    vectorized k-core peels over that interval on the incrementally
+    maintained CSR, falling back to the full ``[0, max_degree]`` range
+    on large drift or after a clear — the full-recompute fallback.
+    The result is the exact degeneracy, identical to the batch
+    :func:`~repro.graph.metrics.degeneracy`.
+    """
+
+    __slots__ = ("_csr_provider", "_last", "_drift")
+
+    def __init__(self, csr_provider: Callable[[], CSRGraph]) -> None:
+        self._csr_provider = csr_provider
+        self._last: int | None = None
+        self._drift = 0
+
+    def apply(self, delta: GraphDelta) -> None:
+        if delta.op == "clear":
+            self._last = None
+            self._drift = 0
+        else:
+            self._drift += 1
+
+    def value(self) -> int:
+        csr = self._csr_provider()
+        n = csr.n_vertices
+        if n == 0:
+            self._last, self._drift = 0, 0
+            return 0
+        degrees = csr.degrees()
+        max_degree = int(degrees.max())
+        if self._last is None or self._drift > _KCORE_FULL_REPAIR_DRIFT:
+            lo, hi = 0, max_degree
+        else:
+            lo = max(0, self._last - self._drift)
+            hi = min(max_degree, self._last + self._drift)
+        # Invariant: a lo-core exists (lo == 0, or lo is within drift
+        # below the last certified degeneracy); search the largest k.
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if _has_kcore(csr, degrees, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        self._last, self._drift = lo, 0
+        return lo
+
+
+class IncrementalMetricBank:
+    """Per-graph bundle of delta-maintained metric states.
+
+    Subscribes to one :class:`~repro.graph.incremental.SlidingVisibilityGraph`
+    and mirrors the batch feature functions: :meth:`statistics` ==
+    ``graph_statistics(g)``, :meth:`motifs` == ``count_motifs(g)``,
+    :meth:`extended` == ``extended_graph_statistics(g)`` for the current
+    window graph ``g`` — integers exactly, derived floats bit for bit.
+    Construct with only the banks the feature configuration needs;
+    ``need_extended`` implies the motif accumulators (transitivity and
+    clustering derive from the triangle tables).
+    """
+
+    __slots__ = ("_svg", "_states", "motif_state", "_assort", "_kcore", "_density", "_degstats", "phase_clock")
+
+    def __init__(
+        self,
+        svg,
+        *,
+        need_motifs: bool = True,
+        need_stats: bool = True,
+        need_extended: bool = False,
+        phase_clock=None,
+    ) -> None:
+        self._svg = svg
+        self._states: list[MetricState] = []
+        self.motif_state: MotifState | None = None
+        self._assort: AssortativityState | None = None
+        self._kcore: KCoreState | None = None
+        self._density: DensityState | None = None
+        self._degstats: DegreeStatisticsState | None = None
+        self.phase_clock = phase_clock
+        if need_motifs or need_extended:
+            self.motif_state = MotifState()
+            self._states.append(self.motif_state)
+        if need_stats:
+            self._assort = AssortativityState()
+            self._kcore = KCoreState(svg.csr)
+            self._density = DensityState()
+            self._degstats = DegreeStatisticsState(svg.degree_array)
+            self._states.extend(
+                [self._assort, self._kcore, self._density, self._degstats]
+            )
+        svg.subscribe(self.apply)
+
+    def apply(self, delta: GraphDelta) -> None:
+        clock = self.phase_clock
+        if clock is None:
+            for state in self._states:
+                state.apply(delta)
+            return
+        start = clock.now()
+        for state in self._states:
+            state.apply(delta)
+        clock.add(clock.now() - start)
+
+    def statistics(self) -> dict[str, float]:
+        """Drop-in for ``graph_statistics(window_graph)``."""
+        d_max, d_min, d_mean = self._degstats.value()
+        return {
+            "density": self._density.value(),
+            "kcore": float(self._kcore.value()),
+            "assortativity": self._assort.value(),
+            "degree_max": d_max,
+            "degree_min": d_min,
+            "degree_mean": d_mean,
+        }
+
+    def motifs(self) -> MotifCounts:
+        """Drop-in for ``count_motifs(window_graph)``."""
+        return self.motif_state.value()
+
+    def extended(self) -> dict[str, float]:
+        """Drop-in for ``extended_graph_statistics(window_graph)``.
+
+        Entropy, variance, transitivity and average clustering derive
+        from the maintained degree array and triangle tables through the
+        shared batch reductions; the spectral and BFS metrics are
+        recomputed from the incrementally maintained CSR (identical to
+        the batch graph, so the floats agree bit for bit).
+        """
+        svg = self._svg
+        motif = self.motif_state
+        degrees = svg.degree_array()
+        graph = svg.graph()
+        adjacency = _adjacency_matrix(graph) if graph.n_edges else None
+        ev_max, ev_mean, ev_std = eigenvector_centrality_stats(
+            graph, adjacency=adjacency
+        )
+        close_mean, close_max = closeness_centrality_stats(graph)
+        lo = svg._lo
+        return {
+            "DegEntropy": degree_entropy_from_degrees(degrees),
+            "DegVariance": degree_variance_from_degrees(degrees),
+            "Bipartivity": bipartivity(graph, adjacency=adjacency),
+            "EigCentMax": ev_max,
+            "EigCentMean": ev_mean,
+            "EigCentStd": ev_std,
+            "CloseMean": close_mean,
+            "CloseMax": close_max,
+            "Transitivity": transitivity_from_counts(
+                motif.triangle_edge_sum(), motif.wedge_sum()
+            ),
+            "AvgClustering": average_clustering_from_counts(
+                motif.local_triangles(lo, lo + len(degrees)), degrees
+            ),
+        }

@@ -17,12 +17,17 @@ import numpy as np
 from repro.graph.adjacency import Graph
 
 
-def density(graph: Graph) -> float:
-    """Edge density ``2|E| / (|V| (|V|-1))``; 0 for graphs with < 2 vertices."""
-    n = graph.n_vertices
+def density_from_counts(n: int, m: int) -> float:
+    """Edge density from vertex/edge counts — the shared final reduction
+    of the batch and delta-maintained paths."""
     if n < 2:
         return 0.0
-    return 2.0 * graph.n_edges / (n * (n - 1))
+    return 2.0 * m / (n * (n - 1))
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``2|E| / (|V| (|V|-1))``; 0 for graphs with < 2 vertices."""
+    return density_from_counts(graph.n_vertices, graph.n_edges)
 
 
 def degeneracy(graph: Graph) -> int:
@@ -73,6 +78,53 @@ def degeneracy(graph: Graph) -> int:
     return int(core.max())
 
 
+def assortativity_from_sums(m: int, d2: int, d3: int, e_prod: int) -> float:
+    """Degree assortativity from exact integer moment sums.
+
+    With ``x``/``y`` the degrees at either end of each edge (both
+    orientations), Newman's ``cov(x, y) / (std(x) std(y))`` reduces over
+    the ``2m`` orientations to an exact rational: ``sum x = d2``
+    (``sum_v deg_v^2``), ``sum x^2 = d3``, ``sum x*y = 2 * e_prod``
+    (``e_prod = sum_e deg_u deg_v``), and since ``x`` and ``y`` hold the
+    same multiset, ``std(x) std(y) == var(x)``.  Clearing the common
+    ``4 m^2`` denominator gives
+
+        r = (4 m e_prod - d2^2) / (2 m d3 - d2^2)
+
+    computed in arbitrary-precision integers with one final float
+    division — the shared reduction of the batch and delta-maintained
+    paths, so their results are bit-identical by construction (and
+    independent of edge order, which the previous array reduction only
+    approximated via a canonical sort).  Degenerate graphs (no edges,
+    or all degrees equal so the variance vanishes) return 0.0.
+    """
+    if m == 0:
+        return 0.0
+    num = 4 * m * e_prod - d2 * d2
+    den = 2 * m * d3 - d2 * d2
+    if den == 0:
+        return 0.0
+    return float(num) / float(den)
+
+
+def degree_moment_sums(graph: Graph) -> tuple[int, int, int]:
+    """``(d2, d3, e_prod)``: the exact integer sums
+    :func:`assortativity_from_sums` consumes, by direct reduction.
+
+    ``d3`` is accumulated over the degree histogram in Python integers
+    (no ``int64`` overflow for any feasible graph size)."""
+    degrees = graph.degrees()
+    d2 = int(np.dot(degrees, degrees))
+    values, counts = np.unique(degrees, return_counts=True)
+    d3 = sum(int(c) * int(v) ** 3 for v, c in zip(values.tolist(), counts.tolist()))
+    edges = graph.edge_array()
+    if edges.size:
+        e_prod = int(np.dot(degrees[edges[:, 0]], degrees[edges[:, 1]]))
+    else:
+        e_prod = 0
+    return d2, d3, e_prod
+
+
 def assortativity_coefficient(graph: Graph) -> float:
     """Degree assortativity (Pearson correlation over edge endpoints).
 
@@ -81,38 +133,30 @@ def assortativity_coefficient(graph: Graph) -> float:
     coefficient is ``cov(x, y) / (std(x) std(y))``.  Degenerate graphs
     (all degrees equal, or no edges) return 0.0, matching the convention
     used when feeding the value to a classifier.
+
+    Reduced through :func:`assortativity_from_sums` on exact integer
+    moment sums, so the result is independent of edge iteration order
+    and equal, bit for bit, to the streaming tier's delta-maintained
+    accumulators.
     """
     m = graph.n_edges
     if m == 0:
         return 0.0
-    # Accumulate in canonical (sorted) edge order so the result is
-    # independent of adjacency-set iteration order: the reference and
-    # fast builders insert edges in different orders, and a float
-    # reduction must not expose that.
-    edges = graph.edge_array()
-    edges = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
-    degrees = graph.degrees().astype(np.float64)
-    du = degrees[edges[:, 0]]
-    dv = degrees[edges[:, 1]]
-    x = np.empty(2 * m, dtype=np.float64)
-    y = np.empty(2 * m, dtype=np.float64)
-    x[0::2], y[0::2] = du, dv
-    x[1::2], y[1::2] = dv, du
-    x_mean = x.mean()
-    y_mean = y.mean()
-    x_std = x.std()
-    y_std = y.std()
-    if x_std == 0.0 or y_std == 0.0:
-        return 0.0
-    return float(((x - x_mean) * (y - y_mean)).mean() / (x_std * y_std))
+    return assortativity_from_sums(m, *degree_moment_sums(graph))
+
+
+def degree_statistics_from_degrees(degrees: np.ndarray) -> tuple[float, float, float]:
+    """``(max, min, mean)`` of a degree array — the shared final
+    reduction of the batch and delta-maintained paths (the streaming
+    tier feeds it the incrementally maintained window degree array)."""
+    if degrees.size == 0:
+        return (0.0, 0.0, 0.0)
+    return (float(degrees.max()), float(degrees.min()), float(degrees.mean()))
 
 
 def degree_statistics(graph: Graph) -> tuple[float, float, float]:
     """``(max, min, mean)`` vertex degree; zeros for the empty graph."""
-    if graph.n_vertices == 0:
-        return (0.0, 0.0, 0.0)
-    degrees = graph.degrees()
-    return (float(degrees.max()), float(degrees.min()), float(degrees.mean()))
+    return degree_statistics_from_degrees(graph.degrees())
 
 
 def graph_statistics(graph: Graph) -> dict[str, float]:

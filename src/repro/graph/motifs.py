@@ -122,6 +122,117 @@ class MotifCounts:
         return sum(counts[key] for key in keys)
 
 
+@dataclass(frozen=True)
+class MotifPrimitives:
+    """The aggregate quantities every induced count of size <= 4 derives
+    from.
+
+    Both counting paths reduce a graph to these integers and then apply
+    the *same* closed-form identities (:func:`motifs_from_primitives`):
+    the batch path (:func:`count_motifs`) computes them by edge-centric
+    enumeration, while the streaming path
+    (:class:`repro.graph.incremental_metrics.MotifState`) maintains them
+    as running accumulators under vertex add/remove deltas.  Sharing the
+    derivation makes batch/incremental equality a structural property:
+    equal primitives imply equal counts, exactly, in integers.
+    """
+
+    n: int
+    m: int
+    #: Number of triangles.
+    triangles: int
+    #: Non-induced wedges ``sum_v C(deg_v, 2)``.
+    wedges_noninduced: int
+    #: Non-induced 3-stars ``sum_v C(deg_v, 3)``.
+    degree_choose3: int
+    #: Number of 4-cliques.
+    k4: int
+    #: Non-induced 4-cycles (pairs of distinct 2-paths, halved).
+    cycles_noninduced: int
+    #: ``sum_e C(tri_e, 2)`` over per-edge triangle counts.
+    tri_pair_sum: int
+    #: ``sum_v tri_v * (deg_v - 2)`` over per-vertex triangle counts.
+    tailed_noninduced: int
+    #: ``sum_e (deg_u - 1)(deg_v - 1) - tri_e``.
+    paths_noninduced: int
+    #: ``sum_e n - (deg_u + deg_v - tri_e)`` (3-node-1-edge sets).
+    m33: int
+
+
+def motifs_from_primitives(p: MotifPrimitives) -> MotifCounts:
+    """Induced counts of every motif from the aggregate primitives.
+
+    Pure integer arithmetic (the subtraction identities of PGD /
+    Table 1), validated by :func:`_validate` — a wrong primitive almost
+    always breaks the partition checks.
+    """
+    n, m = p.n, p.m
+    triangles = p.triangles
+    wedges = p.wedges_noninduced - 3 * triangles  # induced 3-paths (M32)
+    m33 = p.m33
+    m34 = comb(n, 3) - triangles - wedges - m33
+
+    # Size-4 connected motifs.
+    k4 = p.k4
+    diamonds = p.tri_pair_sum - 6 * k4
+    c4 = p.cycles_noninduced - diamonds - 3 * k4
+    tailed = p.tailed_noninduced - 4 * diamonds - 12 * k4
+    stars = p.degree_choose3 - tailed - 2 * diamonds - 4 * k4
+    paths = p.paths_noninduced - 2 * tailed - 4 * c4 - 6 * diamonds - 12 * k4
+
+    # Size-4 disconnected motifs, via subtraction identities.
+    m47 = triangles * (n - 3) - tailed - 2 * diamonds - 4 * k4
+    m48 = wedges * (n - 3) - 2 * tailed - 2 * diamonds - 4 * c4 - 3 * stars - 2 * paths
+    m49 = (
+        comb(m, 2)
+        - p.wedges_noninduced
+        - paths
+        - 2 * c4
+        - 2 * diamonds
+        - 3 * k4
+        - tailed
+    )
+    # Every edge lies in comb(n-2, 2) different 4-sets; distributing those
+    # incidences over the known edge counts per motif isolates M410.
+    edge_incidences = m * comb(max(n - 2, 0), 2)
+    m410 = edge_incidences - (
+        6 * k4
+        + 5 * diamonds
+        + 4 * tailed
+        + 4 * c4
+        + 3 * stars
+        + 3 * paths
+        + 3 * m47
+        + 2 * m48
+        + 2 * m49
+    )
+    m411 = comb(n, 4) - (
+        k4 + diamonds + tailed + c4 + stars + paths + m47 + m48 + m49 + m410
+    )
+
+    counts = MotifCounts(
+        m21=m,
+        m22=comb(n, 2) - m,
+        m31=triangles,
+        m32=wedges,
+        m33=m33,
+        m34=m34,
+        m41=k4,
+        m42=diamonds,
+        m43=tailed,
+        m44=c4,
+        m45=stars,
+        m46=paths,
+        m47=m47,
+        m48=m48,
+        m49=m49,
+        m410=m410,
+        m411=m411,
+    )
+    _validate(counts, n)
+    return counts
+
+
 #: Above this many wedges (neighbour pairs) the vectorized counting path
 #: would allocate large intermediate arrays (several int64 arrays of this
 #: length); fall back to the original per-edge loops, which are slower
@@ -295,72 +406,25 @@ def count_motifs(graph: Graph) -> MotifCounts:
             )
         )
 
-    wedges_noninduced = int(np.sum(degrees * (degrees - 1) // 2))
-    wedges = wedges_noninduced - 3 * triangles  # induced 3-paths (M32)
-    m34 = comb(n, 3) - triangles - wedges - m33
-
-    # Size-4 connected motifs.
-    diamonds = int(np.sum(tri * (tri - 1) // 2)) - 6 * k4
-    c4 = cycles_noninduced - diamonds - 3 * k4
-
     # Tailed triangles from per-vertex triangle participation.
     assert np.all(vertex_tri % 2 == 0)
     vertex_tri //= 2  # each triangle at v is seen via both incident edges
-    tailed_noninduced = int(np.sum(vertex_tri * (degrees - 2)))
-    tailed = tailed_noninduced - 4 * diamonds - 12 * k4
 
-    stars = (
-        int(np.sum(degrees * (degrees - 1) * (degrees - 2) // 6))
-        - tailed
-        - 2 * diamonds
-        - 4 * k4
+    return motifs_from_primitives(
+        MotifPrimitives(
+            n=n,
+            m=m,
+            triangles=triangles,
+            wedges_noninduced=int(np.sum(degrees * (degrees - 1) // 2)),
+            degree_choose3=int(np.sum(degrees * (degrees - 1) * (degrees - 2) // 6)),
+            k4=k4,
+            cycles_noninduced=cycles_noninduced,
+            tri_pair_sum=int(np.sum(tri * (tri - 1) // 2)),
+            tailed_noninduced=int(np.sum(vertex_tri * (degrees - 2))),
+            paths_noninduced=paths_noninduced,
+            m33=m33,
+        )
     )
-
-    paths = paths_noninduced - 2 * tailed - 4 * c4 - 6 * diamonds - 12 * k4
-
-    # Size-4 disconnected motifs, via subtraction identities.
-    m47 = triangles * (n - 3) - tailed - 2 * diamonds - 4 * k4
-    m48 = wedges * (n - 3) - 2 * tailed - 2 * diamonds - 4 * c4 - 3 * stars - 2 * paths
-    m49 = comb(m, 2) - wedges_noninduced - paths - 2 * c4 - 2 * diamonds - 3 * k4 - tailed
-    # Every edge lies in comb(n-2, 2) different 4-sets; distributing those
-    # incidences over the known edge counts per motif isolates M410.
-    edge_incidences = m * comb(max(n - 2, 0), 2)
-    m410 = edge_incidences - (
-        6 * k4
-        + 5 * diamonds
-        + 4 * tailed
-        + 4 * c4
-        + 3 * stars
-        + 3 * paths
-        + 3 * m47
-        + 2 * m48
-        + 2 * m49
-    )
-    m411 = comb(n, 4) - (
-        k4 + diamonds + tailed + c4 + stars + paths + m47 + m48 + m49 + m410
-    )
-
-    counts = MotifCounts(
-        m21=m,
-        m22=comb(n, 2) - m,
-        m31=triangles,
-        m32=wedges,
-        m33=m33,
-        m34=m34,
-        m41=k4,
-        m42=diamonds,
-        m43=tailed,
-        m44=c4,
-        m45=stars,
-        m46=paths,
-        m47=m47,
-        m48=m48,
-        m49=m49,
-        m410=m410,
-        m411=m411,
-    )
-    _validate(counts, n)
-    return counts
 
 
 def _validate(counts: MotifCounts, n: int) -> None:

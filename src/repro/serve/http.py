@@ -632,6 +632,7 @@ class ServerState:
                     engine.name, engine.version
                 ),
                 observer=observer,
+                phase_observer=self.metrics.observe_stream_phases,
             )
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None

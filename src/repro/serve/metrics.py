@@ -306,12 +306,25 @@ class ServingMetrics:
             "Wall time from request read to response write, by route.",
             ("route",),
         )
+        self.stream_phase_seconds = self.registry.histogram(
+            "repro_serve_stream_phase_seconds",
+            "Per-tick stream latency split by phase: graph (window/PAA "
+            "upkeep + incremental visibility-graph maintenance), metrics "
+            "(delta folding + metric derivation) and classify (feature "
+            "lookup + model scoring).",
+            ("phase",),
+        )
 
     def observe_request(
         self, route: str, method: str, status: int, seconds: float
     ) -> None:
         self.requests_total.inc(route=route, method=method, status=status)
         self.request_latency.observe(seconds, route=route)
+
+    def observe_stream_phases(self, phases: dict[str, float]) -> None:
+        """Record one stream tick's phase split (seconds by phase name)."""
+        for phase, seconds in phases.items():
+            self.stream_phase_seconds.observe(seconds, phase=phase)
 
     def render(self) -> str:
         return self.registry.render()

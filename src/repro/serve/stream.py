@@ -100,11 +100,23 @@ class StreamSession:
         the continuous pipeline's drift detectors hang off this.
         Observer failures are swallowed: a broken observer must not
         fail the client's append.
+    phase_observer:
+        Optional ``phase_observer({phase: seconds})`` hook fed each
+        MVG tick's latency split — graph maintenance vs metric update
+        vs classification (``GET /metrics`` renders these as the
+        ``repro_serve_stream_phase_seconds`` histogram).  Ticks served
+        entirely from the engine's feature LRU report only the
+        ``classify`` phase.  Failures are swallowed like ``observer``'s.
     """
 
     # Appends run on the stream worker while status/close/sweep come
     # from other threads; everything below moves only under the lock
-    # (enforced by `repro check` lock-discipline).
+    # (enforced by `repro check` lock-discipline).  `_extractor` covers
+    # all delta-maintained metric state transitively: the sliding
+    # graphs and their IncrementalMetricBank accumulators hang off the
+    # extractor and are only ever mutated inside `_tick` under `_lock`
+    # (`phase_observer` hand-off ends in the ServingMetrics histogram,
+    # which takes its own per-metric lock).
     _GUARDED_BY = {
         "closed": "_lock",
         "points_received_": "_lock",
@@ -123,6 +135,7 @@ class StreamSession:
         stride: int = 1,
         liveness: Callable[[], None] | None = None,
         observer: Callable[[np.ndarray, Any, dict[str, float]], None] | None = None,
+        phase_observer: Callable[[dict[str, float]], None] | None = None,
     ):
         if not isinstance(window, int) or isinstance(window, bool):
             raise ValueError(f'"window" must be an integer, got {window!r}')
@@ -140,6 +153,7 @@ class StreamSession:
         self.stride = stride
         self._liveness = liveness
         self._observer = observer
+        self._phase_observer = phase_observer
         if engine.is_mvg:
             self._extractor: StreamingFeatureExtractor | None = (
                 StreamingFeatureExtractor(window, engine.feature_config)
@@ -261,7 +275,28 @@ class StreamSession:
 
     def _tick(self) -> ClassifyResult:  # guarded-by: _lock
         if self._extractor is not None:
-            return self.engine.classify_stream(
-                self._extractor.window_values(), self._extractor.features
+            extractor = self._extractor
+            if self._phase_observer is None:
+                return self.engine.classify_stream(
+                    extractor.window_values(), extractor.features
+                )
+            served_before = extractor.features_served_
+            started = time.perf_counter()
+            result = self.engine.classify_stream(
+                extractor.window_values(), extractor.features
             )
+            total = time.perf_counter() - started
+            if extractor.features_served_ > served_before:
+                phases = dict(extractor.last_phase_seconds_)
+                phases["classify"] = max(
+                    total - phases["graph"] - phases["metrics"], 0.0
+                )
+            else:
+                # Feature-LRU hit: no extraction ran this tick.
+                phases = {"classify": total}
+            try:
+                self._phase_observer(phases)
+            except Exception:  # noqa: BLE001 — see class docs
+                pass
+            return result
         return self.engine.classify_stream(self._ring.values())

@@ -531,6 +531,31 @@ class TestDeterminism:
         )
         assert len(findings) == 1
 
+    def test_set_method_iteration_flagged(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            def deltas(adj_u, adj_w):
+                for c in adj_u.intersection(adj_w):
+                    yield c
+                return [v for v in adj_u.union(adj_w)]
+            """,
+            path="repro/graph/mod.py",
+        )
+        assert len(findings) == 2
+
+    def test_set_method_sorted_passes(self):
+        findings = check(
+            DeterminismRule(),
+            """
+            def deltas(adj_u, adj_w):
+                for c in sorted(adj_u.intersection(adj_w)):
+                    yield c
+            """,
+            path="repro/graph/mod.py",
+        )
+        assert findings == []
+
     def test_unseeded_rng_flagged_default_rng_passes(self):
         findings = check(
             DeterminismRule(),

@@ -1,0 +1,245 @@
+"""Property tests pinning delta-maintained metrics to the batch layer.
+
+The contract of :mod:`repro.graph.incremental_metrics` is *value
+identity on every prefix and every window*: after any sequence of
+pushes (and evictions), each metric bank's value equals the batch
+function applied to the current window graph — integers exactly, and
+derived floats bit for bit (asserted with ``==``, never ``approx``),
+because both paths share one final reduction.  The adversarial float
+regimes of the graph-identity suite (tie-heavy, constant/monotone,
+PAA block means) are reused: once the graphs agree, the metrics must
+too, and these series exercise the densest/most degenerate windows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.extended_metrics import extended_graph_statistics
+from repro.graph.incremental import SlidingVisibilityGraph
+from repro.graph.incremental_metrics import (
+    GraphDelta,
+    IncrementalMetricBank,
+    KCoreState,
+    MotifState,
+)
+from repro.graph.metrics import degeneracy, graph_statistics
+from repro.graph.motifs import count_motifs, count_motifs_bruteforce
+
+KINDS = ("vg", "hvg")
+
+float_series = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1,
+    max_size=60,
+).map(np.asarray)
+
+tie_series = st.lists(st.integers(0, 3), min_size=1, max_size=60).map(
+    lambda xs: np.asarray(xs, dtype=np.float64)
+)
+
+# PAA-mean-like values: averages of rounded normals produce the
+# borderline sightlines where float anchoring matters.
+paa_series = (
+    st.lists(st.integers(-20, 20), min_size=2, max_size=120)
+    .map(lambda xs: np.asarray(xs, dtype=np.float64) / 10.0)
+    .map(lambda a: a[: 2 * (a.size // 2)].reshape(-1, 2).mean(axis=1))
+    .filter(lambda a: a.size >= 1)
+)
+
+degenerate_series = st.one_of(
+    st.integers(1, 40).map(lambda n: np.zeros(n)),
+    st.integers(1, 40).map(lambda n: np.arange(float(n))),
+    st.integers(1, 40).map(lambda n: np.arange(float(n))[::-1].copy()),
+)
+
+all_series = st.one_of(float_series, tie_series, paa_series, degenerate_series)
+
+windows = st.integers(1, 20)
+
+
+def make_bank(svg: SlidingVisibilityGraph) -> IncrementalMetricBank:
+    return IncrementalMetricBank(
+        svg, need_motifs=True, need_stats=True, need_extended=True
+    )
+
+
+class TestEveryPrefixAndWindow:
+    @given(all_series, windows)
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_statistics_and_motifs_match_batch(self, kind, values, window):
+        sliding = SlidingVisibilityGraph(kind, window=window)
+        bank = make_bank(sliding)
+        for x in values:
+            sliding.push(x)
+            graph = sliding.graph()
+            assert bank.statistics() == graph_statistics(graph)
+            assert bank.motifs() == count_motifs(graph)
+
+    @given(all_series)
+    @settings(max_examples=25, deadline=None)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_unbounded_growth_matches_every_prefix(self, kind, values):
+        sliding = SlidingVisibilityGraph(kind)
+        bank = make_bank(sliding)
+        for x in values:
+            sliding.push(x)
+            graph = sliding.graph()
+            assert bank.statistics() == graph_statistics(graph)
+            assert bank.motifs() == count_motifs(graph)
+
+    @given(all_series)
+    @settings(max_examples=25, deadline=None)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_evict_matches_every_suffix(self, kind, values):
+        sliding = SlidingVisibilityGraph(kind)
+        bank = make_bank(sliding)
+        for x in values:
+            sliding.push(x)
+        while len(sliding):
+            sliding.evict()
+            graph = sliding.graph()
+            assert bank.statistics() == graph_statistics(graph)
+            assert bank.motifs() == count_motifs(graph)
+
+    @given(all_series, st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_extended_matches_batch(self, kind, values, window):
+        """Extended features bit-identical, including the spectral
+        metrics recomputed from the incrementally maintained CSR."""
+        sliding = SlidingVisibilityGraph(kind, window=window)
+        bank = make_bank(sliding)
+        for t, x in enumerate(values):
+            sliding.push(x)
+            if t % 3 == 0 or t == values.size - 1:
+                assert bank.extended() == extended_graph_statistics(sliding.graph())
+
+    @given(all_series, st.integers(2, 9))
+    @settings(max_examples=20, deadline=None)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_bruteforce_cross_check_on_small_windows(self, kind, values, window):
+        """The maintained counts agree with direct subset classification
+        — an oracle independent of both counting paths' identities."""
+        sliding = SlidingVisibilityGraph(kind, window=window)
+        bank = make_bank(sliding)
+        for x in values:
+            sliding.push(x)
+            assert bank.motifs() == count_motifs_bruteforce(sliding.graph())
+
+    @given(tie_series, st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_clear_resets_the_bank(self, values, window):
+        for kind in KINDS:
+            sliding = SlidingVisibilityGraph(kind, window=window)
+            bank = make_bank(sliding)
+            for x in values:
+                sliding.push(x)
+            sliding.clear()
+            for x in values[::-1]:
+                sliding.push(x)
+                graph = sliding.graph()
+                assert bank.statistics() == graph_statistics(graph)
+                assert bank.motifs() == count_motifs(graph)
+
+
+class TestKCoreRepair:
+    @given(all_series, st.integers(2, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_lazy_repair_is_exact_under_drift(self, values, window):
+        """value() after arbitrary drift equals the batch peel — both
+        the bounded-repair path (frequent queries, small drift) and the
+        full-range fallback (one query after all pushes)."""
+        for kind in KINDS:
+            eager = SlidingVisibilityGraph(kind, window=window)
+            eager_state = KCoreState(eager.csr)
+            eager.subscribe(eager_state.apply)
+            lazy = SlidingVisibilityGraph(kind, window=window)
+            lazy_state = KCoreState(lazy.csr)
+            lazy.subscribe(lazy_state.apply)
+            for x in values:
+                eager.push(x)
+                lazy.push(x)
+                assert eager_state.value() == degeneracy(eager.graph())
+            assert lazy_state.value() == degeneracy(lazy.graph())
+
+    def test_single_event_moves_degeneracy_by_at_most_one(self):
+        """The drift bound the bounded repair relies on."""
+        rng = np.random.default_rng(3)
+        series = np.cumsum(rng.standard_normal(160))
+        for kind in KINDS:
+            sliding = SlidingVisibilityGraph(kind, window=24)
+            previous = 0
+            for x in series:
+                sliding.push(x)
+                current = degeneracy(sliding.graph())
+                # A push on a full window is two events (evict + push).
+                assert abs(current - previous) <= 2
+                previous = current
+
+
+class TestDeltaStream:
+    def test_push_emits_add_with_created_edges(self):
+        sliding = SlidingVisibilityGraph("hvg", window=4)
+        seen: list[GraphDelta] = []
+        sliding.subscribe(seen.append)
+        for x in (1.0, 3.0, 2.0, 4.0, 0.5):
+            sliding.push(x)
+        ops = [d.op for d in seen]
+        assert ops == ["add", "add", "add", "add", "remove", "add"]
+        assert seen[0].neighbors.size == 0  # first point creates no edges
+        assert seen[4].vertex == 0  # the eviction drops the oldest point
+
+    def test_motif_state_survives_out_of_order_edge_removal(self):
+        """Remove deltas drain shared triangle/codegree tables cleanly
+        whatever the neighbour order (a K4 torn down edge by edge)."""
+        state = MotifState()
+        state.apply(GraphDelta("add", 0, np.array([], dtype=np.int64)))
+        state.apply(GraphDelta("add", 1, np.array([0], dtype=np.int64)))
+        state.apply(GraphDelta("add", 2, np.array([0, 1], dtype=np.int64)))
+        state.apply(GraphDelta("add", 3, np.array([0, 1, 2], dtype=np.int64)))
+        assert state.value().m41 == 1
+        state.apply(GraphDelta("remove", 0, np.array([1, 2, 3], dtype=np.int64)))
+        counts = state.value()
+        assert counts.m41 == 0 and counts.m31 == 1
+        state.apply(GraphDelta("remove", 2, np.array([1, 3], dtype=np.int64)))
+        state.apply(GraphDelta("remove", 1, np.array([3], dtype=np.int64)))
+        state.apply(GraphDelta("remove", 3, np.array([], dtype=np.int64)))
+        assert state._tri_e == {} and state._codeg == {} and state._tri_v == {}
+        assert state.value().m21 == 0
+
+
+class TestStreamingExtractorEndToEnd:
+    def test_extended_config_streaming_equals_batch(self):
+        from repro.core.config import FeatureConfig
+        from repro.core.features import extract_feature_vector
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        rng = np.random.default_rng(11)
+        series = np.cumsum(rng.standard_normal(96))
+        config = FeatureConfig(features="extended")
+        window = 64
+        extractor = StreamingFeatureExtractor(window, config)
+        for t, x in enumerate(series):
+            extractor.push(x)
+            if extractor.filled:
+                streamed = extractor.features()
+                batch, _ = extract_feature_vector(
+                    series[t + 1 - window : t + 1], config
+                )
+                np.testing.assert_array_equal(streamed, batch)
+
+    def test_phase_split_accounts_for_the_tick(self):
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        extractor = StreamingFeatureExtractor(32)
+        extractor.push_many(np.linspace(0.0, 5.0, 40))
+        extractor.features()
+        phases = extractor.last_phase_seconds_
+        assert set(phases) == {"graph", "metrics"}
+        assert phases["graph"] >= 0.0 and phases["metrics"] > 0.0
+        assert extractor.features_served_ == 1
+        extractor.features()
+        assert extractor.features_served_ == 2
