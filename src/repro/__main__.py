@@ -550,6 +550,10 @@ def _cmd_serve(args: argparse.Namespace, pipeline_config=None) -> int:
     )
     from repro.serve.store import ModelStoreError
 
+    if args.max_sessions < 1:
+        raise SystemExit(f"--max-sessions must be >= 1, got {args.max_sessions}")
+    if args.stream_buffer is not None and args.stream_buffer < 1:
+        raise SystemExit(f"--stream-buffer must be >= 1, got {args.stream_buffer}")
     store = ModelStore(args.store)
     try:
         names = store.names()
@@ -573,7 +577,10 @@ def _cmd_serve(args: argparse.Namespace, pipeline_config=None) -> int:
         feature_cache_size=args.feature_cache_size,
         jobs=args.jobs,
         reload_interval_seconds=args.reload_interval,
+        max_stream_sessions=args.max_sessions,
     )
+    if args.stream_buffer is not None:
+        options["stream_buffer_points"] = args.stream_buffer
     if args.loop == "asyncio":
         server = create_async_server(store, host=args.host, port=args.port, **options)
     else:
@@ -602,6 +609,11 @@ def _cmd_serve(args: argparse.Namespace, pipeline_config=None) -> int:
         "GET /v1/models   GET /v1/runs   GET /healthz   GET /metrics"
     )
     print(f"  micro-batching: up to {args.max_batch} requests / {args.max_wait_ms}ms window")
+    print(
+        f"  streaming: up to {args.max_sessions} sessions, "
+        f"{server.state.stream_buffer_points} queued points/session "
+        "(429 + Retry-After beyond)"
+    )
     if args.reload_interval > 0:
         print(f"  hot reload: store polled every {args.reload_interval}s")
     if pipeline_config is not None:
@@ -1047,6 +1059,22 @@ def _build_parser() -> argparse.ArgumentParser:
             default=1.0,
             metavar="SECONDS",
             help="hot-reload store poll interval (default 1.0; 0 disables)",
+        )
+        sub.add_argument(
+            "--max-sessions",
+            type=int,
+            default=64,
+            metavar="N",
+            help="concurrent stream-session cap; create answers 429 beyond it "
+            "(default 64)",
+        )
+        sub.add_argument(
+            "--stream-buffer",
+            type=int,
+            default=None,
+            metavar="POINTS",
+            help="per-session cap on queued stream points; a full queue answers "
+            "429 with Retry-After (default 32768)",
         )
 
     sub = subparsers.add_parser("serve", help="HTTP inference server over a model store")

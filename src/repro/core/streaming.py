@@ -90,15 +90,38 @@ class SlidingWindowBuffer:
     hits the end, then the live half slides down once — so the current
     window is always one contiguous slice.  Shared by the feature
     extractor (raw-point ring) and generic stream sessions.
+
+    Parameters
+    ----------
+    window:
+        Window length in points.
+    backing:
+        Optional preallocated float64 array of at least ``2 * window``
+        elements to use as the ring storage (a slab row from
+        :class:`repro.core.slab.SlabPool`); ownership stays with the
+        caller, who releases it after the buffer is discarded.
+
+    Thread safety: none — the owner serialises access (stream sessions
+    hold their session lock around every push/view).
     """
 
     __slots__ = ("window", "_buf", "_pos", "count")
 
-    def __init__(self, window: int):
+    def __init__(self, window: int, backing: np.ndarray | None = None):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = int(window)
-        self._buf = np.empty(2 * self.window, dtype=np.float64)
+        if backing is None:
+            self._buf = np.empty(2 * self.window, dtype=np.float64)
+        else:
+            if backing.ndim != 1 or backing.size < 2 * self.window:
+                raise ValueError(
+                    f"backing must hold at least {2 * self.window} elements, "
+                    f"got shape {backing.shape}"
+                )
+            if backing.dtype != np.float64:
+                raise ValueError(f"backing must be float64, got {backing.dtype}")
+            self._buf = backing[: 2 * self.window]
         self._pos = 0
         self.count = 0
 
@@ -242,6 +265,12 @@ class StreamingFeatureExtractor:
         Window length in raw points (>= 4; the classifier input length).
     config:
         Feature configuration; must match the model the features feed.
+    slab:
+        Optional :class:`repro.core.slab.SlabPool`.  When given, the
+        raw-point ring and every phase slot's graph buffers are slab
+        rows acquired from the pool and returned by :meth:`close` —
+        the footprint that lets thousands of sessions churn without
+        allocator pressure.
 
     Usage::
 
@@ -255,13 +284,20 @@ class StreamingFeatureExtractor:
     :meth:`features`, which advances each scale's active phase slot by
     the blocks completed since that phase last served a tick (one block
     per tick at stride 1) and re-extracts the metric features.
+
+    Thread safety: none — an extractor belongs to one stream session,
+    whose lock serialises every call.  A shared ``slab`` pool must be
+    thread-safe (``SlabPool`` is).
     """
 
-    def __init__(self, window: int, config: FeatureConfig | None = None):
+    def __init__(
+        self, window: int, config: FeatureConfig | None = None, slab=None
+    ):
         self.config = config or FeatureConfig()
         if window < 4:
             raise ValueError(f"window must be >= 4, got {window}")
         self.window = int(window)
+        self._slab = slab
         self._plan = scale_plan(self.window, self.config)
         self._scales: list[_ScaleState] = []
         for scale, length in self._plan:
@@ -271,7 +307,12 @@ class StreamingFeatureExtractor:
                 or (self.window % length == 0 and block == 1 << scale)
             )
             self._scales.append(_ScaleState(scale, length, block, streamable))
-        self._ring = SlidingWindowBuffer(self.window)
+        if slab is None:
+            self._ring = SlidingWindowBuffer(self.window)
+            self._ring_row = None
+        else:
+            self._ring_row = slab.acquire(2 * self.window)
+            self._ring = SlidingWindowBuffer(self.window, backing=self._ring_row)
         self._phase_clock = _PhaseClock()
         self.feature_names_: list[str] | None = None
         #: Introspection: slots advanced incrementally vs full scale
@@ -312,6 +353,23 @@ class StreamingFeatureExtractor:
     def window_values(self) -> np.ndarray:
         """The current window, oldest first (a copy)."""
         return self._ring.values()
+
+    def close(self) -> None:
+        """Return every slab row to the pool (idempotent).
+
+        Called on session close; the extractor is unusable afterwards.
+        A no-op for extractors built without a slab pool.
+        """
+        if self._slab is None:
+            return
+        for state in self._scales:
+            for slot in state.slots.values():
+                slot.graphs.release_buffers()
+            state.slots.clear()
+        slab, self._slab = self._slab, None
+        if self._ring_row is not None:
+            slab.release(self._ring_row)
+            self._ring_row = None
 
     # -- feature extraction ------------------------------------------------
     def features(self) -> np.ndarray:
@@ -408,7 +466,10 @@ class StreamingFeatureExtractor:
         """A phase slot with one metric bank per graph kind, subscribed
         before any point is pushed so the banks see every delta."""
         slot = _ScaleSlot(
-            SlidingGraphWindow(self.config.graph_types(), window=state.length), start
+            SlidingGraphWindow(
+                self.config.graph_types(), window=state.length, allocator=self._slab
+            ),
+            start,
         )
         for kind, svg in slot.graphs.graphs.items():
             slot.banks[kind] = IncrementalMetricBank(

@@ -74,16 +74,29 @@ class SlidingVisibilityGraph:
         Optional capacity: when set, a ``push`` on a full window evicts
         the oldest point first.  Without it the structure only grows
         until :meth:`evict` is called.
+    allocator:
+        Optional slab allocator (``acquire(length, dtype)`` /
+        ``release(row)``, e.g. :class:`repro.core.slab.SlabPool`) for
+        the numeric value/degree buffers.  With ``window`` set those
+        buffers are fixed at ``2 * window`` elements and never grow, so
+        pooled rows are reused verbatim across session churn; call
+        :meth:`release_buffers` when done to return them.
 
     Vertices carry *global* indices internally (the k-th pushed point is
     vertex ``k`` forever); :meth:`csr`/:meth:`graph` translate to
     window-local ids ``0..len-1`` so the output is directly comparable
     to a batch build of the same window.
+
+    Thread safety: none — an instance belongs to a single stream
+    session and must be externally serialised (the serving tier holds
+    the session lock around every touch).  The allocator, if shared,
+    must itself be thread-safe.
     """
 
     __slots__ = (
         "kind",
         "window",
+        "_alloc",
         "_buf",
         "_deg",
         "_base",
@@ -100,16 +113,21 @@ class SlidingVisibilityGraph:
         "_listeners",
     )
 
-    def __init__(self, kind: str, window: int | None = None):
+    def __init__(self, kind: str, window: int | None = None, allocator=None):
         if kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
         if window is not None and window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.kind = kind
         self.window = window
+        self._alloc = allocator
         capacity = 64 if window is None else max(2 * window, 2)
-        self._buf = np.empty(capacity, dtype=np.float64)
-        self._deg = np.zeros(capacity, dtype=np.int64)
+        if allocator is None:
+            self._buf = np.empty(capacity, dtype=np.float64)
+            self._deg = np.zeros(capacity, dtype=np.int64)
+        else:
+            self._buf = allocator.acquire(capacity, "float64")
+            self._deg = allocator.acquire(capacity, "int64")
         self._base = 0  # global index of _buf[0] / _deg[0]
         self._lo = 0  # global index of the oldest window point
         self._hi = 0  # one past the newest
@@ -375,13 +393,37 @@ class SlidingVisibilityGraph:
             self._deg[:live] = self._deg[lo_offset : lo_offset + live]
         else:
             size = max(2 * self._buf.size, live + 1)
-            grown = np.empty(size, dtype=np.float64)
+            if self._alloc is None:
+                grown = np.empty(size, dtype=np.float64)
+                grown_deg = np.zeros(size, dtype=np.int64)
+            else:
+                # Only the unbounded (window=None) case ever gets here;
+                # windowed buffers slide in place at fixed capacity.
+                grown = self._alloc.acquire(size, "float64")
+                grown_deg = self._alloc.acquire(size, "int64")
             grown[:live] = self._buf[lo_offset : lo_offset + live]
-            self._buf = grown
-            grown_deg = np.zeros(size, dtype=np.int64)
             grown_deg[:live] = self._deg[lo_offset : lo_offset + live]
+            if self._alloc is not None:
+                self._alloc.release(self._buf)
+                self._alloc.release(self._deg)
+            self._buf = grown
             self._deg = grown_deg
         self._base = self._lo
+
+    def release_buffers(self) -> None:
+        """Return slab-backed buffers to the allocator (idempotent).
+
+        The graph is unusable afterwards; call only when discarding it
+        (session close).  A no-op for graphs built without an
+        allocator.
+        """
+        if self._alloc is None:
+            return
+        alloc, self._alloc = self._alloc, None
+        alloc.release(self._buf)
+        alloc.release(self._deg)
+        self._buf = np.empty(0, dtype=np.float64)
+        self._deg = np.empty(0, dtype=np.int64)
 
     def __repr__(self) -> str:
         return (
@@ -396,14 +438,30 @@ class SlidingGraphWindow:
     A thin convenience over per-kind :class:`SlidingVisibilityGraph`
     instances sharing the same push/evict cadence — the shape the
     streaming feature extractor and the benchmarks consume.
+
+    Thread safety: none (same contract as the per-kind graphs — the
+    owner serialises access).
     """
 
     __slots__ = ("graphs",)
 
-    def __init__(self, kinds: tuple[str, ...] = ("vg", "hvg"), window: int | None = None):
+    def __init__(
+        self,
+        kinds: tuple[str, ...] = ("vg", "hvg"),
+        window: int | None = None,
+        allocator=None,
+    ):
         if not kinds:
             raise ValueError("at least one graph kind is required")
-        self.graphs = {kind: SlidingVisibilityGraph(kind, window) for kind in kinds}
+        self.graphs = {
+            kind: SlidingVisibilityGraph(kind, window, allocator=allocator)
+            for kind in kinds
+        }
+
+    def release_buffers(self) -> None:
+        """Return every kind's slab-backed buffers (idempotent)."""
+        for graph in self.graphs.values():
+            graph.release_buffers()
 
     def push(self, value: float) -> None:
         for graph in self.graphs.values():

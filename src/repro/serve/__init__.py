@@ -44,9 +44,11 @@ from repro.serve.store import (
     ModelStoreError,
 )
 from repro.serve.stream import (
+    BackpressureError,
     ModelRetiredError,
     SessionClosedError,
     StreamError,
+    StreamScheduler,
     StreamSession,
     UnknownSessionError,
 )
@@ -69,8 +71,10 @@ __all__ = [
     "ModelStore",
     "ModelStoreError",
     "StreamSession",
+    "StreamScheduler",
     "StreamError",
     "UnknownSessionError",
     "SessionClosedError",
     "ModelRetiredError",
+    "BackpressureError",
 ]

@@ -77,6 +77,8 @@ def _render_response_bytes(response: Response, keep_alive: bool) -> bytes:
         f"Content-Type: {response.content_type}\r\n"
         f"Content-Length: {len(response.body)}\r\n"
     )
+    for name, value in response.headers:
+        head += f"{name}: {value}\r\n"
     if not keep_alive:
         head += "Connection: close\r\n"
     return head.encode("latin-1") + b"\r\n" + response.body
@@ -527,10 +529,15 @@ def create_async_server(
     jobs: int | None = None,
     reload_interval_seconds: float = 0.0,
     drain_grace_seconds: float | None = None,
+    max_stream_sessions: int = 64,
+    stream_buffer_points: int | None = None,
 ) -> AsyncInferenceServer:
     """An :class:`AsyncInferenceServer` over a fresh shared state
     (``port=0`` picks a free port, bound address in
-    ``server.server_address`` once started)."""
+    ``server.server_address`` once started).  The streaming knobs
+    mirror :func:`~repro.serve.http.create_server`."""
+    from repro.serve.stream import DEFAULT_MAX_SESSION_BUFFER
+
     state = build_server_state(
         store,
         default_model=default_model,
@@ -540,5 +547,11 @@ def create_async_server(
         jobs=jobs,
         reload_interval_seconds=reload_interval_seconds,
         drain_grace_seconds=drain_grace_seconds,
+        max_stream_sessions=max_stream_sessions,
+        stream_buffer_points=(
+            DEFAULT_MAX_SESSION_BUFFER
+            if stream_buffer_points is None
+            else stream_buffer_points
+        ),
     )
     return AsyncInferenceServer(state, host, port)

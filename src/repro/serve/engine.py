@@ -81,6 +81,19 @@ class InferenceEngine:
     feature_cache_size:
         Entries kept in the in-memory per-series feature LRU
         (0 disables it).  Only used on the MVG fast path.
+
+    Thread safety
+    -------------
+    All public methods are safe to call from any thread: the feature
+    LRU, the extractor handle, and the request counters live under one
+    internal ``_lock`` (see ``_GUARDED_BY``).  Model ``predict`` calls
+    and feature extraction run *outside* the lock, so classifications
+    proceed concurrently; only cache bookkeeping serialises.  One
+    engine is typically shared by a :class:`MicroBatcher`, the stream
+    scheduler worker, and HTTP handler threads simultaneously.
+    :meth:`close` is idempotent and safe to race with in-flight
+    ``classify`` calls — the extractor pool is swapped out under the
+    lock before being torn down.
     """
 
     # Shared mutable state and the lock that guards it — enforced by
@@ -337,6 +350,19 @@ class MicroBatcher:
         How long the first request in an empty queue waits for
         companions before the batch is dispatched anyway.  The
         worst-case added latency under light load.
+
+    Thread safety
+    -------------
+    :meth:`submit` / :meth:`classify` are safe from any thread; the
+    request queue and accept counters are guarded by ``_mutex`` with a
+    condition variable waking the single dispatch worker.  Results
+    come back through per-request futures, so callers never block each
+    other.  The dispatch-side counters (``batches_dispatched_``,
+    ``largest_batch_``, ``batch_size_counts_``) are written only by
+    the worker thread and read without the mutex by ``stats()`` —
+    reads may trail by one batch, which /metrics tolerates.
+    :meth:`close` rejects new submissions, lets the worker drain what
+    is already queued, and joins it; it is idempotent.
     """
 
     # Client-facing shared state under the mutex.  The dispatch

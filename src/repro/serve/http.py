@@ -28,8 +28,10 @@ byte-identical JSON bodies.
     Streaming sessions (:mod:`repro.serve.stream`): ``op: "create"``
     (``window``, ``stride``, optional model selector) → a session id;
     ``op: "append"`` (``session``, ``points``) → one label per stride
-    once the window fills, features maintained incrementally;
-    ``op: "status"`` / ``op: "close"``.
+    once the window fills, features maintained incrementally, sessions
+    scheduled deficit-round-robin with bounded per-session queues (a
+    full queue 429s with ``Retry-After``); ``op: "status"`` /
+    ``op: "close"``.
 ``GET /v1/pipeline`` / ``POST /v1/pipeline``
     The continuous pipeline (:mod:`repro.pipeline`), when one is
     attached (``python -m repro pipeline``): status of every model's
@@ -67,11 +69,11 @@ import json
 import threading
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, IO
 
+from repro.core.slab import SlabPool
 from repro.serve.engine import ClassifyResult, InferenceEngine, MicroBatcher
 from repro.serve.metrics import (
     ServingMetrics,
@@ -80,8 +82,12 @@ from repro.serve.metrics import (
 )
 from repro.serve.store import ModelNotFoundError, ModelStore, ModelStoreError
 from repro.serve.stream import (
+    DEFAULT_MAX_SESSION_BUFFER,
+    DEFAULT_STREAM_QUANTUM,
+    BackpressureError,
     ModelRetiredError,
     SessionClosedError,
+    StreamScheduler,
     StreamSession,
     UnknownSessionError,
 )
@@ -115,12 +121,18 @@ class ApiError(Exception):
 
 @dataclass
 class Response:
-    """A finished HTTP response, front-end independent."""
+    """A finished HTTP response, front-end independent.
+
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on
+    a 429) as name/value pairs; both front ends render them verbatim
+    after the standard Content-Type/Content-Length block.
+    """
 
     status: int
     body: bytes
     content_type: str = "application/json"
     close: bool = False
+    headers: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass
@@ -137,8 +149,13 @@ class PendingResponse:
     build: Callable[[list[ClassifyResult]], Response]
 
 
-def json_response(status: int, payload: dict[str, Any], close: bool = False) -> Response:
-    return Response(status, json.dumps(payload).encode(), "application/json", close)
+def json_response(
+    status: int,
+    payload: dict[str, Any],
+    close: bool = False,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> Response:
+    return Response(status, json.dumps(payload).encode(), "application/json", close, headers)
 
 
 def resolve_pending(
@@ -166,6 +183,20 @@ def response_for_exception(exc: BaseException) -> Response:
         return json_response(404, {"error": str(exc)})
     if isinstance(exc, UnknownSessionError):
         return json_response(404, {"error": str(exc)})
+    if isinstance(exc, BackpressureError):
+        # The session's point queue is full: shed load now, try again
+        # once the worker has drained some of the backlog.  Retry-After
+        # is the drain-rate estimate from the scheduler, as a header
+        # (for off-the-shelf clients) and in the body (for ours).
+        return json_response(
+            429,
+            {
+                "error": str(exc),
+                "retry_after_seconds": exc.retry_after,
+                "lag": exc.lag,
+            },
+            headers=(("Retry-After", str(exc.retry_after)),),
+        )
     if isinstance(exc, (ModelRetiredError, SessionClosedError)):
         # The session (or the model version it pinned) is gone: a
         # deliberate conflict the client resolves by recreating the
@@ -306,7 +337,7 @@ class ServerState:
         "_catalog_read_at": "_lock",
         "_resolution_memo": "_lock",
         "_sessions": "_lock",
-        "_stream_executor": "_lock",
+        "_stream_scheduler": "_lock",
         "_stream_ticks_closed": "_lock",
     }
 
@@ -321,6 +352,8 @@ class ServerState:
         drain_grace_seconds: float = 1.0,
         max_stream_sessions: int = 64,
         stream_session_ttl_seconds: float = 900.0,
+        stream_quantum: int = DEFAULT_STREAM_QUANTUM,
+        stream_buffer_points: int = DEFAULT_MAX_SESSION_BUFFER,
     ):
         self.store = store
         self.default_model = default_model
@@ -350,13 +383,21 @@ class ServerState:
         #: changes or a pair is evicted (GIL-atomic dict reads; the
         #: slow path below re-validates under the lock).
         self._resolution_memo: dict[tuple[Any, Any], tuple[InferenceEngine, MicroBatcher]] = {}
-        #: Streaming sessions: id -> live StreamSession.  Appends run on
-        #: one shared worker thread (per-session ordering for free, and
-        #: the asyncio front end never extracts on the loop).
+        #: Streaming sessions: id -> live StreamSession.  All session
+        #: work runs on one shared worker thread (per-session ordering
+        #: for free, and the asyncio front end never extracts on the
+        #: loop), scheduled deficit-round-robin across sessions with a
+        #: bounded per-session point queue (429 + Retry-After on
+        #: overflow).
         self.max_stream_sessions = int(max_stream_sessions)
         self.stream_session_ttl_seconds = float(stream_session_ttl_seconds)
+        self.stream_quantum = int(stream_quantum)
+        self.stream_buffer_points = int(stream_buffer_points)
+        #: Slab pool backing every session's numeric ring state; shared
+        #: so session churn recycles rows instead of reallocating.
+        self.stream_slab = SlabPool()
         self._sessions: dict[str, StreamSession] = {}
-        self._stream_executor: ThreadPoolExecutor | None = None
+        self._stream_scheduler: StreamScheduler | None = None
         self._stream_ticks_closed = 0
         self.metrics = ServingMetrics()
         self.metrics.registry.add_collector(self._collect_runtime_metrics)
@@ -580,14 +621,28 @@ class ServerState:
         return self._pipeline
 
     # -- streaming sessions ------------------------------------------------
-    def stream_executor(self) -> ThreadPoolExecutor:
-        """The single worker all sessions' appends run on (lazy)."""
+    def stream_scheduler(self) -> StreamScheduler:
+        """The DRR scheduler all stream session work runs on (lazy).
+
+        One worker thread, fair across sessions: see
+        :class:`~repro.serve.stream.StreamScheduler`.  Safe from any
+        thread.
+        """
         with self._lock:
-            if self._stream_executor is None:
-                self._stream_executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="repro-serve-stream"
+            if self._stream_scheduler is None:
+                self._stream_scheduler = StreamScheduler(
+                    quantum=self.stream_quantum,
+                    max_session_buffer=self.stream_buffer_points,
                 )
-            return self._stream_executor
+            return self._stream_scheduler
+
+    def _scheduler_if_running(self) -> StreamScheduler | None:
+        """The scheduler, or ``None`` when no stream op ever started it.
+
+        Safe from any thread.
+        """
+        with self._lock:
+            return self._stream_scheduler
 
     def ensure_version_live(self, name: str, version: int) -> None:
         """Raise :class:`ModelRetiredError` when ``(name, version)`` has
@@ -622,22 +677,10 @@ class ServerState:
                     engine.name, engine.version, win, label, scores
                 )
             )
-        try:
-            session = StreamSession(
-                uuid.uuid4().hex[:16],
-                engine,
-                window,
-                stride,
-                liveness=lambda: self.ensure_version_live(
-                    engine.name, engine.version
-                ),
-                observer=observer,
-                phase_observer=self.metrics.observe_stream_phases,
-            )
-        except ValueError as exc:
-            raise ApiError(400, str(exc)) from None
+        # Validate the window's feature layout *before* building the
+        # session, so a bad window never acquires slab rows.
         expected = engine.expected_features
-        if expected is not None:
+        if expected is not None and isinstance(window, int) and not isinstance(window, bool):
             from repro.core.streaming import check_window_layout
 
             try:
@@ -649,18 +692,36 @@ class ServerState:
                 )
             except ValueError as exc:
                 raise ApiError(400, str(exc)) from None
+        try:
+            session = StreamSession(
+                uuid.uuid4().hex[:16],
+                engine,
+                window,
+                stride,
+                liveness=lambda: self.ensure_version_live(
+                    engine.name, engine.version
+                ),
+                observer=observer,
+                phase_observer=self.metrics.observe_stream_phases,
+                slab=self.stream_slab,
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
         # Expire idle sessions first, so abandoned ones cannot pin the
         # limit forever when the hot-reload watcher (whose tick also
         # sweeps) is disabled.
         self._sweep_stream_sessions()
         with self._lock:
-            if len(self._sessions) >= self.max_stream_sessions:
-                raise ApiError(
-                    429,
-                    f"too many active stream sessions "
-                    f"(limit {self.max_stream_sessions}); close one first",
-                )
-            self._sessions[session.id] = session
+            admitted = len(self._sessions) < self.max_stream_sessions
+            if admitted:
+                self._sessions[session.id] = session
+        if not admitted:
+            session.close()  # return its slab rows before rejecting
+            raise ApiError(
+                429,
+                f"too many active stream sessions "
+                f"(limit {self.max_stream_sessions}); close one first",
+            )
         return session
 
     def stream_session(self, session_id: Any) -> StreamSession:
@@ -675,11 +736,20 @@ class ServerState:
     def close_stream_session(self, session_id: Any) -> dict[str, Any]:
         session = self.stream_session(session_id)
         # Close *before* unregistering: close() waits out any in-flight
-        # append (and blocks future ones), so ticks_ is final when it is
-        # folded into the counter — ticks can neither be dropped nor
-        # double-counted, and the live-sum/closed-sum handover happens
-        # under one lock acquisition (no transient counter dip).
+        # append chunk (and blocks future ones), so ticks_ is final when
+        # it is folded into the counter — ticks can neither be dropped
+        # nor double-counted, and the live-sum/closed-sum handover
+        # happens under one lock acquisition (no transient counter dip).
         final = session.close()
+        # Appends still queued behind the close fail with a 409 rather
+        # than classifying into a closed session.
+        scheduler = self._scheduler_if_running()
+        if scheduler is not None:
+            scheduler.purge_session(
+                session.id,
+                f"stream session {session.id} closed with points still "
+                "queued; the buffered appends were dropped",
+            )
         with self._lock:
             if self._sessions.pop(session_id, None) is not None:
                 self._stream_ticks_closed += session.ticks_
@@ -696,10 +766,16 @@ class ServerState:
                 if session.last_activity_ < deadline
             ]
         swept = 0
+        scheduler = self._scheduler_if_running() if expired else None
         for session in expired:
             if session.last_activity_ >= deadline:
                 continue  # an append revived it since the snapshot
             session.close()
+            if scheduler is not None:
+                scheduler.purge_session(
+                    session.id,
+                    f"stream session {session.id} expired idle and was evicted",
+                )
             with self._lock:
                 if self._sessions.pop(session.id, None) is not None:
                     self._stream_ticks_closed += session.ticks_
@@ -719,6 +795,7 @@ class ServerState:
             stream_ticks = self._stream_ticks_closed + sum(
                 s.ticks_ for s in self._sessions.values()
             )
+        scheduler = self._scheduler_if_running()
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -728,6 +805,8 @@ class ServerState:
             "engines_retired": retired,
             "stream_sessions": sessions,
             "stream_ticks": stream_ticks,
+            "stream_scheduler": scheduler.stats() if scheduler else None,
+            "stream_slab": self.stream_slab.stats(),
             "hot_reload": {
                 "enabled": watcher is not None,
                 "interval_seconds": watcher.interval_seconds if watcher else None,
@@ -859,6 +938,67 @@ class ServerState:
                 [("", {}, ticks)],
             )
         )
+        scheduler = self._scheduler_if_running()
+        lag_samples = []
+        backpressure = 0
+        buffered = 0
+        if scheduler is not None:
+            lag_samples = [
+                ("", {"session": sid}, lag)
+                for sid, lag in sorted(scheduler.session_lag().items())
+            ]
+            sched_stats = scheduler.stats()
+            backpressure = sched_stats["rejections"]
+            buffered = sched_stats["points_buffered"]
+        lines.extend(
+            render_family(
+                "repro_serve_stream_lag",
+                "gauge",
+                "Buffered (queued, unprocessed) points per stream session.",
+                lag_samples,
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_stream_buffered_points",
+                "gauge",
+                "Buffered points across all stream sessions.",
+                [("", {}, buffered)],
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_stream_backpressure_total",
+                "counter",
+                "Appends rejected with 429 because a session's queue was full.",
+                [("", {}, backpressure)],
+            )
+        )
+        slab = self.stream_slab.stats()
+        lines.extend(
+            render_family(
+                "repro_serve_slab_rows",
+                "gauge",
+                "Slab rows preallocated for stream session state.",
+                [("", {}, slab["rows_total"])],
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_slab_rows_in_use",
+                "gauge",
+                "Slab rows currently owned by live stream sessions.",
+                [("", {}, slab["rows_in_use"])],
+            )
+        )
+        lines.extend(
+            render_family(
+                "repro_serve_slab_bytes",
+                "gauge",
+                "Bytes preallocated across all slab blocks.",
+                [("", {}, slab["bytes_total"])],
+            )
+        )
         watcher = self._watcher
         if watcher is not None:
             lines.extend(
@@ -928,7 +1068,7 @@ class ServerState:
         return lines
 
     def close(self) -> None:
-        """Stop the watcher, pipeline, stream worker and every engine
+        """Stop the watcher, pipeline, stream scheduler and every engine
         pool, including retired pairs still draining."""
         if self._watcher is not None:
             self._watcher.stop()
@@ -944,11 +1084,15 @@ class ServerState:
             self._resolution_memo = {}
             sessions = list(self._sessions.values())
             self._sessions.clear()
-            executor, self._stream_executor = self._stream_executor, None
+            scheduler, self._stream_scheduler = self._stream_scheduler, None
         for session in sessions:
             session.close()
-        if executor is not None:
-            executor.shutdown(wait=True)
+            if scheduler is not None:
+                scheduler.purge_session(
+                    session.id, f"stream session {session.id} closed at shutdown"
+                )
+        if scheduler is not None:
+            scheduler.close()
         for engine, batcher in pairs:
             batcher.close()
             engine.close()
@@ -1073,17 +1217,47 @@ def _route_stream(state: ServerState, body: bytes | None) -> Response | PendingR
     ``append`` points (labels stream back, one per stride once the
     window fills), ``status``, ``close``.
 
-    Every op runs on the single stream worker and both front ends await
-    the same future (the threaded handler blocks, the event loop parks
-    the connection).  One worker for *all* ops means no two ops ever
-    contend for a session lock — in particular a ``close`` can never
-    stall the event loop behind a long in-flight ``append``.  The
-    shared 60s deadline bounds each *wait* (a 504 to the client), not
-    the work already on the worker, which is why appends are capped at
-    ``MAX_STREAM_POINTS_PER_APPEND`` points — clients stream in chunks.
+    Every op runs on the stream scheduler's single worker and both
+    front ends await the same future (the threaded handler blocks, the
+    event loop parks the connection).  One worker for *all* ops means
+    no two ops ever contend for a session lock, but scheduling across
+    sessions is deficit-round-robin: appends queue per session (bounded
+    — an over-full queue 429s here with ``Retry-After`` *before*
+    buffering anything) and the worker serves the active sessions a
+    quantum of points at a time, while create/status/close run between
+    chunks ahead of data work.  The shared 60s deadline bounds each
+    *wait* (a 504 to the client), not the work already queued — size
+    the per-session buffer so a full queue drains within it.
     """
     payload = parse_json_body(body)
     op = payload.get("op", "append")
+
+    if op == "append":
+        session = state.stream_session(payload.get("session"))
+        points = payload.get("points")
+        t0 = time.perf_counter()
+        # Raises BackpressureError (429 + Retry-After) on a full queue,
+        # ValueError (400) on malformed points — both before queueing.
+        future = state.stream_scheduler().submit_append(session, points)
+
+        def build(results: list[Any]) -> Response:
+            outcome = results[0]
+            return json_response(
+                200,
+                {
+                    "session": session.id,
+                    "model": session.model,
+                    "version": session.version,
+                    "window": session.window,
+                    "stride": session.stride,
+                    "received": outcome["received"],
+                    "filled": outcome["filled"],
+                    "results": outcome["results"],
+                    "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
+                },
+            )
+
+        return PendingResponse([future], build)
 
     if op == "create":
         def run() -> Response:
@@ -1102,33 +1276,12 @@ def _route_stream(state: ServerState, body: bytes | None) -> Response | PendingR
     elif op == "close":
         def run() -> Response:
             return json_response(200, state.close_stream_session(payload.get("session")))
-    elif op == "append":
-        session = state.stream_session(payload.get("session"))
-        points = payload.get("points")
-        t0 = time.perf_counter()
-
-        def run() -> Response:
-            outcome = session.append(points)
-            return json_response(
-                200,
-                {
-                    "session": session.id,
-                    "model": session.model,
-                    "version": session.version,
-                    "window": session.window,
-                    "stride": session.stride,
-                    "received": outcome["received"],
-                    "filled": outcome["filled"],
-                    "results": outcome["results"],
-                    "latency_ms": round((time.perf_counter() - t0) * 1e3, 3),
-                },
-            )
     else:
         raise ApiError(
             400, f"unknown stream op {op!r} (expected create/append/status/close)"
         )
 
-    future = state.stream_executor().submit(run)
+    future = state.stream_scheduler().submit(run)
     return PendingResponse([future], lambda results: results[0])
 
 
@@ -1300,6 +1453,8 @@ class InferenceHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         if response.close:
             # The request body was not (fully) consumed, so the byte
             # stream cannot safely carry another keep-alive request.
@@ -1390,12 +1545,17 @@ def build_server_state(
     jobs: int | None = None,
     reload_interval_seconds: float = 0.0,
     drain_grace_seconds: float | None = None,
+    max_stream_sessions: int = 64,
+    stream_buffer_points: int = DEFAULT_MAX_SESSION_BUFFER,
 ) -> ServerState:
     """The shared state both front-end factories build on.
 
     ``reload_interval_seconds > 0`` starts the hot-reload watcher
     (``drain_grace_seconds`` defaults to one watcher interval, floored
-    at one second).
+    at one second).  ``max_stream_sessions`` caps concurrent stream
+    sessions (429 at create); ``stream_buffer_points`` caps each
+    session's queued-but-unprocessed points (429 + ``Retry-After`` on
+    append).
     """
     if not isinstance(store, ModelStore):
         store = ModelStore(store)
@@ -1409,6 +1569,8 @@ def build_server_state(
         feature_cache_size=feature_cache_size,
         jobs=jobs,
         drain_grace_seconds=drain_grace_seconds,
+        max_stream_sessions=max_stream_sessions,
+        stream_buffer_points=stream_buffer_points,
     )
     if reload_interval_seconds > 0:
         state.start_watcher(reload_interval_seconds)
@@ -1426,6 +1588,8 @@ def create_server(
     jobs: int | None = None,
     reload_interval_seconds: float = 0.0,
     drain_grace_seconds: float | None = None,
+    max_stream_sessions: int = 64,
+    stream_buffer_points: int = DEFAULT_MAX_SESSION_BUFFER,
 ) -> InferenceServer:
     """A ready-to-run threaded :class:`InferenceServer` (``port=0`` picks
     a free port; the bound one is in ``server.server_address``)."""
@@ -1438,6 +1602,8 @@ def create_server(
         jobs=jobs,
         reload_interval_seconds=reload_interval_seconds,
         drain_grace_seconds=drain_grace_seconds,
+        max_stream_sessions=max_stream_sessions,
+        stream_buffer_points=stream_buffer_points,
     )
     return InferenceServer((host, port), state)
 

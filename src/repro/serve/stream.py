@@ -12,19 +12,39 @@ flow through the engine's per-series feature LRU
 stream ticks and one-shot classify requests for the same window reuse
 each other's work.  Generic models classify the raw window.
 
-Sessions are advanced on the server's single stream worker (appends to
-one session are strictly ordered; the event-loop front end never runs
-extraction on the loop).  Hot model reload interacts through the
-``liveness`` hook: when the session's model version is evicted from the
-serving set mid-session, the next tick fails with
-:class:`ModelRetiredError` — a clean 409 telling the client to recreate
-the session — instead of a 500 from a retired engine.
+Sessions are advanced on the server's single stream worker thread, but
+scheduling across sessions is *fair*: a :class:`StreamScheduler` keeps
+one bounded point queue per session and serves them deficit-round-robin
+(DRR) — each session in the active ring gets a quantum of points per
+visit, so a firehose client waits behind its own backlog while light
+sessions keep ticking at interactive latency.  Appends to one session
+remain strictly ordered, and the event-loop front end never runs
+extraction on the loop.  When a session's queue is full the append is
+rejected *before* it is buffered with :class:`BackpressureError` —
+HTTP 429 plus a ``Retry-After`` estimate from the worker's measured
+drain rate — and per-session queue depth is exported as the
+``repro_serve_stream_lag`` gauge.
+
+Session numeric state (the raw-point ring and each phase slot's graph
+buffers) lives in slab rows from a shared
+:class:`~repro.core.slab.SlabPool` when the server provides one, so
+10k-session churn recycles preallocated memory instead of hammering the
+allocator.
+
+Hot model reload interacts through the ``liveness`` hook: when the
+session's model version is evicted from the serving set mid-session,
+the next tick fails with :class:`ModelRetiredError` — a clean 409
+telling the client to recreate the session — instead of a 500 from a
+retired engine.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from collections import deque
+from concurrent.futures import Future
 from typing import Any, Callable
 
 import numpy as np
@@ -34,12 +54,16 @@ from repro.serve.engine import ClassifyResult, InferenceEngine
 
 __all__ = [
     "StreamSession",
+    "StreamScheduler",
     "StreamError",
     "UnknownSessionError",
     "SessionClosedError",
     "ModelRetiredError",
+    "BackpressureError",
     "MAX_STREAM_WINDOW",
     "MAX_STREAM_POINTS_PER_APPEND",
+    "DEFAULT_STREAM_QUANTUM",
+    "DEFAULT_MAX_SESSION_BUFFER",
 ]
 
 #: Largest accepted stream window (raw points per classification).
@@ -51,6 +75,17 @@ MAX_STREAM_WINDOW = 1 << 16
 #: worker's head-of-line time — clients stream in chunks (the CLI
 #: defaults to 256 points per append).
 MAX_STREAM_POINTS_PER_APPEND = 8192
+
+#: Points a session may process per DRR visit before the worker moves
+#: on to the next session in the active ring.  At stride 1 each point
+#: past the warmup is one classification tick, so the quantum bounds
+#: how long any one session can hold the worker.
+DEFAULT_STREAM_QUANTUM = 64
+
+#: Default per-session queue bound: appends that would push a session's
+#: buffered-but-unprocessed points past this are rejected with
+#: :class:`BackpressureError` (HTTP 429 + ``Retry-After``).
+DEFAULT_MAX_SESSION_BUFFER = 4 * MAX_STREAM_POINTS_PER_APPEND
 
 
 class StreamError(Exception):
@@ -74,6 +109,23 @@ class ModelRetiredError(StreamError):
     the next tick fails cleanly and the client recreates the session
     against a live version.
     """
+
+
+class BackpressureError(StreamError):
+    """The session's point queue is full (HTTP 429 + ``Retry-After``).
+
+    Raised by :meth:`StreamScheduler.submit_append` *before* the points
+    are buffered: the client sheds the load, waits ``retry_after``
+    seconds (an estimate from the session's current lag and the
+    worker's measured drain rate), and retries the same append.
+    ``lag`` carries the session's buffered point count at rejection
+    time.
+    """
+
+    def __init__(self, message: str, retry_after: int, lag: int):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+        self.lag = int(lag)
 
 
 class StreamSession:
@@ -107,6 +159,17 @@ class StreamSession:
         ``repro_serve_stream_phase_seconds`` histogram).  Ticks served
         entirely from the engine's feature LRU report only the
         ``classify`` phase.  Failures are swallowed like ``observer``'s.
+    slab:
+        Optional :class:`~repro.core.slab.SlabPool` backing the
+        session's numeric ring state (raw-point ring; for MVG models
+        also every phase slot's graph buffers).  Rows are returned to
+        the pool by :meth:`close`.
+
+    Thread safety: fully thread-safe.  Appends run on the stream
+    worker while status/close/sweep come from other threads; every
+    mutable attribute moves only under the internal ``_lock``
+    (enforced by ``repro check`` lock-discipline).  Calls never block
+    for longer than one append chunk.
     """
 
     # Appends run on the stream worker while status/close/sweep come
@@ -125,6 +188,8 @@ class StreamSession:
         "_next_tick_at": "_lock",
         "_extractor": "_lock",
         "_ring": "_lock",
+        "_ring_row": "_lock",
+        "_slab": "_lock",
     }
 
     def __init__(
@@ -136,6 +201,7 @@ class StreamSession:
         liveness: Callable[[], None] | None = None,
         observer: Callable[[np.ndarray, Any, dict[str, float]], None] | None = None,
         phase_observer: Callable[[dict[str, float]], None] | None = None,
+        slab=None,
     ):
         if not isinstance(window, int) or isinstance(window, bool):
             raise ValueError(f'"window" must be an integer, got {window!r}')
@@ -154,14 +220,20 @@ class StreamSession:
         self._liveness = liveness
         self._observer = observer
         self._phase_observer = phase_observer
+        self._slab = slab
+        self._ring_row: np.ndarray | None = None
         if engine.is_mvg:
             self._extractor: StreamingFeatureExtractor | None = (
-                StreamingFeatureExtractor(window, engine.feature_config)
+                StreamingFeatureExtractor(window, engine.feature_config, slab=slab)
             )
             self._ring: SlidingWindowBuffer | None = None
         else:
             self._extractor = None
-            self._ring = SlidingWindowBuffer(window)
+            if slab is None:
+                self._ring = SlidingWindowBuffer(window)
+            else:
+                self._ring_row = slab.acquire(2 * window)
+                self._ring = SlidingWindowBuffer(window, backing=self._ring_row)
         self._lock = threading.Lock()
         self.closed = False
         self.points_received_ = 0
@@ -177,8 +249,26 @@ class StreamSession:
         ``{"results": [{"offset", "label", "scores"}, ...], "received",
         "filled"}`` — ``offset`` is the 1-based index of the last point
         of that tick's window within the whole stream.
+
+        Validates then processes all points in one lock hold.  The
+        server's scheduled path instead validates up front and feeds
+        the points through :meth:`append_chunk` a DRR quantum at a
+        time; this whole-append form serves direct embedders and the
+        local ``stream`` CLI.  Safe from any thread.
         """
-        values = self._validate_points(points)
+        return self.append_chunk(self._validate_points(points))
+
+    def append_chunk(self, values: np.ndarray) -> dict[str, Any]:
+        """Fold a pre-validated float64 chunk into the stream.
+
+        Same return shape as :meth:`append`, covering only this
+        chunk's ticks.  The session lock is held for the duration of
+        the chunk — the scheduler keeps chunks at quantum size so
+        close/status calls from other threads are never blocked for
+        long.  Safe from any thread; chunks for one session must be
+        submitted in stream order (the scheduler's per-session queue
+        guarantees this).
+        """
         with self._lock:
             if self.closed:
                 raise SessionClosedError(f"stream session {self.id} is closed")
@@ -213,9 +303,21 @@ class StreamSession:
             }
 
     def close(self) -> dict[str, Any]:
-        """Refuse further appends; returns the session's final stats."""
+        """Refuse further appends; returns the session's final stats.
+
+        Also returns the session's slab rows (ring and graph buffers)
+        to the shared pool — after this the session only answers
+        status/close calls.  Idempotent; safe from any thread.
+        """
         with self._lock:
             self.closed = True
+            if self._extractor is not None:
+                self._extractor.close()
+            if self._slab is not None and self._ring_row is not None:
+                self._slab.release(self._ring_row)
+                self._ring_row = None
+                self._ring = None
+            self._slab = None
             return self._describe_locked()
 
     def describe(self) -> dict[str, Any]:
@@ -300,3 +402,328 @@ class StreamSession:
                 pass
             return result
         return self.engine.classify_stream(self._ring.values())
+
+
+class _PendingAppend:
+    """One client append in a session's queue: the validated values,
+    a cursor over how many the worker has folded in so far, and the
+    tick results accumulated across chunks for the final response."""
+
+    __slots__ = ("values", "cursor", "results", "future")
+
+    def __init__(self, values: np.ndarray):
+        self.values = values
+        self.cursor = 0
+        self.results: list[dict[str, Any]] = []
+        self.future: Future = Future()
+
+    @property
+    def remaining(self) -> int:
+        return self.values.size - self.cursor
+
+
+class _SessionQueue:
+    """Scheduler-side state for one session: its FIFO of pending
+    appends, the buffered-point count (the session's *lag*), and its
+    DRR deficit counter.  All fields are guarded by the scheduler's
+    lock."""
+
+    __slots__ = ("session", "appends", "buffered", "deficit", "active")
+
+    def __init__(self, session: StreamSession):
+        self.session = session
+        self.appends: deque[_PendingAppend] = deque()
+        self.buffered = 0
+        self.deficit = 0
+        self.active = False
+
+
+class StreamScheduler:
+    """Deficit-round-robin fair scheduler for stream session work.
+
+    One worker thread serves every stream session.  Appends are queued
+    per session (bounded; overflow raises :class:`BackpressureError`
+    *before* buffering), and sessions with pending points rotate
+    through an active ring: each visit grants the session a quantum of
+    points, processed through :meth:`StreamSession.append_chunk`, then
+    moves on.  A client streaming points faster than one CPU can tick
+    therefore queues behind itself — never behind the scheduler — and
+    every other session's appends keep completing within roughly
+    ``active_sessions x quantum`` points of work.
+
+    Control operations (session create/status/close, submitted via
+    :meth:`submit`) run on the same worker between chunk boundaries,
+    ahead of data work, so they stay fast no matter the backlog.
+
+    Thread safety: fully thread-safe.  All queue state is guarded by
+    one internal lock (``repro check`` lock-discipline); session
+    processing happens *outside* that lock, holding only the session's
+    own lock, so submissions and metrics scrapes never wait on feature
+    extraction.
+
+    Parameters
+    ----------
+    quantum:
+        Points a session may process per DRR visit.
+    max_session_buffer:
+        Per-session cap on buffered-but-unprocessed points; appends
+        that would exceed it are rejected with 429 + ``Retry-After``.
+    """
+
+    _GUARDED_BY = {
+        "_queues": "_lock",
+        "_active": "_lock",
+        "_ops": "_lock",
+        "_closed": "_lock",
+        "points_buffered_": "_lock",
+        "points_processed_": "_lock",
+        "rejections_": "_lock",
+        "_rate": "_lock",
+    }
+
+    def __init__(
+        self,
+        quantum: int = DEFAULT_STREAM_QUANTUM,
+        max_session_buffer: int = DEFAULT_MAX_SESSION_BUFFER,
+        thread_name: str = "repro-serve-stream",
+    ):
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        if max_session_buffer < 1:
+            raise ValueError(
+                f"max_session_buffer must be >= 1, got {max_session_buffer}"
+            )
+        self.quantum = int(quantum)
+        self.max_session_buffer = int(max_session_buffer)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queues: dict[str, _SessionQueue] = {}
+        self._active: deque[_SessionQueue] = deque()
+        self._ops: deque[tuple[Callable[[], Any], Future]] = deque()
+        self._closed = False
+        self.points_buffered_ = 0
+        self.points_processed_ = 0
+        self.rejections_ = 0
+        #: EWMA of the worker's drain rate (points/second), seeding the
+        #: ``Retry-After`` estimate.  Starts optimistic; converges
+        #: within a few visits.
+        self._rate = 10_000.0
+        self._thread = threading.Thread(
+            target=self._worker, name=thread_name, daemon=True
+        )
+        self._thread.start()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, fn: Callable[[], Any]) -> Future:
+        """Run ``fn`` on the worker ahead of data work; returns its Future.
+
+        The control path for session create/status/close: ops never
+        wait behind buffered points (the worker drains the op queue
+        before every DRR visit).  Safe from any thread.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("stream scheduler is closed")
+            self._ops.append((fn, future))
+            self._wake.notify()
+        return future
+
+    def submit_append(self, session: StreamSession, points: Any) -> Future:
+        """Queue ``points`` for ``session``; returns the response Future.
+
+        Validation happens here, on the caller's thread (a malformed
+        body costs the worker nothing).  The future resolves to the
+        same ``{"results", "received", "filled"}`` envelope
+        :meth:`StreamSession.append` returns, once the worker has
+        folded in every point — however many DRR visits that takes.
+
+        Raises :class:`BackpressureError` when the session's queue
+        cannot take the points, ``ValueError`` for malformed points.
+        Safe from any thread.
+        """
+        values = session._validate_points(points)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("stream scheduler is closed")
+            queue = self._queues.get(session.id)
+            if queue is None or queue.session is not session:
+                queue = self._queues[session.id] = _SessionQueue(session)
+            if queue.buffered + values.size > self.max_session_buffer:
+                self.rejections_ += 1
+                retry_after = self._retry_after_locked(queue.buffered)
+                raise BackpressureError(
+                    f"stream session {session.id} has {queue.buffered} points "
+                    f"buffered (limit {self.max_session_buffer}); "
+                    f"retry in {retry_after}s",
+                    retry_after=retry_after,
+                    lag=queue.buffered,
+                )
+            pending = _PendingAppend(values)
+            queue.appends.append(pending)
+            queue.buffered += values.size
+            self.points_buffered_ += values.size
+            if not queue.active:
+                queue.active = True
+                self._active.append(queue)
+            self._wake.notify()
+        return pending.future
+
+    def _retry_after_locked(self, lag: int) -> int:  # guarded-by: _lock
+        """Seconds until a rejected append plausibly fits: the session's
+        current lag over the worker's measured drain rate, clamped to
+        [1, 60]."""
+        seconds = lag / max(self._rate, 1.0)
+        return max(1, min(60, math.ceil(seconds)))
+
+    # -- introspection -----------------------------------------------------
+    def session_lag(self) -> dict[str, int]:
+        """Buffered (queued, unprocessed) points per known session.
+
+        One consistent snapshot; the ``repro_serve_stream_lag`` gauge
+        renders it per session at scrape time.  Safe from any thread.
+        """
+        with self._lock:
+            return {sid: q.buffered for sid, q in self._queues.items()}
+
+    def stats(self) -> dict[str, Any]:
+        """Scheduler counters for ``/healthz`` and the metric collectors.
+
+        Safe from any thread.
+        """
+        with self._lock:
+            return {
+                "sessions_queued": len(self._active),
+                "points_buffered": self.points_buffered_,
+                "points_processed": self.points_processed_,
+                "rejections": self.rejections_,
+                "quantum": self.quantum,
+                "max_session_buffer": self.max_session_buffer,
+                "drain_rate_points_per_second": self._rate,
+            }
+
+    # -- teardown ----------------------------------------------------------
+    def purge_session(self, session_id: str, reason: str) -> None:
+        """Drop a session's queue, failing its pending appends.
+
+        Called when the session closes (client close, idle sweep, or
+        server shutdown): already-buffered appends fail with
+        :class:`SessionClosedError` (HTTP 409, message ``reason``)
+        rather than classifying into a closed session.  Safe from any
+        thread; a no-op for unknown sessions.
+        """
+        with self._lock:
+            queue = self._queues.pop(session_id, None)
+            if queue is None:
+                return
+            pending = list(queue.appends)
+            queue.appends.clear()
+            freed = sum(p.remaining for p in pending)
+            queue.buffered = 0
+            self.points_buffered_ -= freed
+            if queue.active:
+                try:
+                    self._active.remove(queue)
+                except ValueError:
+                    # Mid-visit: the worker holds it popped; it will be
+                    # dropped (empty) when the visit ends.
+                    pass
+                queue.active = False
+        for item in pending:
+            if not item.future.done():
+                item.future.set_exception(SessionClosedError(reason))
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after the queued work drains.
+
+        Remaining ops and appends still complete (parity with the
+        executor this replaced); new submissions are refused
+        immediately.  Safe from any thread; idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify()
+        self._thread.join(timeout)
+
+    # -- the worker --------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._ops and not self._active and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._ops and not self._active:
+                    return
+                ops = list(self._ops)
+                self._ops.clear()
+                queue = None
+                if self._active:
+                    queue = self._active.popleft()
+                    queue.deficit += self.quantum
+            for fn, future in ops:
+                try:
+                    future.set_result(fn())
+                except BaseException as exc:  # noqa: BLE001 — relayed to caller
+                    future.set_exception(exc)
+            if queue is not None:
+                self._visit(queue)
+
+    def _visit(self, queue: _SessionQueue) -> None:
+        """One DRR visit: serve up to ``deficit`` points from the
+        session's append queue, chunk by chunk, then rotate."""
+        processed = 0
+        started = time.monotonic()
+        while True:
+            with self._lock:
+                if not queue.appends:
+                    queue.active = False
+                    queue.deficit = 0
+                    break
+                if queue.deficit < 1:
+                    self._active.append(queue)
+                    break
+                head = queue.appends[0]
+                take = min(queue.deficit, head.remaining)
+                chunk = head.values[head.cursor : head.cursor + take]
+            try:
+                envelope = queue.session.append_chunk(chunk)
+                failure = None
+            except BaseException as exc:  # noqa: BLE001 — relayed to caller
+                failure = exc
+            with self._lock:
+                if not queue.appends or queue.appends[0] is not head:
+                    # Purged mid-chunk: the future already failed and
+                    # the accounting was settled by purge_session.
+                    continue
+                if failure is None:
+                    head.cursor += take
+                    queue.deficit -= take
+                    queue.buffered -= take
+                    self.points_buffered_ -= take
+                    self.points_processed_ += take
+                    processed += take
+                    head.results.extend(envelope["results"])
+                    done = head.remaining == 0
+                else:
+                    queue.buffered -= head.remaining
+                    self.points_buffered_ -= head.remaining
+                    done = True
+                if done:
+                    queue.appends.popleft()
+            if failure is not None:
+                if not head.future.done():
+                    head.future.set_exception(failure)
+            elif done:
+                if not head.future.done():
+                    head.future.set_result(
+                        {
+                            "results": head.results,
+                            "received": envelope["received"],
+                            "filled": envelope["filled"],
+                        }
+                    )
+        elapsed = time.monotonic() - started
+        if processed and elapsed > 0:
+            with self._lock:
+                self._rate = 0.8 * self._rate + 0.2 * (processed / elapsed)

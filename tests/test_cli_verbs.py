@@ -611,6 +611,16 @@ class TestStreamRetry:
         assert requests == ["create", "append", "append", "close"]
 
 
+class TestServeStreamKnobs:
+    def test_max_sessions_must_be_positive(self):
+        with pytest.raises(SystemExit, match="max-sessions must be >= 1"):
+            main(["serve", "--store", "unused", "--max-sessions", "0"])
+
+    def test_stream_buffer_must_be_positive(self):
+        with pytest.raises(SystemExit, match="stream-buffer must be >= 1"):
+            main(["serve", "--store", "unused", "--stream-buffer", "0"])
+
+
 class TestPipelineVerb:
     def test_requires_hot_reload(self):
         with pytest.raises(SystemExit, match="reload-interval must be > 0"):

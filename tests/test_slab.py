@@ -1,0 +1,117 @@
+"""SlabPool: acquire/release/reuse, size classes, double-release,
+slab-backed ring buffers, and extractor teardown returning its rows."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeatureConfig
+from repro.core.features import extract_feature_vector
+from repro.core.slab import DEFAULT_BLOCK_ROWS, SlabPool
+from repro.core.streaming import SlidingWindowBuffer, StreamingFeatureExtractor
+
+
+class TestSlabPool:
+    def test_acquire_zero_fills_and_release_recycles(self):
+        pool = SlabPool(block_rows=4)
+        row = pool.acquire(8)
+        assert row.shape == (8,) and row.dtype == np.float64
+        assert not row.flags.owndata  # a view into the slab block
+        row[:] = 7.0
+        pool.release(row)
+        again = pool.acquire(8)
+        assert again.base is row.base
+        assert np.all(again == 0.0)  # recycled rows come back zeroed
+
+    def test_blocks_amortise_allocation(self):
+        pool = SlabPool(block_rows=4)
+        rows = [pool.acquire(16) for _ in range(4)]
+        stats = pool.stats()
+        assert stats["rows_total"] == 4 and stats["rows_in_use"] == 4
+        assert stats["bytes_total"] == 4 * 16 * 8
+        pool.acquire(16)  # fifth row forces a second block
+        assert pool.stats()["rows_total"] == 8
+        for row in rows:
+            pool.release(row)
+        assert pool.stats()["rows_in_use"] == 1
+
+    def test_size_classes_are_independent(self):
+        pool = SlabPool(block_rows=2)
+        a = pool.acquire(8)
+        b = pool.acquire(16)
+        assert a.base is not b.base
+        assert pool.stats()["size_classes"] == 2
+        c = pool.acquire(8, dtype=np.int64)
+        assert c.dtype == np.int64
+        assert pool.stats()["size_classes"] == 3
+
+    def test_double_release_raises(self):
+        pool = SlabPool()
+        row = pool.acquire(4)
+        pool.release(row)
+        with pytest.raises(KeyError):
+            pool.release(row)
+
+    def test_foreign_row_release_raises(self):
+        pool = SlabPool()
+        with pytest.raises(KeyError):
+            pool.release(np.zeros(4))
+
+    def test_default_block_rows(self):
+        pool = SlabPool()
+        pool.acquire(4)
+        assert pool.stats()["rows_total"] == DEFAULT_BLOCK_ROWS
+
+
+class TestSlabBackedRing:
+    def test_buffer_accepts_slab_backing(self):
+        pool = SlabPool()
+        backing = pool.acquire(2 * 5)
+        buf = SlidingWindowBuffer(5, backing=backing)
+        for i in range(12):
+            buf.push(float(i))
+        assert list(buf.view()) == [7.0, 8.0, 9.0, 10.0, 11.0]
+
+    def test_backing_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowBuffer(5, backing=np.zeros(4))  # too small
+        with pytest.raises(ValueError):
+            SlidingWindowBuffer(5, backing=np.zeros((2, 10)))  # not 1-D
+        with pytest.raises(ValueError):
+            SlidingWindowBuffer(5, backing=np.zeros(10, dtype=np.float32))
+
+
+class TestExtractorSlabLifecycle:
+    def test_close_returns_every_row_and_reuse_stops_growth(self):
+        pool = SlabPool()
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=96)
+
+        first = StreamingFeatureExtractor(32, slab=pool)
+        for value in series:
+            first.push(value)
+        assert pool.stats()["rows_in_use"] > 0
+        first.close()
+        assert pool.stats()["rows_in_use"] == 0
+        first.close()  # idempotent
+
+        total_before = pool.stats()["rows_total"]
+        second = StreamingFeatureExtractor(32, slab=pool)
+        for value in series:
+            second.push(value)
+        assert pool.stats()["rows_total"] == total_before  # pure reuse
+        second.close()
+
+    def test_slab_extractor_matches_batch_features(self):
+        rng = np.random.default_rng(11)
+        series = rng.normal(size=80)
+        pool = SlabPool()
+        pooled = StreamingFeatureExtractor(40, slab=pool)
+        plain = StreamingFeatureExtractor(40)
+        for value in series:
+            pooled.push(value)
+            plain.push(value)
+        got = pooled.features()
+        expected, _ = extract_feature_vector(series[-40:], FeatureConfig())
+        np.testing.assert_array_equal(got, expected)  # bit-identical
+        np.testing.assert_array_equal(got, plain.features())
+        pooled.close()
